@@ -1,0 +1,429 @@
+// Benchmarks regenerating every figure and comparison table of the
+// paper's evaluation (see EXPERIMENTS.md for the recorded results):
+//
+//	BenchmarkFig8  — events sent within each group vs. alive fraction
+//	BenchmarkFig9  — intergroup events vs. alive fraction
+//	BenchmarkFig10 — reliability, stillborn failures
+//	BenchmarkFig11 — reliability, weakly consistent failures
+//	BenchmarkMsgComplexity*  — §VI-E.1 message-complexity comparison
+//	BenchmarkMemComplexity   — §VI-E.2 memory-complexity comparison
+//	BenchmarkReliability*    — §VI-E.3 reliability comparison
+//	BenchmarkAblation*       — z/g/a/c knob ablations (DESIGN.md §5)
+//	BenchmarkLivePublish     — live-runtime publish path microbench
+//
+// Each benchmark runs the paper-scale workload once per iteration and
+// reports the headline quantity via b.ReportMetric, so `go test
+// -bench=. -benchmem` regenerates the numbers alongside timing.
+package damulticast_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"damulticast"
+	"damulticast/internal/analysis"
+	"damulticast/internal/baseline"
+	"damulticast/internal/sim"
+	"damulticast/internal/topic"
+	"damulticast/internal/workload"
+)
+
+// benchAlive is the operating point used for the per-iteration bench
+// runs (full-scale sweeps live in cmd/damcsim).
+const benchAlive = 0.8
+
+func benchSeed(i int) int64 { return int64(i + 1) }
+
+// --- Figures 8-11 ---------------------------------------------------
+
+func BenchmarkFig8(b *testing.B) {
+	_, _, t2 := sim.PaperTopics()
+	var intra float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.PaperConfig(benchAlive, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		intra += float64(res.Intra[t2])
+	}
+	b.ReportMetric(intra/float64(b.N), "T2-intra-msgs")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	t0, t1, t2 := sim.PaperTopics()
+	var up21, up10 float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.PaperConfig(benchAlive, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		up21 += float64(res.Inter[[2]topic.Topic{t2, t1}])
+		up10 += float64(res.Inter[[2]topic.Topic{t1, t0}])
+	}
+	b.ReportMetric(up21/float64(b.N), "T2-T1-msgs")
+	b.ReportMetric(up10/float64(b.N), "T1-T0-msgs")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	t0, _, t2 := sim.PaperTopics()
+	var relT2, relT0 float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.PaperConfig(benchAlive, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		relT2 += res.ReliabilityAll[t2]
+		relT0 += res.ReliabilityAll[t0]
+	}
+	b.ReportMetric(relT2/float64(b.N), "T2-delivery")
+	b.ReportMetric(relT0/float64(b.N), "T0-delivery")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	t0, _, t2 := sim.PaperTopics()
+	var relT2, relT0 float64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.PaperConfig(benchAlive, benchSeed(i))
+		cfg.FailureMode = sim.FailPerObserver
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		relT2 += res.ReliabilityAll[t2]
+		relT0 += res.ReliabilityAll[t0]
+	}
+	b.ReportMetric(relT2/float64(b.N), "T2-delivery")
+	b.ReportMetric(relT0/float64(b.N), "T0-delivery")
+}
+
+// --- §VI-E.1 message complexity --------------------------------------
+
+func paperBaselineConfig(seed int64) baseline.Config {
+	t0, t1, t2 := sim.PaperTopics()
+	return baseline.Config{
+		Populations: []baseline.Population{
+			{Topic: t0, Size: 10},
+			{Topic: t1, Size: 100},
+			{Topic: t2, Size: 1000},
+		},
+		PublishTopic:  t2,
+		B:             3,
+		C:             5,
+		PSucc:         0.85,
+		AliveFraction: benchAlive,
+		NumGroups:     10,
+		MaxRounds:     300,
+		Seed:          seed,
+	}
+}
+
+func BenchmarkMsgComplexityDaMulticast(b *testing.B) {
+	var msgs float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.PaperConfig(benchAlive, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.TotalEvents)
+	}
+	b.ReportMetric(msgs/float64(b.N), "event-msgs")
+}
+
+func BenchmarkMsgComplexityBroadcast(b *testing.B) {
+	var msgs, parasites float64
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunBroadcast(paperBaselineConfig(benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.Messages)
+		parasites += float64(res.Parasites)
+	}
+	b.ReportMetric(msgs/float64(b.N), "event-msgs")
+	b.ReportMetric(parasites/float64(b.N), "parasites")
+}
+
+func BenchmarkMsgComplexityMulticast(b *testing.B) {
+	var msgs float64
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunMulticast(paperBaselineConfig(benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.Messages)
+	}
+	b.ReportMetric(msgs/float64(b.N), "event-msgs")
+}
+
+func BenchmarkMsgComplexityHierarchical(b *testing.B) {
+	var msgs, parasites float64
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunHierarchical(paperBaselineConfig(benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += float64(res.Messages)
+		parasites += float64(res.Parasites)
+	}
+	b.ReportMetric(msgs/float64(b.N), "event-msgs")
+	b.ReportMetric(parasites/float64(b.N), "parasites")
+}
+
+// --- §VI-E.2 memory complexity ---------------------------------------
+
+func BenchmarkMemComplexity(b *testing.B) {
+	// Measured: build the paper topology and inspect actual table
+	// sizes; closed forms reported alongside.
+	var daMax float64
+	_, _, t2 := sim.PaperTopics()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.NewRunner(sim.PaperConfig(1, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		max := 0
+		for _, p := range r.Group(t2) {
+			if m := p.MemoryComplexity(); m > max {
+				max = m
+			}
+		}
+		daMax += float64(max)
+	}
+	b.ReportMetric(daMax/float64(b.N), "da-T2-entries")
+
+	pi := analysis.GossipReliability(5)
+	mk := func(s int) analysis.Level {
+		return analysis.Level{S: s, C: 5, G: 5, A: 1, Z: 3, PSucc: 0.85, Pi: pi}
+	}
+	levels := []analysis.Level{mk(10), mk(100), mk(1000)}
+	daF, _ := analysis.DaMulticastMemory(1000, 5, 3, false)
+	bcF, _ := analysis.BroadcastMemory(1110, 5)
+	mcF, _ := analysis.MulticastMemory(levels)
+	hcF, _ := analysis.HierarchicalMemory(10, 111, 5, 5)
+	b.ReportMetric(daF, "da-formula")
+	b.ReportMetric(bcF, "bcast-formula")
+	b.ReportMetric(mcF, "mcast-formula")
+	b.ReportMetric(hcF, "hier-formula")
+}
+
+// --- §VI-E.3 reliability ---------------------------------------------
+
+func BenchmarkReliabilityDaMulticast(b *testing.B) {
+	t0, _, _ := sim.PaperTopics()
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.PaperConfig(benchAlive, benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel += res.Reliability[t0]
+	}
+	b.ReportMetric(rel/float64(b.N), "root-delivery")
+	pi := analysis.GossipReliability(5)
+	mk := func(s int) analysis.Level {
+		return analysis.Level{S: s, C: 5, G: 5, A: 1, Z: 3, PSucc: 0.85, Pi: pi}
+	}
+	theory, _ := analysis.Reliability([]analysis.Level{mk(10), mk(100), mk(1000)}, 0)
+	b.ReportMetric(theory, "eq1-theory")
+}
+
+func BenchmarkReliabilityBaselines(b *testing.B) {
+	var bc, mc, hc float64
+	for i := 0; i < b.N; i++ {
+		r1, err := baseline.RunBroadcast(paperBaselineConfig(benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := baseline.RunMulticast(paperBaselineConfig(benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r3, err := baseline.RunHierarchical(paperBaselineConfig(benchSeed(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bc += r1.Reliability()
+		mc += r2.Reliability()
+		hc += r3.Reliability()
+	}
+	b.ReportMetric(bc/float64(b.N), "bcast-delivery")
+	b.ReportMetric(mc/float64(b.N), "mcast-delivery")
+	b.ReportMetric(hc/float64(b.N), "hier-delivery")
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------
+
+func ablate(b *testing.B, mutate func(*sim.Config)) (interMsgs, rootRel float64) {
+	b.Helper()
+	t0, t1, t2 := sim.PaperTopics()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.PaperConfig(benchAlive, benchSeed(i))
+		mutate(&cfg)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		interMsgs += float64(res.Inter[[2]topic.Topic{t2, t1}] + res.Inter[[2]topic.Topic{t1, t0}])
+		rootRel += res.Reliability[t0]
+	}
+	return interMsgs / float64(b.N), rootRel / float64(b.N)
+}
+
+func BenchmarkAblationZ(b *testing.B) {
+	for _, z := range []int{1, 3, 8} {
+		b.Run(fmt.Sprintf("z=%d", z), func(b *testing.B) {
+			inter, rel := ablate(b, func(c *sim.Config) { c.Params.Z = z })
+			b.ReportMetric(inter, "inter-msgs")
+			b.ReportMetric(rel, "root-delivery")
+		})
+	}
+}
+
+func BenchmarkAblationG(b *testing.B) {
+	for _, g := range []float64{1, 5, 25} {
+		b.Run(fmt.Sprintf("g=%g", g), func(b *testing.B) {
+			inter, rel := ablate(b, func(c *sim.Config) { c.Params.G = g })
+			b.ReportMetric(inter, "inter-msgs")
+			b.ReportMetric(rel, "root-delivery")
+		})
+	}
+}
+
+func BenchmarkAblationA(b *testing.B) {
+	for _, a := range []float64{1, 2, 3} {
+		b.Run(fmt.Sprintf("a=%g", a), func(b *testing.B) {
+			inter, rel := ablate(b, func(c *sim.Config) { c.Params.A = a })
+			b.ReportMetric(inter, "inter-msgs")
+			b.ReportMetric(rel, "root-delivery")
+		})
+	}
+}
+
+func BenchmarkAblationC(b *testing.B) {
+	_, _, t2 := sim.PaperTopics()
+	for _, c := range []float64{0, 2, 5} {
+		b.Run(fmt.Sprintf("c=%g", c), func(b *testing.B) {
+			var intra, rel float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.PaperConfig(benchAlive, benchSeed(i))
+				cfg.Params.C = c
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				intra += float64(res.Intra[t2])
+				rel += res.Reliability[t2]
+			}
+			b.ReportMetric(intra/float64(b.N), "T2-intra-msgs")
+			b.ReportMetric(rel/float64(b.N), "T2-delivery")
+			b.ReportMetric(analysis.GossipReliability(c), "theory")
+		})
+	}
+}
+
+// BenchmarkRandomWorkload runs generated (non-paper) topologies:
+// random trees with Zipf-skewed populations, publishing at the deepest
+// topic. Guards the protocol's behaviour beyond the fixed §VII-A
+// setting.
+func BenchmarkRandomWorkload(b *testing.B) {
+	params := damulticast.DefaultParams()
+	params.ShufflePeriod = 0
+	params.MaintainPeriod = 0
+	var rel, parasites float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(benchSeed(i)))
+		h, err := workload.RandomTree(rng, workload.TreeSpec{Depth: 3, MaxBranch: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sizes, err := workload.ZipfSizes(rng, h, 1500, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg, err := workload.Config(h, sizes, params, 0.85, benchAlive, sim.FailStillborn, benchSeed(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel += res.Reliability[cfg.PublishTopic]
+		parasites += float64(res.Parasites)
+	}
+	b.ReportMetric(rel/float64(b.N), "publish-group-delivery")
+	b.ReportMetric(parasites/float64(b.N), "parasites")
+}
+
+// --- Live runtime microbenches ----------------------------------------
+
+func BenchmarkLivePublish(b *testing.B) {
+	net := damulticast.NewMemNetwork()
+	params := damulticast.DefaultParams()
+	params.ShufflePeriod = 0
+	params.MaintainPeriod = 0
+	mk := func(id string, contacts []string) *damulticast.Node {
+		n, err := damulticast.NewNode(damulticast.Config{
+			ID:            id,
+			Topic:         ".bench",
+			Transport:     net.NewTransport(id),
+			Params:        params,
+			GroupContacts: contacts,
+			TickInterval:  time.Hour, // no background ticks during bench
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+	pub := mk("pub", []string{"sub"})
+	sub := mk("sub", []string{"pub"})
+	ctx := context.Background()
+	if err := pub.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := sub.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = pub.Stop(); _ = sub.Stop() }()
+
+	payload := []byte("benchmark-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Publish(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageCodec(b *testing.B) {
+	// Exercised indirectly by every live send; measured here so codec
+	// regressions show up in isolation. Uses the public wire format
+	// via a private hook in the package test below (kept here as a
+	// publish round for black-box measurement).
+	net := damulticast.NewMemNetwork()
+	tr := net.NewTransport("codec")
+	n, err := damulticast.NewNode(damulticast.Config{
+		Topic:        ".x",
+		Transport:    tr,
+		TickInterval: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = n.Stop() }()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Publish([]byte("x")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command damcd runs a live daMulticast node over TCP: it subscribes
+// to one topic, prints every delivered event to stdout, and publishes
+// each line read from stdin as an event of its topic.
+//
+// Usage:
+//
+//	damcd -listen :7001 -topic .news
+//	damcd -listen :7002 -topic .news.sports \
+//	      -super-topic .news -super 127.0.0.1:7001 \
+//	      -peers 127.0.0.1:7003,127.0.0.1:7004
+//
+// A small cluster can be assembled by hand: start the supergroup
+// first, then point subgroup nodes at it with -super (or let them find
+// it via -seeds and the FIND_SUPER_CONTACT search).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"damulticast"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "damcd:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("damcd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address (also the node id)")
+	tp := fs.String("topic", "", "topic of interest, e.g. .news.sports")
+	peers := fs.String("peers", "", "comma-separated group-mate addresses")
+	super := fs.String("super", "", "comma-separated supergroup addresses")
+	superTopic := fs.String("super-topic", "", "topic of the -super contacts")
+	seeds := fs.String("seeds", "", "comma-separated bootstrap seed addresses")
+	tick := fs.Duration("tick", 250*time.Millisecond, "protocol tick interval")
+	once := fs.Bool("once", false, "exit after stdin is exhausted (for scripting)")
+	params := damulticast.DefaultParams()
+	fs.Float64Var(&params.C, "c", params.C, "gossip fanout constant c (fanout = ln S + c)")
+	fs.Float64Var(&params.G, "g", params.G, "self-election numerator g (pSel = g/S)")
+	fs.Float64Var(&params.A, "a", params.A, "upward-send numerator a (pA = a/z)")
+	fs.IntVar(&params.Z, "z", params.Z, "supertopic table size z")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tp == "" {
+		return fmt.Errorf("-topic is required")
+	}
+
+	tr, err := damulticast.NewTCPTransport(*listen)
+	if err != nil {
+		return err
+	}
+	node, err := damulticast.NewNode(damulticast.Config{
+		Topic:         *tp,
+		Transport:     tr,
+		Params:        params,
+		GroupContacts: splitList(*peers),
+		SuperContacts: splitList(*super),
+		SuperTopic:    *superTopic,
+		Seeds:         splitList(*seeds),
+		TickInterval:  *tick,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := node.Start(ctx); err != nil {
+		return err
+	}
+	defer func() { _ = node.Stop() }()
+	fmt.Fprintf(stdout, "damcd: node %s subscribed to %s\n", node.ID(), node.Topic())
+
+	// Delivery printer.
+	go func() {
+		for ev := range node.Events() {
+			fmt.Fprintf(stdout, "[%s] %s: %s\n", ev.Topic, ev.ID, ev.Payload)
+		}
+	}()
+
+	// Publish stdin lines.
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case line, ok := <-lines:
+			if !ok {
+				if *once {
+					// Give in-flight gossip a moment before exiting.
+					time.Sleep(2 * *tick)
+					return nil
+				}
+				<-ctx.Done()
+				return nil
+			}
+			if line == "" {
+				continue
+			}
+			id, err := node.Publish([]byte(line))
+			if err != nil {
+				return fmt.Errorf("publish: %w", err)
+			}
+			fmt.Fprintf(stdout, "published %s\n", id)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSplitList(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a,b", []string{"a", "b"}},
+		{" a , b ,", []string{"a", "b"}},
+		{",,", nil},
+	}
+	for _, tt := range tests {
+		got := splitList(tt.in)
+		if len(got) == 0 && len(tt.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunRequiresTopic(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -topic accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-topic", "not-a-topic"}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Error("bad topic accepted")
+	}
+	err = run([]string{"-topic", ".a", "-listen", "256.256.256.256:1"}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+// freePort reserves a TCP port and releases it for reuse.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// syncWriter serializes concurrent writes from both daemon goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+func TestTwoDaemonsEndToEnd(t *testing.T) {
+	subAddr := freePort(t)
+	pubAddr := freePort(t)
+
+	subOut := &syncWriter{}
+	subIn, subInW := io.Pipe()
+	subDone := make(chan error, 1)
+	go func() {
+		subDone <- run([]string{
+			"-listen", subAddr,
+			"-topic", ".news",
+			"-tick", "20ms",
+		}, subIn, subOut)
+	}()
+	// Give the subscriber a moment to bind.
+	time.Sleep(200 * time.Millisecond)
+
+	pubOut := &syncWriter{}
+	pubDone := make(chan error, 1)
+	go func() {
+		pubDone <- run([]string{
+			"-listen", pubAddr,
+			"-topic", ".news.sports",
+			"-super-topic", ".news",
+			"-super", subAddr,
+			"-tick", "20ms",
+			"-a", "3", // pA = 1: the single upward link always fires
+			"-once",
+		}, strings.NewReader("goal scored\n"), pubOut)
+	}()
+
+	if err := <-pubDone; err != nil {
+		t.Fatalf("publisher: %v", err)
+	}
+	// The subscriber must print the climbed event.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(subOut.String(), "goal scored") {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber never printed the event; output:\n%s", subOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(pubOut.String(), "published ") {
+		t.Errorf("publisher output missing confirmation:\n%s", pubOut.String())
+	}
+	// Shut the subscriber down by closing its stdin... it waits on
+	// ctx with -once unset, so just leak it into test teardown by
+	// closing the pipe writer (scanner goroutine ends; daemon keeps
+	// waiting on ctx — acceptable for the test process lifetime).
+	if err := subInW.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

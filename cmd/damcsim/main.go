@@ -1,0 +1,90 @@
+// Command damcsim regenerates the paper's simulation figures
+// (Figs. 8-11 of "Data-Aware Multicast", DSN 2004) as CSV on stdout.
+//
+// Usage:
+//
+//	damcsim -fig 8 [-runs 5] [-points 10] [-out fig8.csv]
+//	damcsim -fig all -runs 3
+//
+// Each figure sweeps the fraction of alive processes over the paper's
+// setting (t=3, S={1000,100,10}, b=3, c=5, g=5, a=1, z=3, psucc=0.85)
+// and prints one CSV block per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"damulticast/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "damcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("damcsim", flag.ContinueOnError)
+	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11" or "all"`)
+	runs := fs.Int("runs", 3, "independent runs averaged per point")
+	points := fs.Int("points", 10, "alive-fraction points in (0, 1]")
+	out := fs.String("out", "", "write CSV to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runs < 1 || *points < 1 {
+		return fmt.Errorf("runs and points must be >= 1")
+	}
+
+	alives := make([]float64, 0, *points)
+	for i := 1; i <= *points; i++ {
+		alives = append(alives, float64(i)/float64(*points))
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "damcsim: close:", cerr)
+			}
+		}()
+		w = f
+	}
+
+	type gen func([]float64, int) (*sim.Figure, error)
+	gens := map[string]gen{
+		"8":  sim.Figure8,
+		"9":  sim.Figure9,
+		"10": sim.Figure10,
+		"11": sim.Figure11,
+	}
+	order := []string{"8", "9", "10", "11"}
+
+	selected := order
+	if *fig != "all" {
+		if _, ok := gens[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11 or all)", *fig)
+		}
+		selected = []string{*fig}
+	}
+	for _, name := range selected {
+		f, err := gens[name](alives, *runs)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", name, err)
+		}
+		fmt.Fprintf(w, "# %s: %s vs %s\n", f.Name, f.YLabel, f.XLabel)
+		if _, err := io.WriteString(w, f.CSV()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

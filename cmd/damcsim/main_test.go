@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size sweep")
+	}
+	var out strings.Builder
+	// Two points, one run: fast smoke of the real figure path.
+	if err := run([]string{"-fig", "9", "-runs", "1", "-points", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# fig9") {
+		t.Errorf("missing header: %q", s)
+	}
+	if !strings.Contains(s, "alive,") {
+		t.Errorf("missing CSV header: %q", s)
+	}
+	if !strings.Contains(s, "T2->T1") {
+		t.Errorf("missing link series: %q", s)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size sweep")
+	}
+	path := filepath.Join(t.TempDir(), "fig.csv")
+	var out strings.Builder
+	if err := run([]string{"-fig", "10", "-runs", "1", "-points", "2", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# fig10") {
+		t.Errorf("file content: %q", data)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-runs", "0"}, &out); err == nil {
+		t.Error("runs=0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

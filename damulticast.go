@@ -1,0 +1,408 @@
+// Package damulticast is a Go implementation of Data-Aware Multicast
+// (daMulticast) — the decentralized, gossip-based multicast protocol
+// for hierarchical topic-based publish/subscribe of Baehni, Eugster
+// and Guerraoui (EPFL TR IC/2003/73, DSN 2004).
+//
+// Every Node is interested in exactly one topic of a dotted hierarchy
+// (e.g. ".news.sports.football") and transitively receives events
+// published on that topic or any of its subtopics. Nodes self-organize
+// into one gossip group per topic, link each group to its supergroup
+// with a constant-size supertopic table, gossip events within groups
+// (fanout ln(S)+c) and push them up the hierarchy probabilistically.
+// No process ever receives an event of a topic it is not interested
+// in, no central broker exists, and per-node memory is bounded by
+// ln(S) + c + z regardless of the hierarchy's size.
+//
+// A minimal publisher/subscriber pair over the in-memory transport:
+//
+//	net := damulticast.NewMemNetwork()
+//	sub, _ := damulticast.NewNode(damulticast.Config{
+//	    Topic:     ".news",
+//	    Transport: net.NewTransport("sub"),
+//	})
+//	pub, _ := damulticast.NewNode(damulticast.Config{
+//	    Topic:         ".news.sports",
+//	    Transport:     net.NewTransport("pub"),
+//	    GroupContacts: nil,
+//	    SuperTopic:    ".news",
+//	    SuperContacts: []string{"sub"},
+//	})
+//	sub.Start(ctx); pub.Start(ctx)
+//	pub.Publish([]byte("goal!"))
+//	ev := <-sub.Events() // the event climbs to the supergroup
+//
+// The same protocol engine also powers the round-based simulator that
+// regenerates the paper's figures; see internal/sim and EXPERIMENTS.md.
+package damulticast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"damulticast/internal/core"
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+	"damulticast/internal/xrand"
+)
+
+// Params are the protocol constants; see the package documentation and
+// the paper's §V. The zero value is invalid; start from DefaultParams.
+type Params = core.Params
+
+// DefaultParams returns the paper's simulation constants (§VII-A):
+// b=3, c=5, g=5, a=1, z=3.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Event is a delivered application event.
+type Event struct {
+	// ID is the globally unique event identifier ("origin#seq").
+	ID string
+	// Topic is the topic the event was published on (always included
+	// by the receiving node's topic).
+	Topic string
+	// Payload is the application payload.
+	Payload []byte
+}
+
+// Config configures a Node.
+type Config struct {
+	// ID is the node's process identifier. It must equal the address
+	// other nodes reach it at. Defaults to Transport.Addr().
+	ID string
+	// Topic is the single topic this node is interested in (§III-A).
+	Topic string
+	// Transport carries the node's messages.
+	Transport Transport
+	// Params are the protocol constants; zero value selects
+	// DefaultParams.
+	Params Params
+	// Seeds are bootstrap overlay contacts (the paper's
+	// neighborhood(p)) used by FIND_SUPER_CONTACT. Optional when
+	// SuperContacts is set or Topic is the root.
+	Seeds []string
+	// GroupContacts are known members of this node's own topic group.
+	GroupContacts []string
+	// SuperContacts are known members of the supergroup; when set
+	// together with SuperTopic the bootstrap search is skipped
+	// (Fig. 4 lines 5-8).
+	SuperContacts []string
+	// SuperTopic is the topic SuperContacts are interested in; it
+	// must strictly include Topic.
+	SuperTopic string
+	// TickInterval is the period of the protocol's maintenance tick
+	// (membership shuffles, link maintenance). Default 500ms.
+	TickInterval time.Duration
+	// EventBuffer is the capacity of the delivery channel; when the
+	// application falls behind, further deliveries are dropped
+	// (best-effort, like the underlying channels). Default 256.
+	EventBuffer int
+	// Seed seeds the node's random source; 0 derives one from the id.
+	Seed int64
+}
+
+// Errors.
+var (
+	ErrNoTransport   = errors.New("damulticast: config needs a Transport")
+	ErrAlreadyRunned = errors.New("damulticast: node already started")
+	ErrNotRunning    = errors.New("damulticast: node not running")
+)
+
+// Node is a live daMulticast process: a goroutine-driven wrapper
+// around the core protocol engine. All methods are safe for concurrent
+// use.
+type Node struct {
+	cfg    Config
+	id     ids.ProcessID
+	topic  topic.Topic
+	params Params
+
+	proc *core.Process
+	rng  *rand.Rand
+
+	inbox   chan *core.Message
+	pubCh   chan publishReq
+	leaveCh chan chan struct{}
+	events  chan Event
+
+	seeds []ids.ProcessID
+
+	started atomic.Bool
+	stopped atomic.Bool
+	done    chan struct{}
+	cancel  context.CancelFunc
+
+	mu      sync.Mutex
+	dropped int64 // deliveries dropped because the app fell behind
+}
+
+type publishReq struct {
+	payload []byte
+	reply   chan publishResult
+}
+
+type publishResult struct {
+	id  string
+	err error
+}
+
+// NewNode validates the configuration and builds a stopped node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, ErrNoTransport
+	}
+	if cfg.ID == "" {
+		cfg.ID = cfg.Transport.Addr()
+	}
+	tp, err := topic.Parse(cfg.Topic)
+	if err != nil {
+		return nil, fmt.Errorf("damulticast: topic: %w", err)
+	}
+	params := cfg.Params
+	if params == (Params{}) {
+		params = DefaultParams()
+	}
+	// Without an explicit size hint, the configured contacts are the
+	// best lower bound on the group size; sizing the topic table from
+	// them keeps every provided contact instead of evicting to the
+	// minimum view.
+	if params.GroupSizeHint == 0 && len(cfg.GroupContacts) > 0 {
+		params.GroupSizeHint = len(cfg.GroupContacts) + 1
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 500 * time.Millisecond
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(len(cfg.ID))*7919 + hashString(cfg.ID)
+	}
+
+	n := &Node{
+		cfg:     cfg,
+		id:      ids.ProcessID(cfg.ID),
+		topic:   tp,
+		params:  params,
+		rng:     rand.New(rand.NewSource(seed)),
+		inbox:   make(chan *core.Message, 1024),
+		pubCh:   make(chan publishReq),
+		leaveCh: make(chan chan struct{}),
+		events:  make(chan Event, cfg.EventBuffer),
+		done:    make(chan struct{}),
+	}
+	for _, s := range cfg.Seeds {
+		if s != cfg.ID {
+			n.seeds = append(n.seeds, ids.ProcessID(s))
+		}
+	}
+
+	proc, err := core.NewProcess(n.id, tp, params, (*nodeEnv)(n))
+	if err != nil {
+		return nil, err
+	}
+	n.proc = proc
+
+	if len(cfg.GroupContacts) > 0 {
+		contacts := make([]ids.ProcessID, 0, len(cfg.GroupContacts))
+		for _, c := range cfg.GroupContacts {
+			contacts = append(contacts, ids.ProcessID(c))
+		}
+		proc.SeedTopicTable(contacts)
+	}
+	if len(cfg.SuperContacts) > 0 {
+		st, err := topic.Parse(cfg.SuperTopic)
+		if err != nil {
+			return nil, fmt.Errorf("damulticast: super topic: %w", err)
+		}
+		if !st.StrictlyIncludes(tp) {
+			return nil, fmt.Errorf("damulticast: super topic %s does not include %s", st, tp)
+		}
+		contacts := make([]ids.ProcessID, 0, len(cfg.SuperContacts))
+		for _, c := range cfg.SuperContacts {
+			contacts = append(contacts, ids.ProcessID(c))
+		}
+		proc.SeedSuperTable(st, contacts)
+	}
+	return n, nil
+}
+
+// hashString is a tiny FNV-style hash for default seeding.
+func hashString(s string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// ID returns the node's process id.
+func (n *Node) ID() string { return string(n.id) }
+
+// Topic returns the node's topic.
+func (n *Node) Topic() string { return string(n.topic) }
+
+// Events returns the delivery channel. It is closed when the node
+// stops.
+func (n *Node) Events() <-chan Event { return n.events }
+
+// DroppedDeliveries reports how many events were discarded because the
+// Events channel was full.
+func (n *Node) DroppedDeliveries() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// Start launches the node's protocol loop. The node stops when ctx is
+// cancelled or Stop is called.
+func (n *Node) Start(ctx context.Context) error {
+	if !n.started.CompareAndSwap(false, true) {
+		return ErrAlreadyRunned
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	n.cancel = cancel
+	n.cfg.Transport.SetHandler(n.onRaw)
+	go n.loop(ctx)
+	return nil
+}
+
+// Stop terminates the node and closes its transport and delivery
+// channel. Safe to call multiple times.
+func (n *Node) Stop() error {
+	if !n.started.Load() {
+		return ErrNotRunning
+	}
+	if !n.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	n.cancel()
+	<-n.done
+	return n.cfg.Transport.Close()
+}
+
+// Publish disseminates an event of the node's topic and returns its
+// id. Blocks until the protocol loop accepts the publication or the
+// node stops.
+func (n *Node) Publish(payload []byte) (string, error) {
+	if !n.started.Load() {
+		return "", ErrNotRunning
+	}
+	req := publishReq{payload: payload, reply: make(chan publishResult, 1)}
+	select {
+	case n.pubCh <- req:
+	case <-n.done:
+		return "", ErrNotRunning
+	}
+	res := <-req.reply
+	return res.id, res.err
+}
+
+// Leave announces a graceful departure to every known peer (they purge
+// this node from their tables immediately instead of waiting out
+// failure suspicion), then stops the node. After Leave the node is
+// stopped; Stop may still be called to release the transport.
+func (n *Node) Leave() error {
+	if !n.started.Load() {
+		return ErrNotRunning
+	}
+	ack := make(chan struct{})
+	select {
+	case n.leaveCh <- ack:
+		<-ack
+	case <-n.done:
+		return ErrNotRunning
+	}
+	return n.Stop()
+}
+
+// onRaw is the transport receive callback: decode and enqueue,
+// dropping when the inbox overflows (channels are best-effort).
+func (n *Node) onRaw(payload []byte) {
+	m, err := decodeMessage(payload)
+	if err != nil {
+		return // malformed frames are dropped silently
+	}
+	select {
+	case n.inbox <- m:
+	default:
+	}
+}
+
+// loop owns the core.Process: all protocol state is touched only here.
+func (n *Node) loop(ctx context.Context) {
+	defer close(n.done)
+	defer close(n.events)
+
+	// Bootstrap: without provided super contacts, search for them.
+	if !n.topic.IsRoot() && len(n.cfg.SuperContacts) == 0 {
+		n.proc.StartFindSuperContact()
+	}
+
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-n.inbox:
+			n.proc.HandleMessage(m)
+		case req := <-n.pubCh:
+			ev, err := n.proc.Publish(req.payload)
+			if err != nil {
+				req.reply <- publishResult{err: err}
+				continue
+			}
+			req.reply <- publishResult{id: ev.ID.String()}
+		case ack := <-n.leaveCh:
+			n.proc.Leave()
+			close(ack)
+		case <-ticker.C:
+			n.proc.Tick()
+		}
+	}
+}
+
+// nodeEnv adapts *Node to core.Env. Methods run on the loop goroutine.
+type nodeEnv Node
+
+func (e *nodeEnv) Send(to ids.ProcessID, m *core.Message) {
+	payload, err := encodeMessage(m)
+	if err != nil {
+		return
+	}
+	// Transport errors are best-effort losses by design.
+	_ = e.cfg.Transport.Send(string(to), payload)
+}
+
+func (e *nodeEnv) Deliver(ev *core.Event) {
+	out := Event{
+		ID:      ev.ID.String(),
+		Topic:   string(ev.Topic),
+		Payload: ev.Payload,
+	}
+	select {
+	case e.events <- out:
+	default:
+		e.mu.Lock()
+		e.dropped++
+		e.mu.Unlock()
+	}
+}
+
+func (e *nodeEnv) Neighborhood(k int) []ids.ProcessID {
+	// The bootstrap overlay is the configured seeds plus whatever
+	// group mates we already know.
+	pool := make([]ids.ProcessID, 0, len(e.seeds)+8)
+	pool = append(pool, e.seeds...)
+	pool = append(pool, e.proc.TopicTable()...)
+	return xrand.SampleIDs(e.rng, pool, k)
+}
+
+func (e *nodeEnv) Rand() *rand.Rand { return e.rng }

@@ -1,0 +1,119 @@
+package damulticast_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"damulticast"
+)
+
+// ExampleNode shows the minimal publisher/subscriber pair: the
+// subscriber is interested in ".news" and receives an event published
+// on the subtopic ".news.sports".
+func ExampleNode() {
+	net := damulticast.NewMemNetwork()
+
+	sub, err := damulticast.NewNode(damulticast.Config{
+		ID:        "sub",
+		Topic:     ".news",
+		Transport: net.NewTransport("sub"),
+	})
+	if err != nil {
+		fmt.Println("new sub:", err)
+		return
+	}
+
+	// a = z makes every upward link fire — deterministic for the
+	// example; production deployments keep the probabilistic default.
+	params := damulticast.DefaultParams()
+	params.A = float64(params.Z)
+	pub, err := damulticast.NewNode(damulticast.Config{
+		ID:            "pub",
+		Topic:         ".news.sports",
+		Transport:     net.NewTransport("pub"),
+		Params:        params,
+		SuperTopic:    ".news",
+		SuperContacts: []string{"sub"},
+	})
+	if err != nil {
+		fmt.Println("new pub:", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sub.Start(ctx); err != nil {
+		fmt.Println("start sub:", err)
+		return
+	}
+	if err := pub.Start(ctx); err != nil {
+		fmt.Println("start pub:", err)
+		return
+	}
+	defer func() { _ = sub.Stop(); _ = pub.Stop() }()
+
+	if _, err := pub.Publish([]byte("goal!")); err != nil {
+		fmt.Println("publish:", err)
+		return
+	}
+	select {
+	case ev := <-sub.Events():
+		fmt.Printf("received %q on %s\n", ev.Payload, ev.Topic)
+	case <-ctx.Done():
+		fmt.Println("timeout")
+	}
+	// Output: received "goal!" on .news.sports
+}
+
+// ExampleNewTCPTransport shows wiring two nodes over loopback TCP.
+func ExampleNewTCPTransport() {
+	ta, err := damulticast.NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tb, err := damulticast.NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sub, err := damulticast.NewNode(damulticast.Config{
+		Topic: ".metrics", Transport: ta,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pub, err := damulticast.NewNode(damulticast.Config{
+		Topic: ".metrics", Transport: tb,
+		GroupContacts: []string{ta.Addr()},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sub.Start(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := pub.Start(ctx); err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = sub.Stop(); _ = pub.Stop() }()
+
+	if _, err := pub.Publish([]byte("cpu=42")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	select {
+	case ev := <-sub.Events():
+		fmt.Printf("%s\n", ev.Payload)
+	case <-ctx.Done():
+		fmt.Println("timeout")
+	}
+	// Output: cpu=42
+}

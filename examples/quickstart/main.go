@@ -1,0 +1,91 @@
+// Quickstart: a publisher and two subscribers on one machine, using
+// the in-memory transport. The subscribers are interested in ".news"
+// and therefore receive events published on the subtopic
+// ".news.sports" — dissemination climbs the topic hierarchy without
+// any broker.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"damulticast"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := damulticast.NewMemNetwork()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Two subscribers form the ".news" group; each knows the other.
+	mkSub := func(id, other string) (*damulticast.Node, error) {
+		return damulticast.NewNode(damulticast.Config{
+			ID:            id,
+			Topic:         ".news",
+			Transport:     net.NewTransport(id),
+			GroupContacts: []string{other},
+			TickInterval:  50 * time.Millisecond,
+		})
+	}
+	sub1, err := mkSub("sub1", "sub2")
+	if err != nil {
+		return err
+	}
+	sub2, err := mkSub("sub2", "sub1")
+	if err != nil {
+		return err
+	}
+
+	// The publisher forms the ".news.sports" group and links to the
+	// supergroup via explicit contacts (skipping the bootstrap
+	// search). a=z forces every upward link to fire, handy for a
+	// deterministic demo.
+	params := damulticast.DefaultParams()
+	params.A = float64(params.Z)
+	pub, err := damulticast.NewNode(damulticast.Config{
+		ID:            "pub",
+		Topic:         ".news.sports",
+		Transport:     net.NewTransport("pub"),
+		Params:        params,
+		SuperTopic:    ".news",
+		SuperContacts: []string{"sub1", "sub2"},
+		TickInterval:  50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, n := range []*damulticast.Node{sub1, sub2, pub} {
+		if err := n.Start(ctx); err != nil {
+			return err
+		}
+		defer func(n *damulticast.Node) { _ = n.Stop() }(n)
+	}
+
+	id, err := pub.Publish([]byte("kickoff at 20:45"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published event %s on %s\n", id, pub.Topic())
+
+	for _, sub := range []*damulticast.Node{sub1, sub2} {
+		select {
+		case ev := <-sub.Events():
+			fmt.Printf("%s received [%s] %q (event %s)\n",
+				sub.ID(), ev.Topic, ev.Payload, ev.ID)
+		case <-ctx.Done():
+			return fmt.Errorf("%s never received the event", sub.ID())
+		}
+	}
+	return nil
+}

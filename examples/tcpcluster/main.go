@@ -1,0 +1,159 @@
+// TCP cluster: a self-contained two-level deployment over real TCP
+// sockets on localhost — a ".sensors" aggregation group and a
+// ".sensors.rack42" group of sensor publishers. Each sensor publishes
+// a reading; the aggregators receive everything, demonstrating the
+// live runtime end to end (JSON frames, length-prefixed TCP, lazy
+// connection pooling).
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"damulticast"
+)
+
+const (
+	numAggregators = 3
+	numSensors     = 4
+	readings       = 3
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// Aggregators: the ".sensors" supergroup.
+	var aggAddrs []string
+	var aggs []*damulticast.Node
+	for i := 0; i < numAggregators; i++ {
+		tr, err := damulticast.NewTCPTransport("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		aggAddrs = append(aggAddrs, tr.Addr())
+		n, err := damulticast.NewNode(damulticast.Config{
+			Topic:        ".sensors",
+			Transport:    tr,
+			TickInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		aggs = append(aggs, n)
+	}
+	// Tell each aggregator about its group mates, then start.
+	for i, n := range aggs {
+		_ = i
+		if err := n.Start(ctx); err != nil {
+			return err
+		}
+		defer func(n *damulticast.Node) { _ = n.Stop() }(n)
+	}
+
+	// Sensors: the ".sensors.rack42" subgroup, linked upward.
+	params := damulticast.DefaultParams()
+	params.G = 1 << 20           // every sensor self-elects
+	params.A = float64(params.Z) // every upward link fires
+	var sensors []*damulticast.Node
+	var sensorAddrs []string
+	for i := 0; i < numSensors; i++ {
+		tr, err := damulticast.NewTCPTransport("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		sensorAddrs = append(sensorAddrs, tr.Addr())
+		n, err := damulticast.NewNode(damulticast.Config{
+			Topic:         ".sensors.rack42",
+			Transport:     tr,
+			Params:        params,
+			GroupContacts: sensorAddrs[:i], // earlier sensors
+			SuperTopic:    ".sensors",
+			SuperContacts: aggAddrs,
+			TickInterval:  50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		if err := n.Start(ctx); err != nil {
+			return err
+		}
+		defer func(n *damulticast.Node) { _ = n.Stop() }(n)
+		sensors = append(sensors, n)
+	}
+
+	// Collect aggregator deliveries.
+	var mu sync.Mutex
+	got := map[string]int{}
+	var wg sync.WaitGroup
+	for _, a := range aggs {
+		wg.Add(1)
+		go func(a *damulticast.Node) {
+			defer wg.Done()
+			for {
+				select {
+				case ev, ok := <-a.Events():
+					if !ok {
+						return
+					}
+					mu.Lock()
+					got[a.ID()]++
+					mu.Unlock()
+					fmt.Printf("aggregator %s <- [%s] %s\n", a.ID(), ev.Topic, ev.Payload)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(a)
+	}
+
+	// Each sensor publishes a few readings.
+	total := 0
+	for round := 0; round < readings; round++ {
+		for i, s := range sensors {
+			payload := fmt.Sprintf("temp[%d]=%d.%dC", i, 20+round, i)
+			if _, err := s.Publish([]byte(payload)); err != nil {
+				return err
+			}
+			total++
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Wait until every aggregator saw every reading (gossip converges
+	// quickly at this scale) or the timeout hits.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) == numAggregators
+		for _, c := range got {
+			if c < total {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("aggregators missed readings: %v (want %d each)", got, total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	fmt.Printf("\nall %d aggregators received all %d readings over TCP\n",
+		numAggregators, total)
+	return nil
+}

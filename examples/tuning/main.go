@@ -1,0 +1,84 @@
+// Tuning: the paper's central trade-off (§V-B, §VI-D) made tangible.
+// daMulticast exposes three knobs — g (self-election), a (per-link
+// sends) and z (supertopic table size) — that trade the number of
+// inter-group messages against the probability that an event actually
+// crosses from a group to its supergroup.
+//
+// This example sweeps each knob on the paper's 1000/100/10 hierarchy
+// (stillborn failures at 30%) and prints, per setting:
+//
+//   - measured inter-group messages (cost),
+//   - measured root-group delivery fraction (benefit),
+//   - the closed-form pit from the analysis package for comparison.
+//
+// go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"damulticast/internal/analysis"
+	"damulticast/internal/sim"
+	"damulticast/internal/topic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const (
+	alive = 0.7
+	runs  = 3
+)
+
+func run() error {
+	fmt.Println("knob sweep on the paper's setting (alive=0.7, psucc=0.85)")
+	fmt.Println()
+	if err := sweep("z (supertopic table size)", []float64{1, 2, 3, 5, 8},
+		func(cfg *sim.Config, v float64) { cfg.Params.Z = int(v) },
+		func(l *analysis.Level, v float64) { l.Z = int(v) }); err != nil {
+		return err
+	}
+	if err := sweep("g (self-election numerator)", []float64{1, 2, 5, 10, 50},
+		func(cfg *sim.Config, v float64) { cfg.Params.G = v },
+		func(l *analysis.Level, v float64) { l.G = v }); err != nil {
+		return err
+	}
+	return sweep("a (per-link send numerator)", []float64{1, 2, 3},
+		func(cfg *sim.Config, v float64) { cfg.Params.A = v },
+		func(l *analysis.Level, v float64) { l.A = v })
+}
+
+func sweep(name string, values []float64,
+	applySim func(*sim.Config, float64),
+	applyAna func(*analysis.Level, float64)) error {
+	t0, t1, t2 := sim.PaperTopics()
+	fmt.Printf("== %s ==\n", name)
+	fmt.Printf("%8s  %12s  %14s  %12s\n", "value", "inter msgs", "root delivery", "pit (theory)")
+	for _, v := range values {
+		var inter, rel float64
+		for seed := int64(0); seed < runs; seed++ {
+			cfg := sim.PaperConfig(alive, 100+seed)
+			applySim(&cfg, v)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			inter += float64(res.Inter[[2]topic.Topic{t2, t1}] + res.Inter[[2]topic.Topic{t1, t0}])
+			rel += res.Reliability[t0]
+		}
+		level := analysis.Level{
+			S: 1000, C: 5, G: 5, A: 1, Z: 3,
+			PSucc: 0.85 * alive, // failed targets behave like lost sends
+			Pi:    analysis.GossipReliability(5),
+		}
+		applyAna(&level, v)
+		fmt.Printf("%8.0f  %12.1f  %14.3f  %12.4f\n",
+			v, inter/runs, rel/runs, level.Pit())
+	}
+	fmt.Println()
+	return nil
+}

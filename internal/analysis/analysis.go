@@ -1,0 +1,249 @@
+// Package analysis implements the closed-form results of §VI and the
+// appendix: the reliability equation (Eq. 1), message and memory
+// complexity formulas for daMulticast and the three baselines, and the
+// parameter-tuning equivalences (appendix eqs. 14-30) that trade the
+// supertopic-table size z against reliability.
+//
+// Conventions: natural logarithms throughout (as in the paper);
+// probabilities in [0,1]; S denotes group sizes; t the hierarchy depth.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Level holds the per-level parameters of the analysis model of §VI-A:
+// a chain T0 (root) ... Tt (bottom-most), one entry per level.
+type Level struct {
+	// S is the number of processes interested in this level's topic.
+	S int
+	// C is the gossip fanout constant c_Ti.
+	C float64
+	// G determines pSel = G/S.
+	G float64
+	// A determines pA = A/Z.
+	A float64
+	// Z is the supertopic table size.
+	Z int
+	// PSucc is the inter-group channel success probability psucc_Ti.
+	PSucc float64
+	// Pi is the proportion of the group that receives an event via
+	// the underlying gossip (π_Ti in §VI-D); e^{-e^{-c}}-ish in the
+	// ideal case. Values in (0,1].
+	Pi float64
+}
+
+// Errors.
+var (
+	ErrNoLevels    = errors.New("analysis: no levels")
+	ErrBadLevel    = errors.New("analysis: invalid level parameters")
+	ErrOutOfRange  = errors.New("analysis: c outside the feasible tuning range")
+	ErrBadArgument = errors.New("analysis: invalid argument")
+)
+
+func validateLevels(levels []Level) error {
+	if len(levels) == 0 {
+		return ErrNoLevels
+	}
+	for i, l := range levels {
+		if l.S < 1 || l.Z < 1 || l.PSucc < 0 || l.PSucc > 1 || l.Pi < 0 || l.Pi > 1 {
+			return fmt.Errorf("%w: level %d: %+v", ErrBadLevel, i, l)
+		}
+	}
+	return nil
+}
+
+// GossipReliability is the Erdős–Rényi asymptotic probability that a
+// fanout of ln(S)+c infects the whole group: e^{-e^{-c}} (§VI-D,
+// ref [3]).
+func GossipReliability(c float64) float64 {
+	return math.Exp(-math.Exp(-c))
+}
+
+// PSel returns g/S clamped to [0,1].
+func (l Level) PSel() float64 {
+	if l.S <= 0 {
+		return 0
+	}
+	p := l.G / float64(l.S)
+	return clamp01(p)
+}
+
+// PA returns a/z clamped to [0,1].
+func (l Level) PA() float64 {
+	if l.Z <= 0 {
+		return 0
+	}
+	return clamp01(l.A / float64(l.Z))
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// NbSuperMsg is the expected number of events sent from one group to
+// its supergroup: S·pSel·pA·z·psucc (§VI-B).
+func (l Level) NbSuperMsg() float64 {
+	return float64(l.S) * l.PSel() * l.PA() * float64(l.Z) * l.PSucc
+}
+
+// NbSuscProc is the expected number of processes able to propagate the
+// event upward: S·pSel·π (§VI-D).
+func (l Level) NbSuscProc() float64 {
+	return float64(l.S) * l.PSel() * l.Pi
+}
+
+// Pit is the probability that at least one event crosses from this
+// group to its supergroup: 1 - (1-psucc)^{nbSuscProc·pA·z} (§VI-D).
+func (l Level) Pit() float64 {
+	exponent := l.NbSuscProc() * l.PA() * float64(l.Z)
+	return 1 - math.Pow(1-l.PSucc, exponent)
+}
+
+// Reliability evaluates Eq. 1: the probability that all processes of
+// level j (0 = root) receive an event published at the bottom-most
+// level t = len(levels)-1:
+//
+//	Π_{i=t..j} e^{-e^{-c_i}} · pit_i
+//
+// with pit of the root level taken as 1 (no upward hop from the root).
+// levels[0] is the root.
+func Reliability(levels []Level, j int) (float64, error) {
+	if err := validateLevels(levels); err != nil {
+		return 0, err
+	}
+	t := len(levels) - 1
+	if j < 0 || j > t {
+		return 0, fmt.Errorf("%w: j=%d with t=%d", ErrBadArgument, j, t)
+	}
+	r := 1.0
+	for i := t; i >= j; i-- {
+		r *= GossipReliability(levels[i].C)
+		if i > j {
+			// The hop from level i to level i-1 must succeed.
+			r *= levels[i].Pit()
+		}
+	}
+	return r, nil
+}
+
+// DaMulticastMessages is the total expected number of event messages
+// for one publication at the bottom-most level (§VI-B):
+//
+//	Σ_{i=t..0} S_i(ln S_i + c_i) + Σ_{i=t..1} S_i·pSel·pA·psucc·z.
+func DaMulticastMessages(levels []Level) (float64, error) {
+	if err := validateLevels(levels); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i, l := range levels {
+		total += float64(l.S) * (math.Log(float64(l.S)) + l.C)
+		if i > 0 { // non-root levels also push upward
+			total += l.NbSuperMsg()
+		}
+	}
+	return total, nil
+}
+
+// DaMulticastMemory is ln(S)+c+z, the per-process membership entries
+// of §VI-C (root processes save the z term).
+func DaMulticastMemory(s int, c float64, z int, isRoot bool) (float64, error) {
+	if s < 1 || z < 0 {
+		return 0, fmt.Errorf("%w: s=%d z=%d", ErrBadArgument, s, z)
+	}
+	m := math.Log(float64(s)) + c
+	if !isRoot {
+		m += float64(z)
+	}
+	return m, nil
+}
+
+// BroadcastMessages is n(ln n + c) (appendix eq. 7).
+func BroadcastMessages(n int, c float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: n=%d", ErrBadArgument, n)
+	}
+	return float64(n) * (math.Log(float64(n)) + c), nil
+}
+
+// BroadcastMemory is ln(n)+c (appendix eq. 6).
+func BroadcastMemory(n int, c float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: n=%d", ErrBadArgument, n)
+	}
+	return math.Log(float64(n)) + c, nil
+}
+
+// BroadcastReliability is e^{-e^{-c}} (§VI-E.3 (a)).
+func BroadcastReliability(c float64) float64 { return GossipReliability(c) }
+
+// MulticastMessages is Σ S_i(ln S_i + c_i) (appendix eq. 3): the
+// publisher publishes in its group and every supergroup.
+func MulticastMessages(levels []Level) (float64, error) {
+	if err := validateLevels(levels); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, l := range levels {
+		total += float64(l.S) * (math.Log(float64(l.S)) + l.C)
+	}
+	return total, nil
+}
+
+// MulticastMemory is Σ (ln S_i + c_i) (appendix eq. 2): one table per
+// level joined.
+func MulticastMemory(levels []Level) (float64, error) {
+	if err := validateLevels(levels); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, l := range levels {
+		total += math.Log(float64(l.S)) + l.C
+	}
+	return total, nil
+}
+
+// MulticastReliability is Π e^{-e^{-c_i}} (§VI-E.3 (b)).
+func MulticastReliability(levels []Level) (float64, error) {
+	if err := validateLevels(levels); err != nil {
+		return 0, err
+	}
+	r := 1.0
+	for _, l := range levels {
+		r *= GossipReliability(l.C)
+	}
+	return r, nil
+}
+
+// HierarchicalMessages is N·m(ln N + ln m + c1 + c2) (appendix eq. 10).
+func HierarchicalMessages(numGroups, groupSize int, c1, c2 float64) (float64, error) {
+	if numGroups < 1 || groupSize < 1 {
+		return 0, fmt.Errorf("%w: N=%d m=%d", ErrBadArgument, numGroups, groupSize)
+	}
+	nN, m := float64(numGroups), float64(groupSize)
+	return nN * m * (math.Log(nN) + math.Log(m) + c1 + c2), nil
+}
+
+// HierarchicalMemory is ln(N)+c1+ln(m)+c2 (appendix eq. 9).
+func HierarchicalMemory(numGroups, groupSize int, c1, c2 float64) (float64, error) {
+	if numGroups < 1 || groupSize < 1 {
+		return 0, fmt.Errorf("%w: N=%d m=%d", ErrBadArgument, numGroups, groupSize)
+	}
+	return math.Log(float64(numGroups)) + c1 + math.Log(float64(groupSize)) + c2, nil
+}
+
+// HierarchicalReliability is e^{-N e^{-c1} - e^{-c2}} (§VI-E.3 (c)).
+func HierarchicalReliability(numGroups int, c1, c2 float64) (float64, error) {
+	if numGroups < 1 {
+		return 0, fmt.Errorf("%w: N=%d", ErrBadArgument, numGroups)
+	}
+	return math.Exp(-float64(numGroups)*math.Exp(-c1) - math.Exp(-c2)), nil
+}

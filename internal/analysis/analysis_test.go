@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func paperLevels() []Level {
+	// §VII-A: S = {10, 100, 1000} root..leaf, c=5, g=5, a=1, z=3,
+	// psucc=0.85. Pi set to the ideal gossip coverage e^{-e^{-5}}.
+	pi := GossipReliability(5)
+	mk := func(s int) Level {
+		return Level{S: s, C: 5, G: 5, A: 1, Z: 3, PSucc: 0.85, Pi: pi}
+	}
+	return []Level{mk(10), mk(100), mk(1000)}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGossipReliability(t *testing.T) {
+	// e^{-e^{-5}} ≈ 0.99329.
+	if got := GossipReliability(5); !almost(got, 0.99329, 1e-4) {
+		t.Errorf("GossipReliability(5) = %g", got)
+	}
+	// c=0: e^{-1} ≈ 0.3679.
+	if got := GossipReliability(0); !almost(got, math.Exp(-1), 1e-12) {
+		t.Errorf("GossipReliability(0) = %g", got)
+	}
+	// Monotone in c.
+	if GossipReliability(1) >= GossipReliability(2) {
+		t.Error("not monotone")
+	}
+}
+
+func TestLevelProbabilities(t *testing.T) {
+	l := Level{S: 1000, G: 5, A: 1, Z: 3, PSucc: 0.85, Pi: 1}
+	if got := l.PSel(); !almost(got, 0.005, 1e-12) {
+		t.Errorf("PSel = %g", got)
+	}
+	if got := l.PA(); !almost(got, 1.0/3, 1e-12) {
+		t.Errorf("PA = %g", got)
+	}
+	// nbSuperMsg = 1000·0.005·(1/3)·3·0.85 = 4.25 — matching Fig. 9's
+	// ≈4 intergroup messages at full aliveness.
+	if got := l.NbSuperMsg(); !almost(got, 4.25, 1e-9) {
+		t.Errorf("NbSuperMsg = %g", got)
+	}
+	if got := l.NbSuscProc(); !almost(got, 5, 1e-9) {
+		t.Errorf("NbSuscProc = %g", got)
+	}
+	// pit = 1 - 0.15^{5·(1/3)·3} = 1 - 0.15^5 ≈ 0.99992.
+	if got := l.Pit(); !almost(got, 1-math.Pow(0.15, 5), 1e-12) {
+		t.Errorf("Pit = %g", got)
+	}
+}
+
+func TestPSelClamps(t *testing.T) {
+	l := Level{S: 2, G: 100, A: 5, Z: 3}
+	if l.PSel() != 1 {
+		t.Errorf("PSel = %g", l.PSel())
+	}
+	if l.PA() != 1 {
+		t.Errorf("PA = %g", l.PA())
+	}
+	zero := Level{S: 0, Z: 0}
+	if zero.PSel() != 0 || zero.PA() != 0 {
+		t.Error("zero-size level probabilities not 0")
+	}
+}
+
+func TestReliabilityEquation(t *testing.T) {
+	levels := paperLevels()
+	// Reliability at the publishing level itself (j = t = 2): just the
+	// intra-group term.
+	r2, err := Reliability(levels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r2, GossipReliability(5), 1e-9) {
+		t.Errorf("R(T2) = %g", r2)
+	}
+	// Climbing reduces reliability monotonically.
+	r1, err := Reliability(levels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := Reliability(levels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r0 < r1 && r1 < r2) {
+		t.Errorf("not monotone: r0=%g r1=%g r2=%g", r0, r1, r2)
+	}
+	// With the paper's parameters everything is close to 1.
+	if r0 < 0.97 {
+		t.Errorf("R(T0) = %g unexpectedly low", r0)
+	}
+	// Errors.
+	if _, err := Reliability(nil, 0); !errors.Is(err, ErrNoLevels) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Reliability(levels, 5); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("err = %v", err)
+	}
+	bad := paperLevels()
+	bad[0].S = 0
+	if _, err := Reliability(bad, 0); !errors.Is(err, ErrBadLevel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDaMulticastMessages(t *testing.T) {
+	levels := paperLevels()
+	got, err := DaMulticastMessages(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominant term: 1000·(ln 1000 + 5) ≈ 11908; plus 100·(ln100+5),
+	// plus 10·(ln10+5) plus two small upward terms.
+	want := 1000*(math.Log(1000)+5) + 100*(math.Log(100)+5) + 10*(math.Log(10)+5)
+	if got < want || got > want+20 {
+		t.Errorf("messages = %g, want ~%g (+<20 upward)", got, want)
+	}
+	if _, err := DaMulticastMessages(nil); err == nil {
+		t.Error("nil levels accepted")
+	}
+}
+
+func TestDaMulticastMemory(t *testing.T) {
+	m, err := DaMulticastMemory(1000, 5, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m, math.Log(1000)+5+3, 1e-9) {
+		t.Errorf("memory = %g", m)
+	}
+	root, err := DaMulticastMemory(10, 5, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(root, math.Log(10)+5, 1e-9) {
+		t.Errorf("root memory = %g", root)
+	}
+	if _, err := DaMulticastMemory(0, 5, 3, false); err == nil {
+		t.Error("s=0 accepted")
+	}
+}
+
+func TestBaselineFormulas(t *testing.T) {
+	msgs, err := BroadcastMessages(1110, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(msgs, 1110*(math.Log(1110)+5), 1e-6) {
+		t.Errorf("broadcast messages = %g", msgs)
+	}
+	mem, err := BroadcastMemory(1110, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mem, math.Log(1110)+5, 1e-9) {
+		t.Errorf("broadcast memory = %g", mem)
+	}
+	if BroadcastReliability(5) != GossipReliability(5) {
+		t.Error("broadcast reliability mismatch")
+	}
+
+	levels := paperLevels()
+	mm, err := MulticastMessages(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := DaMulticastMessages(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// daMulticast adds only the tiny upward terms over multicast.
+	if dm <= mm || dm > mm+20 {
+		t.Errorf("daMulticast %g vs multicast %g", dm, mm)
+	}
+	mmem, err := MulticastMemory(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmem, _ := DaMulticastMemory(1000, 5, 3, false)
+	if dmem >= mmem {
+		t.Errorf("daMulticast memory %g not below multicast %g", dmem, mmem)
+	}
+	mr, err := MulticastReliability(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(mr, math.Pow(GossipReliability(5), 3), 1e-9) {
+		t.Errorf("multicast reliability = %g", mr)
+	}
+
+	hm, err := HierarchicalMessages(10, 111, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm <= 0 {
+		t.Errorf("hierarchical messages = %g", hm)
+	}
+	hmem, err := HierarchicalMemory(10, 111, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(hmem, math.Log(10)+math.Log(111)+10, 1e-9) {
+		t.Errorf("hierarchical memory = %g", hmem)
+	}
+	hr, err := HierarchicalReliability(10, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-10*math.Exp(-5) - math.Exp(-5))
+	if !almost(hr, want, 1e-12) {
+		t.Errorf("hierarchical reliability = %g want %g", hr, want)
+	}
+
+	// Argument validation.
+	if _, err := BroadcastMessages(0, 5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BroadcastMemory(0, 5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := HierarchicalMessages(0, 5, 1, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := HierarchicalMemory(5, 0, 1, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := HierarchicalReliability(0, 1, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := MulticastMessages(nil); err == nil {
+		t.Error("nil levels accepted")
+	}
+	if _, err := MulticastMemory(nil); err == nil {
+		t.Error("nil levels accepted")
+	}
+	if _, err := MulticastReliability(nil); err == nil {
+		t.Error("nil levels accepted")
+	}
+}
+
+// §VI-E.2 comparison. Against multicast and hierarchical broadcast,
+// daMulticast's memory is below for the paper's configuration. Against
+// plain broadcast the appendix requires ln(n) > ln(sT) + ln(t) for a
+// gain — which does NOT hold at n=1110, sT=1000, t=3, so we check both
+// directions of that caveat.
+func TestMemoryComparisonPaperSetting(t *testing.T) {
+	levels := paperLevels()
+	da, _ := DaMulticastMemory(1000, 5, 3, false)
+	mc, _ := MulticastMemory(levels)
+	hc, _ := HierarchicalMemory(3, 370, 5, 5)
+	if da >= mc {
+		t.Errorf("da %g >= multicast %g", da, mc)
+	}
+	if da >= hc {
+		t.Errorf("da %g >= hierarchical %g", da, hc)
+	}
+	// Broadcast caveat, small system: no gain expected.
+	bcSmall, _ := BroadcastMemory(1110, 5)
+	if da < bcSmall {
+		t.Errorf("da %g unexpectedly below broadcast %g at n=1110", da, bcSmall)
+	}
+	// Broadcast caveat, large system (ln n > ln sT + ln t): gain.
+	bcLarge, _ := BroadcastMemory(100000, 5)
+	if da >= bcLarge {
+		t.Errorf("da %g >= broadcast %g at n=100000", da, bcLarge)
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the appendix's "trading membership with
+// reliability" results: for each baseline, the value c1 (daMulticast's
+// per-level fanout constant) that yields the *same* reliability as the
+// baseline run with constant c, the feasibility range for c, and the
+// bound on z under which daMulticast's memory is still no larger than
+// the baseline's. The average-case simplifications of the paper apply:
+// all levels share S_T = sT, z, pit.
+
+// TuneVsMulticast computes c1 such that daMulticast matches baseline
+// (b)'s reliability (appendix eq. 16):
+//
+//	c1 = c - ln(1 + e^c·ln(pit)),  feasible iff 0 ≤ c ≤ -ln(-ln(pit)).
+func TuneVsMulticast(c, pit float64) (float64, error) {
+	if err := checkPit(pit); err != nil {
+		return 0, err
+	}
+	if pit == 1 {
+		return c, nil // condition 3 in the appendix: c1 == c
+	}
+	if c < 0 || c > -math.Log(-math.Log(pit)) {
+		return 0, fmt.Errorf("%w: c=%g pit=%g needs 0<=c<=%g",
+			ErrOutOfRange, c, pit, -math.Log(-math.Log(pit)))
+	}
+	inner := 1 + math.Exp(c)*math.Log(pit)
+	if inner <= 0 {
+		return 0, fmt.Errorf("%w: c=%g pit=%g", ErrOutOfRange, c, pit)
+	}
+	return c - math.Log(inner), nil
+}
+
+// ZBoundVsMulticast is appendix eq. 19: daMulticast's memory stays at
+// or below gossip multicast's iff
+//
+//	z ≤ (t-1)(ln sT + c) + ln(1 + e^c·ln(pit)).
+func ZBoundVsMulticast(t int, sT int, c, pit float64) (float64, error) {
+	if err := checkTS(t, sT); err != nil {
+		return 0, err
+	}
+	if err := checkPit(pit); err != nil {
+		return 0, err
+	}
+	inner := 1 + math.Exp(c)*math.Log(pit)
+	if inner <= 0 {
+		return 0, fmt.Errorf("%w: c=%g pit=%g", ErrOutOfRange, c, pit)
+	}
+	return float64(t-1)*(math.Log(float64(sT))+c) + math.Log(inner), nil
+}
+
+// TuneVsBroadcast computes c1 matching baseline (a)'s reliability
+// (appendix eq. 23):
+//
+//	c1 = c - ln(1 + t·e^c·ln(pit)) + ln(t),
+//	feasible iff 0 ≤ c ≤ -ln(-t·ln(pit)).
+func TuneVsBroadcast(c, pit float64, t int) (float64, error) {
+	if err := checkPit(pit); err != nil {
+		return 0, err
+	}
+	if t < 1 {
+		return 0, fmt.Errorf("%w: t=%d", ErrBadArgument, t)
+	}
+	if pit == 1 {
+		// e^{-c1}·t = e^{-c}: c1 = c + ln t.
+		return c + math.Log(float64(t)), nil
+	}
+	upper := -math.Log(-float64(t) * math.Log(pit))
+	if c < 0 || c > upper {
+		return 0, fmt.Errorf("%w: c=%g pit=%g t=%d needs 0<=c<=%g",
+			ErrOutOfRange, c, pit, t, upper)
+	}
+	inner := 1 + float64(t)*math.Exp(c)*math.Log(pit)
+	if inner <= 0 {
+		return 0, fmt.Errorf("%w: c=%g pit=%g t=%d", ErrOutOfRange, c, pit, t)
+	}
+	return c - math.Log(inner) + math.Log(float64(t)), nil
+}
+
+// ZBoundVsBroadcast is appendix eq. 25: daMulticast's memory stays at
+// or below gossip broadcast's iff
+//
+//	z ≤ ln(n) + ln(1 + t·e^c·ln(pit)) - ln(sT) - ln(t).
+func ZBoundVsBroadcast(n, t, sT int, c, pit float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: n=%d", ErrBadArgument, n)
+	}
+	if err := checkTS(t, sT); err != nil {
+		return 0, err
+	}
+	if err := checkPit(pit); err != nil {
+		return 0, err
+	}
+	inner := 1 + float64(t)*math.Exp(c)*math.Log(pit)
+	if inner <= 0 {
+		return 0, fmt.Errorf("%w: c=%g pit=%g t=%d", ErrOutOfRange, c, pit, t)
+	}
+	return math.Log(float64(n)) + math.Log(inner) -
+		math.Log(float64(sT)) - math.Log(float64(t)), nil
+}
+
+// TuneVsHierarchical computes cT matching baseline (c)'s reliability
+// with c1 = c2 = c (appendix eq. 28):
+//
+//	cT = ln(t) + c - ln(t·e^c·ln(pit) + N + 1),
+//	feasible iff -ln(t(1-ln pit)/(N+1)) ≤ c ≤ -ln(-t·ln(pit)/(N+1)).
+func TuneVsHierarchical(c, pit float64, t, numGroups int) (float64, error) {
+	if err := checkPit(pit); err != nil {
+		return 0, err
+	}
+	if t < 1 || numGroups < 1 {
+		return 0, fmt.Errorf("%w: t=%d N=%d", ErrBadArgument, t, numGroups)
+	}
+	tf, nf := float64(t), float64(numGroups)
+	lower := -math.Log(tf * (1 - math.Log(pit)) / (nf + 1))
+	var upper float64
+	if pit == 1 {
+		upper = math.Inf(1)
+	} else {
+		upper = -math.Log(-tf * math.Log(pit) / (nf + 1))
+	}
+	if c < lower || c > upper {
+		return 0, fmt.Errorf("%w: c=%g needs [%g, %g]", ErrOutOfRange, c, lower, upper)
+	}
+	inner := tf*math.Exp(c)*math.Log(pit) + nf + 1
+	if inner <= 0 {
+		return 0, fmt.Errorf("%w: c=%g pit=%g", ErrOutOfRange, c, pit)
+	}
+	return math.Log(tf) + c - math.Log(inner), nil
+}
+
+// ZBoundVsHierarchical is appendix eq. 30: daMulticast's memory stays
+// at or below the hierarchical broadcast's iff
+//
+//	z ≤ c + ln(N) + ln(N + 1 + t·e^c·ln(pit)) - ln(t).
+func ZBoundVsHierarchical(t, numGroups int, c, pit float64) (float64, error) {
+	if t < 1 || numGroups < 1 {
+		return 0, fmt.Errorf("%w: t=%d N=%d", ErrBadArgument, t, numGroups)
+	}
+	if err := checkPit(pit); err != nil {
+		return 0, err
+	}
+	tf, nf := float64(t), float64(numGroups)
+	inner := nf + 1 + tf*math.Exp(c)*math.Log(pit)
+	if inner <= 0 {
+		return 0, fmt.Errorf("%w: c=%g pit=%g", ErrOutOfRange, c, pit)
+	}
+	return c + math.Log(nf) + math.Log(inner) - math.Log(tf), nil
+}
+
+func checkPit(pit float64) error {
+	if pit <= 0 || pit > 1 {
+		return fmt.Errorf("%w: pit=%g must be in (0,1]", ErrBadArgument, pit)
+	}
+	return nil
+}
+
+func checkTS(t, sT int) error {
+	if t < 1 || sT < 1 {
+		return fmt.Errorf("%w: t=%d sT=%d", ErrBadArgument, t, sT)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Cross-check: plugging the tuned c1 back into daMulticast's
+// reliability formula must reproduce the baseline's reliability.
+
+func TestTuneVsMulticastRoundTrip(t *testing.T) {
+	// Worst case j=0: Π_{i=t..0} e^{-e^{-c1}}·pit vs Π e^{-e^{-c}}.
+	// With all levels equal the appendix reduces to
+	// e^{-c1} - ln(pit) = e^{-c} per level.
+	pit := 0.995
+	c := 1.0 // within [0, -ln(-ln(0.995))] = [0, 5.29]
+	c1, err := TuneVsMulticast(c, pit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := math.Exp(-c1) - math.Log(pit)
+	rhs := math.Exp(-c)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("identity broken: %g vs %g", lhs, rhs)
+	}
+	// c1 must be >= 0 and <= c (daMulticast needs a larger fanout
+	// constant... actually smaller: the pit term subtracts; verify
+	// bounds only).
+	if c1 < 0 {
+		t.Errorf("c1 = %g < 0", c1)
+	}
+}
+
+func TestTuneVsMulticastEdges(t *testing.T) {
+	// pit = 1: c1 == c exactly.
+	c1, err := TuneVsMulticast(2.5, 1)
+	if err != nil || c1 != 2.5 {
+		t.Errorf("pit=1: c1=%g err=%v", c1, err)
+	}
+	// c out of range.
+	if _, err := TuneVsMulticast(10, 0.5); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TuneVsMulticast(-1, 0.9); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+	// pit invalid.
+	if _, err := TuneVsMulticast(1, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TuneVsMulticast(1, 1.5); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTuneVsBroadcastRoundTrip(t *testing.T) {
+	// Identity: e^{-c1} - ln(pit) = e^{-c}/t  per level (appendix eq. 22).
+	pit := 0.999
+	tDepth := 3
+	c := 1.5
+	c1, err := TuneVsBroadcast(c, pit, tDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := math.Exp(-c1) - math.Log(pit)
+	rhs := math.Exp(-c) / float64(tDepth)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("identity broken: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestTuneVsBroadcastEdges(t *testing.T) {
+	// pit = 1: c1 = c + ln t.
+	c1, err := TuneVsBroadcast(2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c1-(2+math.Log(4))) > 1e-12 {
+		t.Errorf("c1 = %g", c1)
+	}
+	if _, err := TuneVsBroadcast(50, 0.9, 3); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TuneVsBroadcast(1, 0.9, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTuneVsHierarchicalRoundTrip(t *testing.T) {
+	// Identity: t·e^{-cT} - t·ln(pit) = (N+1)·e^{-c} (appendix eq. 27).
+	pit := 0.999
+	tDepth, numGroups := 3, 10
+	c := 2.0
+	cT, err := TuneVsHierarchical(c, pit, tDepth, numGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, nf := float64(tDepth), float64(numGroups)
+	lhs := tf*math.Exp(-cT) - tf*math.Log(pit)
+	rhs := (nf + 1) * math.Exp(-c)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("identity broken: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestTuneVsHierarchicalEdges(t *testing.T) {
+	if _, err := TuneVsHierarchical(99, 0.9, 3, 10); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+	// c below the lower bound.
+	if _, err := TuneVsHierarchical(-5, 0.9, 3, 10); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TuneVsHierarchical(1, 0.9, 0, 10); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := TuneVsHierarchical(1, 2, 3, 10); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestZBounds(t *testing.T) {
+	// Paper setting: n=1110, t=3, sT=1000 (avg-case sT; the paper's
+	// condition needs ln n > ln sT + ln t for any gain vs broadcast).
+	zb, err := ZBoundVsBroadcast(1110, 3, 1000, 1, 0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ln(1110) < ln(1000)+ln(3): bound is negative — no z gives a
+	// memory win vs plain broadcast here, exactly the paper's caveat.
+	if zb > 0 {
+		t.Errorf("zBound = %g, expected negative for this setting", zb)
+	}
+	// With many more total processes than sT·t the bound turns positive.
+	zb, err = ZBoundVsBroadcast(100000, 3, 1000, 1, 0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zb <= 0 {
+		t.Errorf("zBound = %g, want positive", zb)
+	}
+
+	zm, err := ZBoundVsMulticast(3, 1000, 5, 0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (t-1)(ln sT + c) ≈ 2·11.9: plenty of room — z=3 qualifies.
+	if zm < 3 {
+		t.Errorf("zBound vs multicast = %g, want >= 3", zm)
+	}
+
+	zh, err := ZBoundVsHierarchical(3, 10, 5, 0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zh <= 0 {
+		t.Errorf("zBound vs hierarchical = %g", zh)
+	}
+
+	// Validation.
+	if _, err := ZBoundVsBroadcast(0, 3, 10, 1, 0.9); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ZBoundVsMulticast(0, 10, 1, 0.9); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := ZBoundVsHierarchical(0, 10, 1, 0.9); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := ZBoundVsMulticast(3, 10, 1, 0); err == nil {
+		t.Error("pit=0 accepted")
+	}
+}
+
+// Property: whenever TuneVsMulticast succeeds, the tuned c1 is finite,
+// non-negative, and satisfies the defining identity.
+func TestPropTuneVsMulticast(t *testing.T) {
+	prop := func(cRaw, pitRaw uint8) bool {
+		pit := 0.90 + float64(pitRaw%100)/1000 // [0.90, 0.999]
+		maxC := -math.Log(-math.Log(pit))
+		c := float64(cRaw) / 255 * maxC // within range
+		c1, err := TuneVsMulticast(c, pit)
+		if err != nil {
+			return true // out-of-range combinations are fine
+		}
+		if math.IsNaN(c1) || math.IsInf(c1, 0) || c1 < -1e-9 {
+			return false
+		}
+		lhs := math.Exp(-c1) - math.Log(pit)
+		return math.Abs(lhs-math.Exp(-c)) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reliability (Eq. 1) is monotonically non-increasing as
+// events climb the hierarchy (j decreasing).
+func TestPropReliabilityMonotone(t *testing.T) {
+	prop := func(sizes [3]uint8, cRaw uint8) bool {
+		c := 1 + float64(cRaw%8)
+		mk := func(s uint8) Level {
+			return Level{S: 1 + int(s), C: c, G: 5, A: 1, Z: 3, PSucc: 0.85, Pi: 0.9}
+		}
+		levels := []Level{mk(sizes[0]), mk(sizes[1]), mk(sizes[2])}
+		prev := -1.0
+		for j := len(levels) - 1; j >= 0; j-- {
+			r, err := Reliability(levels, j)
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && r > prev+1e-12 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"damulticast/internal/topic"
+)
+
+func testConfig() Config {
+	return Config{
+		Populations: []Population{
+			{Topic: topic.Root, Size: 10},
+			{Topic: ".t1", Size: 30},
+			{Topic: ".t1.t2", Size: 80},
+		},
+		PublishTopic:  ".t1.t2",
+		B:             3,
+		C:             5,
+		PSucc:         1,
+		AliveFraction: 1,
+		NumGroups:     8,
+		MaxRounds:     200,
+		Seed:          1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Populations = nil
+	if _, err := RunBroadcast(cfg); !errors.Is(err, ErrNoPopulation) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = testConfig()
+	cfg.PSucc = 0
+	if _, err := RunBroadcast(cfg); !errors.Is(err, ErrBadPSucc) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = testConfig()
+	cfg.AliveFraction = 2
+	if _, err := RunBroadcast(cfg); !errors.Is(err, ErrBadAlive) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = testConfig()
+	cfg.Populations[0].Size = 0
+	if _, err := RunBroadcast(cfg); err == nil {
+		t.Error("zero population accepted")
+	}
+	cfg = testConfig()
+	cfg.NumGroups = 0
+	if _, err := RunHierarchical(cfg); !errors.Is(err, ErrBadGroups) {
+		t.Errorf("err = %v", err)
+	}
+	cfg = testConfig()
+	cfg.PublishTopic = ".ghost"
+	if _, err := RunBroadcast(cfg); !errors.Is(err, ErrNoPublisher) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBroadcastReachesEveryoneAndProducesParasites(t *testing.T) {
+	// Publish on .t1.t2; root and .t1 subscribers are interested
+	// (their topics include .t1.t2)... every node receives, so zero
+	// interested processes are missed and NO parasites would require
+	// uninterested processes. Add a disjoint branch to see parasites.
+	cfg := testConfig()
+	cfg.Populations = append(cfg.Populations, Population{Topic: ".other", Size: 40})
+	res, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Reliability(); got < 0.99 {
+		t.Errorf("broadcast reliability = %g", got)
+	}
+	// All 40 .other processes receive an event they never subscribed
+	// to: the parasite count the paper's motivation hinges on.
+	if res.Parasites < 35 {
+		t.Errorf("parasites = %d, want ~40", res.Parasites)
+	}
+	if res.Messages == 0 || res.Rounds == 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+	// Memory: one view of (B+1)ln(n) = 4·ln(160) ≈ 21.
+	if res.MaxMemory < 15 || res.MaxMemory > 25 {
+		t.Errorf("MaxMemory = %d", res.MaxMemory)
+	}
+}
+
+func TestMulticastNoParasites(t *testing.T) {
+	cfg := testConfig()
+	cfg.Populations = append(cfg.Populations, Population{Topic: ".other", Size: 40})
+	res, err := RunMulticast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parasites != 0 {
+		t.Errorf("multicast produced %d parasites", res.Parasites)
+	}
+	if got := res.Reliability(); got < 0.99 {
+		t.Errorf("multicast reliability = %g", got)
+	}
+	// Memory: a root subscriber joins group(.t1.t2), group(.t1),
+	// group(root) and group(.other): several tables.
+	broadcast, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMemory <= broadcast.MaxMemory {
+		t.Errorf("multicast memory (%d) not above broadcast (%d)",
+			res.MaxMemory, broadcast.MaxMemory)
+	}
+}
+
+func TestMulticastMessageComplexityScopedToGroup(t *testing.T) {
+	// Messages circulate only in group(.t1.t2) = 120 processes, not
+	// among the 40 .other ones.
+	cfg := testConfig()
+	cfg.Populations = append(cfg.Populations, Population{Topic: ".other", Size: 40})
+	multicast, err := RunMulticast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broadcast, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multicast.Messages >= broadcast.Messages {
+		t.Errorf("multicast messages (%d) >= broadcast (%d)",
+			multicast.Messages, broadcast.Messages)
+	}
+}
+
+func TestHierarchicalReachesEveryone(t *testing.T) {
+	cfg := testConfig()
+	cfg.Populations = append(cfg.Populations, Population{Topic: ".other", Size: 40})
+	res, err := RunHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Reliability(); got < 0.95 {
+		t.Errorf("hierarchical reliability = %g", got)
+	}
+	if res.Parasites < 30 {
+		t.Errorf("hierarchical parasites = %d, want ~40", res.Parasites)
+	}
+	// Memory: ln-size intra view + ln-size inter view, much smaller
+	// than broadcast's global-n view when N is small.
+	if res.MaxMemory == 0 {
+		t.Error("no memory recorded")
+	}
+}
+
+func TestHierarchicalGroupsClamped(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumGroups = 10000 // more groups than processes: clamped
+	res, err := RunHierarchical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Reliability(); got < 0.9 {
+		t.Errorf("reliability = %g", got)
+	}
+}
+
+func TestFailuresReduceReliability(t *testing.T) {
+	cfg := testConfig()
+	cfg.PSucc = 0.85
+	cfg.AliveFraction = 0.3
+	cfg.Seed = 5
+	res, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := testConfig()
+	full.Seed = 5
+	fres, err := RunBroadcast(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages >= fres.Messages {
+		t.Errorf("failed run sent more: %d >= %d", res.Messages, fres.Messages)
+	}
+	if res.InterestedTotal >= fres.InterestedTotal {
+		t.Errorf("alive interested: %d >= %d", res.InterestedTotal, fres.InterestedTotal)
+	}
+}
+
+func TestReliabilityZeroDenominator(t *testing.T) {
+	var r Result
+	if r.Reliability() != 0 {
+		t.Error("empty result reliability != 0")
+	}
+}
+
+func TestBroadcastMessageComplexityOrder(t *testing.T) {
+	// Total messages ≈ n·(ln n + c): every process forwards once.
+	cfg := testConfig()
+	res, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 120.0
+	expect := n * (math.Log(n) + cfg.C)
+	if got := float64(res.Messages); got < 0.5*expect || got > 1.5*expect {
+		t.Errorf("messages = %g, expected ~%g", got, expect)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	cfg.PSucc = 0.7
+	cfg.AliveFraction = 0.8
+	a, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != b.Messages || a.InterestedDelivered != b.InterestedDelivered {
+		t.Error("non-deterministic baseline run")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+)
+
+// StartFindSuperContact launches the FIND_SUPER_CONTACT task (Fig. 4)
+// if the process is not in the root group and the task is not already
+// running. The first wave searches for processes interested in
+// super(Ti); every FindSuperPeriod ticks without an answer the scope
+// widens by one level, up to the root.
+func (p *Process) StartFindSuperContact() {
+	if p.stopped || p.topic.IsRoot() || p.findSuper != nil {
+		return
+	}
+	p.nextSeq++ // reuse the sequence counter for unique request ids
+	p.findSuper = &findSuperState{
+		searchTopics: []topic.Topic{p.topic.Super()},
+		lastWave:     p.tick,
+		reqID:        p.nextSeq,
+	}
+	p.sendReqContactWave()
+}
+
+// FindSuperRunning reports whether the bootstrap task is active.
+func (p *Process) FindSuperRunning() bool { return p.findSuper != nil }
+
+// findSuperTick widens the search scope after FindSuperPeriod silent
+// ticks and re-floods (Fig. 4 lines 19-27).
+func (p *Process) findSuperTick() {
+	fs := p.findSuper
+	if fs == nil {
+		return
+	}
+	if p.tick-fs.lastWave < p.params.FindSuperPeriod {
+		return
+	}
+	// Timeout: enlarge the scope with the supertopic of the last
+	// (shallowest) searched topic, unless we already reached the root
+	// or a known supergroup bounds the search (once contacts for some
+	// inducing topic exist, the search stays strictly below it —
+	// Fig. 4 line 34).
+	last := fs.searchTopics[len(fs.searchTopics)-1]
+	if !last.IsRoot() {
+		next := last.Super()
+		if p.superKnown == "" || p.superKnown.StrictlyIncludes(next) {
+			fs.searchTopics = append(fs.searchTopics, next)
+		}
+	}
+	// Each wave gets a fresh request id so relays that deduplicated an
+	// earlier (narrower) wave still process the widened one.
+	p.nextSeq++
+	fs.reqID = p.nextSeq
+	fs.lastWave = p.tick
+	p.sendReqContactWave()
+}
+
+// sendReqContactWave floods a REQCONTACT to the bootstrap
+// neighborhood.
+func (p *Process) sendReqContactWave() {
+	fs := p.findSuper
+	if fs == nil {
+		return
+	}
+	neighbors := p.env.Neighborhood(p.params.NeighborhoodFanout)
+	for _, n := range neighbors {
+		if n == p.id {
+			continue
+		}
+		p.env.Send(n, &Message{
+			Type:         MsgReqContact,
+			From:         p.id,
+			FromTopic:    p.topic,
+			Origin:       p.id,
+			OriginTopic:  p.topic,
+			SearchTopics: append([]topic.Topic(nil), fs.searchTopics...),
+			TTL:          p.params.ReqContactTTL,
+			ReqID:        fs.reqID,
+		})
+	}
+}
+
+// onReqContact handles a REQCONTACT (Fig. 4 lines 4-13): if this
+// process can answer — it is itself interested in one of the searched
+// topics, or its tables know processes that are — it replies with an
+// ANSCONTACT; otherwise it forwards the request to its own
+// neighborhood while the TTL lasts.
+//
+// Duplicate waves are suppressed with the (origin, reqID, TTL) tuple
+// folded into the seen-set ("done only the first time the message is
+// received").
+func (p *Process) onReqContact(m *Message) {
+	if m.Origin == p.id {
+		return
+	}
+	// Duplicate suppression: one handling per (origin, request) wave.
+	dedupID := reqDedupID(m)
+	if !p.seen.Add(dedupID) {
+		return
+	}
+
+	answered := false
+	for _, searched := range m.SearchTopics {
+		// Case 1: we are interested in the searched topic. We answer
+		// with ourselves plus group mates.
+		if p.topic == searched {
+			contacts := append(p.topicTable.IDs(), p.id)
+			p.send(m.Origin, &Message{
+				Type:          MsgAnsContact,
+				From:          p.id,
+				FromTopic:     p.topic,
+				Contacts:      contacts,
+				ContactsTopic: p.topic,
+				ReqID:         m.ReqID,
+			})
+			answered = true
+			break
+		}
+		// Case 2: our supertopic table holds contacts for the searched
+		// topic.
+		if p.superKnown == searched && p.superTable.Len() > 0 {
+			p.send(m.Origin, &Message{
+				Type:          MsgAnsContact,
+				From:          p.id,
+				FromTopic:     p.topic,
+				Contacts:      p.superTable.IDs(),
+				ContactsTopic: p.superKnown,
+				ReqID:         m.ReqID,
+			})
+			answered = true
+			break
+		}
+	}
+	if answered {
+		return
+	}
+	// Forward the search while the TTL lasts ("if initMsg has not
+	// expired", Fig. 4 line 10).
+	if m.TTL <= 0 {
+		return
+	}
+	fwd := *m
+	fwd.From = p.id
+	fwd.FromTopic = p.topic
+	fwd.TTL = m.TTL - 1
+	for _, n := range p.env.Neighborhood(p.params.NeighborhoodFanout) {
+		if n == p.id || n == m.Origin {
+			continue
+		}
+		p.env.Send(n, &fwd)
+	}
+}
+
+// reqDedupID folds a REQCONTACT wave identity into an EventID so the
+// shared seen-set can suppress duplicates.
+func reqDedupID(m *Message) ids.EventID {
+	return ids.EventID{Origin: m.Origin, Seq: m.ReqID}
+}
+
+// onAnsContact handles an ANSCONTACT (Fig. 4 lines 30-37): merge the
+// contacts, stop the task if they are for the direct supertopic,
+// otherwise narrow the search to topics deeper than the one found
+// (line 34: "remove all Tj in initMsg that include Tx").
+func (p *Process) onAnsContact(m *Message) {
+	if len(m.Contacts) == 0 || m.ContactsTopic == "" {
+		return
+	}
+	p.adoptSuper(m.ContactsTopic, m.Contacts)
+
+	fs := p.findSuper
+	if fs == nil {
+		return
+	}
+	if m.ContactsTopic == p.topic.Super() {
+		// Found the direct supertopic: task complete (lines 31-32).
+		p.findSuper = nil
+		return
+	}
+	// Narrow: drop searched topics that include (are shallower than)
+	// the answered topic; keep searching only strictly deeper ones.
+	kept := fs.searchTopics[:0]
+	for _, t := range fs.searchTopics {
+		if !t.Includes(m.ContactsTopic) {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		// Everything searched was at or above the answer; restart the
+		// narrowed search from the direct supertopic downward-up.
+		kept = append(kept, p.topic.Super())
+	}
+	fs.searchTopics = kept
+}
+
+func (p *Process) send(to ids.ProcessID, m *Message) {
+	if to == p.id {
+		return
+	}
+	p.env.Send(to, m)
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+)
+
+func TestStartFindSuperContactRootNoop(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", topic.Root, testParams(), env)
+	p.StartFindSuperContact()
+	if p.FindSuperRunning() {
+		t.Error("root process started FIND_SUPER_CONTACT")
+	}
+	if len(env.sent) != 0 {
+		t.Error("root process sent REQCONTACT")
+	}
+}
+
+func TestStartFindSuperContactFloodsNeighborhood(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1", "n2", "n3", "n4", "n5", "n6"}
+	params := testParams()
+	params.NeighborhoodFanout = 3
+	p := MustNewProcess("p0", ".a.b", params, env)
+	p.StartFindSuperContact()
+	if !p.FindSuperRunning() {
+		t.Fatal("task not running")
+	}
+	reqs := env.sentOfType(MsgReqContact)
+	if len(reqs) != 3 {
+		t.Fatalf("REQCONTACT waves = %d, want 3", len(reqs))
+	}
+	for _, s := range reqs {
+		m := s.msg
+		if m.Origin != "p0" || m.OriginTopic != ".a.b" {
+			t.Errorf("bad origin: %+v", m)
+		}
+		if len(m.SearchTopics) != 1 || m.SearchTopics[0] != ".a" {
+			t.Errorf("initial search = %v, want [.a]", m.SearchTopics)
+		}
+		if m.TTL != params.ReqContactTTL {
+			t.Errorf("TTL = %d", m.TTL)
+		}
+	}
+	// Starting again is a no-op while running.
+	env.reset()
+	p.StartFindSuperContact()
+	if len(env.sent) != 0 {
+		t.Error("duplicate task start re-flooded")
+	}
+}
+
+func TestFindSuperScopeExpansion(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1"}
+	params := testParams()
+	params.FindSuperPeriod = 2
+	p := MustNewProcess("p0", ".a.b.c", params, env)
+	p.StartFindSuperContact()
+	env.reset()
+
+	// After FindSuperPeriod ticks with no answer, the scope widens.
+	p.Tick()
+	if len(env.sentOfType(MsgReqContact)) != 0 {
+		t.Fatal("widened too early")
+	}
+	p.Tick()
+	reqs := env.sentOfType(MsgReqContact)
+	if len(reqs) == 0 {
+		t.Fatal("no re-flood after timeout")
+	}
+	got := reqs[len(reqs)-1].msg.SearchTopics
+	want := []topic.Topic{".a.b", ".a"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("search topics = %v, want %v", got, want)
+	}
+
+	// Widen twice more: reaches the root and stays there.
+	env.reset()
+	for i := 0; i < 2; i++ {
+		p.Tick()
+		p.Tick()
+	}
+	reqs = env.sentOfType(MsgReqContact)
+	last := reqs[len(reqs)-1].msg.SearchTopics
+	if last[len(last)-1] != topic.Root {
+		t.Fatalf("scope never reached root: %v", last)
+	}
+	n := len(last)
+	p.Tick()
+	p.Tick()
+	reqs = env.sentOfType(MsgReqContact)
+	last = reqs[len(reqs)-1].msg.SearchTopics
+	if len(last) != n {
+		t.Errorf("scope grew past root: %v", last)
+	}
+}
+
+func TestOnReqContactAnswersForOwnTopic(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("super1", ".a", testParams(), env)
+	p.SeedTopicTable([]ids.ProcessID{"super2", "super3"})
+	p.HandleMessage(&Message{
+		Type:         MsgReqContact,
+		From:         "seeker",
+		Origin:       "seeker",
+		OriginTopic:  ".a.b",
+		SearchTopics: []topic.Topic{".a"},
+		TTL:          3,
+		ReqID:        1,
+	})
+	ans := env.sentOfType(MsgAnsContact)
+	if len(ans) != 1 {
+		t.Fatalf("answers = %d", len(ans))
+	}
+	m := ans[0]
+	if m.to != "seeker" {
+		t.Errorf("answer to %s", m.to)
+	}
+	if m.msg.ContactsTopic != ".a" {
+		t.Errorf("ContactsTopic = %s", m.msg.ContactsTopic)
+	}
+	found := false
+	for _, c := range m.msg.Contacts {
+		if c == "super1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("answer does not include the responder itself")
+	}
+}
+
+func TestOnReqContactAnswersFromSuperTable(t *testing.T) {
+	// A .a.b process that knows .a contacts can answer searches for .a.
+	env := newFakeEnv(1)
+	p := MustNewProcess("peer", ".a.b", testParams(), env)
+	p.SeedSuperTable(".a", []ids.ProcessID{"s1", "s2"})
+	p.HandleMessage(&Message{
+		Type:         MsgReqContact,
+		From:         "seeker",
+		Origin:       "seeker",
+		OriginTopic:  ".a.b",
+		SearchTopics: []topic.Topic{".a"},
+		TTL:          3,
+		ReqID:        9,
+	})
+	ans := env.sentOfType(MsgAnsContact)
+	if len(ans) != 1 {
+		t.Fatalf("answers = %d", len(ans))
+	}
+	if ans[0].msg.ContactsTopic != ".a" {
+		t.Errorf("ContactsTopic = %s", ans[0].msg.ContactsTopic)
+	}
+}
+
+func TestOnReqContactForwardsWithTTL(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1", "n2"}
+	params := testParams()
+	params.NeighborhoodFanout = 2
+	p := MustNewProcess("relay", ".x", params, env)
+	req := &Message{
+		Type:         MsgReqContact,
+		From:         "seeker",
+		Origin:       "seeker",
+		OriginTopic:  ".a.b",
+		SearchTopics: []topic.Topic{".a"},
+		TTL:          2,
+		ReqID:        5,
+	}
+	p.HandleMessage(req)
+	fwd := env.sentOfType(MsgReqContact)
+	if len(fwd) != 2 {
+		t.Fatalf("forwards = %d", len(fwd))
+	}
+	for _, f := range fwd {
+		if f.msg.TTL != 1 {
+			t.Errorf("forwarded TTL = %d, want 1", f.msg.TTL)
+		}
+		if f.msg.From != "relay" {
+			t.Errorf("forwarded From = %s", f.msg.From)
+		}
+		if f.msg.Origin != "seeker" {
+			t.Errorf("forwarded Origin = %s", f.msg.Origin)
+		}
+	}
+	// TTL 0: dropped.
+	env.reset()
+	req2 := *req
+	req2.TTL = 0
+	req2.ReqID = 6
+	p.HandleMessage(&req2)
+	if len(env.sentOfType(MsgReqContact)) != 0 {
+		t.Error("TTL-0 request forwarded")
+	}
+}
+
+func TestOnReqContactDedup(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1"}
+	p := MustNewProcess("relay", ".x", testParams(), env)
+	req := &Message{
+		Type:         MsgReqContact,
+		From:         "seeker",
+		Origin:       "seeker",
+		OriginTopic:  ".a.b",
+		SearchTopics: []topic.Topic{".a"},
+		TTL:          4,
+		ReqID:        77,
+	}
+	p.HandleMessage(req)
+	first := len(env.sent)
+	p.HandleMessage(req) // duplicate wave
+	if len(env.sent) != first {
+		t.Error("duplicate REQCONTACT reprocessed")
+	}
+}
+
+func TestOnReqContactIgnoresOwnRequest(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1"}
+	p := MustNewProcess("p0", ".a.b", testParams(), env)
+	p.HandleMessage(&Message{
+		Type:         MsgReqContact,
+		From:         "n1",
+		Origin:       "p0", // our own request echoed back
+		SearchTopics: []topic.Topic{".a"},
+		TTL:          3,
+		ReqID:        1,
+	})
+	if len(env.sent) != 0 {
+		t.Error("process handled its own REQCONTACT")
+	}
+}
+
+func TestOnAnsContactDirectSuperStopsTask(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1"}
+	p := MustNewProcess("p0", ".a.b", testParams(), env)
+	p.StartFindSuperContact()
+	p.HandleMessage(&Message{
+		Type:          MsgAnsContact,
+		From:          "helper",
+		Contacts:      []ids.ProcessID{"s1", "s2"},
+		ContactsTopic: ".a",
+	})
+	if p.FindSuperRunning() {
+		t.Error("task still running after direct-super answer")
+	}
+	if p.SuperKnownTopic() != ".a" {
+		t.Errorf("SuperKnownTopic = %q", p.SuperKnownTopic())
+	}
+	if len(p.SuperTable()) != 2 {
+		t.Errorf("super table = %v", p.SuperTable())
+	}
+}
+
+func TestOnAnsContactIndirectNarrowsSearch(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1"}
+	params := testParams()
+	params.FindSuperPeriod = 1
+	p := MustNewProcess("p0", ".a.b.c", params, env)
+	p.StartFindSuperContact()
+	// Widen scope twice: searching [.a.b, .a, .]
+	p.Tick()
+	p.Tick()
+	// An answer arrives for .a (not the direct super .a.b).
+	p.HandleMessage(&Message{
+		Type:          MsgAnsContact,
+		From:          "helper",
+		Contacts:      []ids.ProcessID{"s1"},
+		ContactsTopic: ".a",
+	})
+	if !p.FindSuperRunning() {
+		t.Fatal("task stopped on indirect answer")
+	}
+	if p.SuperKnownTopic() != ".a" {
+		t.Errorf("interim super topic = %q", p.SuperKnownTopic())
+	}
+	// Search must now contain only topics strictly deeper than .a
+	// (i.e. .a.b), dropping .a and the root.
+	env.reset()
+	p.Tick() // re-flood
+	reqs := env.sentOfType(MsgReqContact)
+	if len(reqs) == 0 {
+		t.Fatal("no re-flood")
+	}
+	for _, tt := range reqs[len(reqs)-1].msg.SearchTopics {
+		if tt.Includes(".a") {
+			t.Errorf("search still contains %v which includes .a", tt)
+		}
+	}
+	// Then the direct super answers: task stops, deeper table adopted.
+	p.HandleMessage(&Message{
+		Type:          MsgAnsContact,
+		From:          "helper2",
+		Contacts:      []ids.ProcessID{"d1"},
+		ContactsTopic: ".a.b",
+	})
+	if p.FindSuperRunning() {
+		t.Error("task still running")
+	}
+	if p.SuperKnownTopic() != ".a.b" {
+		t.Errorf("final super topic = %q", p.SuperKnownTopic())
+	}
+}
+
+func TestOnAnsContactEmptyIgnored(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", ".a.b", testParams(), env)
+	p.HandleMessage(&Message{Type: MsgAnsContact, From: "x"})
+	if p.SuperKnownTopic() != "" {
+		t.Error("empty answer adopted")
+	}
+}
+
+// Full bootstrap integration: a fresh process finds its direct
+// supergroup through two relay hops using the expanding search.
+func TestBootstrapEndToEnd(t *testing.T) {
+	k := newKernel(3)
+	params := testParams()
+	params.FindSuperPeriod = 1
+	params.NeighborhoodFanout = 8
+	params.ReqContactTTL = 4
+
+	// Supergroup .a with three members; unrelated .x relays; a fresh
+	// .a.b joiner.
+	var supers []*Process
+	for i := 0; i < 3; i++ {
+		supers = append(supers, k.add(ids.ProcessID(fmt.Sprintf("s%d", i)), ".a", params))
+	}
+	var sids []ids.ProcessID
+	for _, s := range supers {
+		sids = append(sids, s.ID())
+	}
+	for _, s := range supers {
+		s.SeedTopicTable(sids)
+	}
+	for i := 0; i < 5; i++ {
+		k.add(ids.ProcessID(fmt.Sprintf("x%d", i)), ".x", params)
+	}
+	joiner := k.add("j0", ".a.b", params)
+
+	joiner.StartFindSuperContact()
+	for i := 0; i < 10 && joiner.FindSuperRunning(); i++ {
+		k.tickAll(1 << 16)
+	}
+	if joiner.FindSuperRunning() {
+		t.Fatal("bootstrap never completed")
+	}
+	if joiner.SuperKnownTopic() != ".a" {
+		t.Fatalf("SuperKnownTopic = %q", joiner.SuperKnownTopic())
+	}
+	if len(joiner.SuperTable()) == 0 {
+		t.Fatal("super table empty after bootstrap")
+	}
+	for _, id := range joiner.SuperTable() {
+		if id != "s0" && id != "s1" && id != "s2" {
+			t.Errorf("super table contains non-supergroup member %s", id)
+		}
+	}
+}
+
+// Bootstrap with no direct supergroup: the search must climb to the
+// root and adopt root contacts ("the first topic, according to the
+// topic hierarchy level, that induces Ti").
+func TestBootstrapFallsBackToInducingTopic(t *testing.T) {
+	k := newKernel(5)
+	params := testParams()
+	params.FindSuperPeriod = 1
+	params.NeighborhoodFanout = 8
+	params.ReqContactTTL = 4
+
+	// Only root-group members exist above the joiner (.a.b has no .a).
+	var roots []*Process
+	for i := 0; i < 3; i++ {
+		roots = append(roots, k.add(ids.ProcessID(fmt.Sprintf("r%d", i)), topic.Root, params))
+	}
+	var rids []ids.ProcessID
+	for _, r := range roots {
+		rids = append(rids, r.ID())
+	}
+	for _, r := range roots {
+		r.SeedTopicTable(rids)
+	}
+	joiner := k.add("j0", ".a.b", params)
+
+	joiner.StartFindSuperContact()
+	for i := 0; i < 12; i++ {
+		k.tickAll(1 << 16)
+	}
+	if joiner.SuperKnownTopic() != topic.Root {
+		t.Fatalf("SuperKnownTopic = %q, want root", joiner.SuperKnownTopic())
+	}
+	if len(joiner.SuperTable()) == 0 {
+		t.Fatal("super table empty")
+	}
+	// The task keeps running: root is not the direct supertopic, so
+	// the process keeps looking for a future .a group (Fig. 4 line 34).
+	if !joiner.FindSuperRunning() {
+		t.Error("task stopped even though direct super never found")
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+)
+
+// These tests exercise the protocol's self-healing under churn: crashed
+// superprocesses are detected by the timeout-based CHECK, evicted, and
+// replaced with fresh contacts obtained via NEWPROCESS — or, when the
+// whole table dies, via a restarted FIND_SUPER_CONTACT.
+
+// churnKernelParams enables all periodic tasks with deterministic
+// election.
+func churnKernelParams() Params {
+	p := DefaultParams()
+	p.ShufflePeriod = 1
+	p.MaintainPeriod = 1
+	p.PingTimeout = 1
+	p.FindSuperPeriod = 2
+	p.MaxAge = 20
+	p.G = 1 << 20 // pSel = 1: maintenance always runs
+	p.A = 3       // pA = 1
+	return p
+}
+
+// stopInKernel marks the process stopped so it drops pings (the kernel
+// has no independent down-state; Stop is the crash model here).
+func TestSuperTableSelfHealsAfterCrash(t *testing.T) {
+	k := newKernel(31)
+	params := churnKernelParams()
+
+	// Supergroup .a of 6; subscriber group .a.b of 1.
+	var supers []*Process
+	for i := 0; i < 6; i++ {
+		supers = append(supers, k.add(ids.ProcessID(fmt.Sprintf("s%d", i)), ".a", params))
+	}
+	var sids []ids.ProcessID
+	for _, s := range supers {
+		sids = append(sids, s.ID())
+	}
+	for _, s := range supers {
+		s.SetTopicTableCap(8)
+		s.SeedTopicTable(sids)
+	}
+	child := k.add("c0", ".a.b", params)
+	child.SeedSuperTable(".a", []ids.ProcessID{"s0", "s1", "s2"})
+
+	// Crash two of the three linked superprocesses.
+	k.procs["s0"].Stop()
+	k.procs["s1"].Stop()
+
+	for i := 0; i < 20; i++ {
+		k.tickAll(1 << 16)
+	}
+	table := child.SuperTable()
+	if len(table) == 0 {
+		t.Fatal("super table empty after healing window")
+	}
+	for _, id := range table {
+		if id == "s0" || id == "s1" {
+			t.Errorf("crashed process %s still in super table", id)
+		}
+	}
+	// The table must have been replenished beyond the lone survivor.
+	if len(table) < 2 {
+		t.Errorf("table not replenished: %v", table)
+	}
+}
+
+func TestTotalSuperDeathTriggersRebootstrap(t *testing.T) {
+	k := newKernel(37)
+	params := churnKernelParams()
+	params.NeighborhoodFanout = 8
+	params.ReqContactTTL = 4
+
+	// Two disjoint pools of .a processes: the "old" pool (will die)
+	// and the "new" pool (only discoverable via the overlay).
+	var oldPool, newPool []*Process
+	for i := 0; i < 3; i++ {
+		oldPool = append(oldPool, k.add(ids.ProcessID(fmt.Sprintf("old%d", i)), ".a", params))
+	}
+	for i := 0; i < 3; i++ {
+		newPool = append(newPool, k.add(ids.ProcessID(fmt.Sprintf("new%d", i)), ".a", params))
+	}
+	seed := func(g []*Process) {
+		var all []ids.ProcessID
+		for _, p := range g {
+			all = append(all, p.ID())
+		}
+		for _, p := range g {
+			p.SetTopicTableCap(8)
+			p.SeedTopicTable(all)
+		}
+	}
+	seed(oldPool)
+	seed(newPool)
+
+	child := k.add("c0", ".a.b", params)
+	child.SeedSuperTable(".a", []ids.ProcessID{"old0", "old1", "old2"})
+
+	for _, p := range oldPool {
+		p.Stop()
+	}
+	for i := 0; i < 40 && len(child.SuperTable()) == 0 || i < 5; i++ {
+		k.tickAll(1 << 16)
+	}
+	// After the old pool dies, the child must find the new pool via
+	// FIND_SUPER_CONTACT through the overlay.
+	table := child.SuperTable()
+	if len(table) == 0 {
+		t.Fatal("child never re-bootstrapped after total super death")
+	}
+	for _, id := range table {
+		switch id {
+		case "new0", "new1", "new2":
+		default:
+			t.Errorf("unexpected super contact %s", id)
+		}
+	}
+}
+
+func TestCrashRecoveryRejoinsDissemination(t *testing.T) {
+	k := newKernel(41)
+	params := churnKernelParams()
+	var group []*Process
+	for i := 0; i < 6; i++ {
+		group = append(group, k.add(ids.ProcessID(fmt.Sprintf("g%d", i)), ".a", params))
+	}
+	var gids []ids.ProcessID
+	for _, p := range group {
+		gids = append(gids, p.ID())
+	}
+	for _, p := range group {
+		p.SetTopicTableCap(8)
+		p.SeedTopicTable(gids)
+	}
+
+	// g5 crashes, misses an event, recovers, and receives the next.
+	group[5].Stop()
+	if _, err := group[0].Publish([]byte("while-down")); err != nil {
+		t.Fatal(err)
+	}
+	k.pump(1 << 16)
+	if got := k.delivered["g5"]; len(got) != 0 {
+		t.Fatalf("crashed process delivered: %v", got)
+	}
+
+	group[5].Restart()
+	ev2, err := group[0].Publish([]byte("after-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.pump(1 << 16)
+	got := k.delivered["g5"]
+	if len(got) != 1 || got[0].ID != ev2.ID {
+		t.Fatalf("recovered process deliveries = %v", got)
+	}
+}
+
+// Membership churn: with shuffles enabled, a group seeded as a ring
+// converges to full views and disseminates reliably afterwards.
+func TestRingSeededGroupConvergesAndDisseminates(t *testing.T) {
+	k := newKernel(43)
+	params := churnKernelParams()
+	params.GroupSizeHint = 12
+	const n = 12
+	var group []*Process
+	for i := 0; i < n; i++ {
+		group = append(group, k.add(ids.ProcessID(fmt.Sprintf("r%d", i)), ".ring", params))
+	}
+	// Ring: each knows only its successor.
+	for i, p := range group {
+		p.SeedTopicTable([]ids.ProcessID{group[(i+1)%n].ID()})
+	}
+	for i := 0; i < 30; i++ {
+		k.tickAll(1 << 16)
+	}
+	// Views should have grown well beyond the single seed.
+	for _, p := range group {
+		if len(p.TopicTable()) < 3 {
+			t.Errorf("%s view stuck at %d entries", p.ID(), len(p.TopicTable()))
+		}
+	}
+	ev, err := group[0].Publish([]byte("converged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.pump(1 << 16)
+	reached := 0
+	for _, p := range group[1:] {
+		for _, d := range k.delivered[p.ID()] {
+			if d.ID == ev.ID {
+				reached++
+				break
+			}
+		}
+	}
+	if reached < n-2 { // allow one unlucky miss
+		t.Errorf("event reached only %d/%d after convergence", reached, n-1)
+	}
+}
+
+func TestStoppedProcessSilent(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", ".a.b", churnKernelParams(), env)
+	p.SeedSuperTable(".a", []ids.ProcessID{"s1"})
+	p.Stop()
+	for i := 0; i < 10; i++ {
+		p.Tick()
+	}
+	if len(env.sent) != 0 {
+		t.Errorf("stopped process sent %d messages", len(env.sent))
+	}
+	p.HandleMessage(&Message{Type: MsgPing, From: "x"})
+	if len(env.sent) != 0 {
+		t.Error("stopped process answered a ping")
+	}
+	_ = topic.Root // keep the import for clarity of intent above
+}

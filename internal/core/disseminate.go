@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/xrand"
+)
+
+// ErrStopped is returned by Publish on a stopped process.
+var ErrStopped = errors.New("core: process is stopped")
+
+// Publish creates an event of this process's topic and disseminates it
+// (paper Fig. 7, invoked by the publishing process itself).
+func (p *Process) Publish(payload []byte) (*Event, error) {
+	if p.stopped {
+		return nil, ErrStopped
+	}
+	p.nextSeq++
+	ev := &Event{
+		ID:      ids.EventID{Origin: p.id, Seq: p.nextSeq},
+		Topic:   p.topic,
+		Payload: payload,
+	}
+	// The publisher has trivially "seen" its own event; it must not
+	// re-disseminate it if gossip echoes it back.
+	p.seen.Add(ev.ID)
+	p.disseminate(ev)
+	return ev, nil
+}
+
+// onEvent is the RECEIVE handler of Fig. 5: first-time events are
+// forwarded (DISSEMINATE) and delivered to the application; duplicates
+// are dropped silently.
+func (p *Process) onEvent(m *Message) {
+	ev := m.Event
+	if ev == nil {
+		return
+	}
+	if !p.seen.Add(ev.ID) {
+		return // already received
+	}
+	p.disseminate(ev)
+	p.env.Deliver(ev.Clone())
+}
+
+// disseminate implements DISSEMINATE (Fig. 7):
+//
+//  1. with probability pSel = g/S the process elects itself as a link
+//     and sends the event to each entry of its supertopic table with
+//     probability pA = a/z (lines 3-7);
+//  2. the event is gossiped to ln(S)+c distinct random members of the
+//     topic table (lines 8-14).
+//
+// Root-group processes have an empty supertopic table, so step 1 is a
+// no-op for them ("the processes receiving the event only gossip it in
+// their group").
+func (p *Process) disseminate(ev *Event) {
+	r := p.env.Rand()
+
+	// (1) Upward dissemination toward the supergroup.
+	if p.superTable.Len() > 0 && xrand.Bernoulli(r, p.pSel()) {
+		pa := p.pA()
+		for _, target := range p.superTable.IDs() {
+			if xrand.Bernoulli(r, pa) {
+				p.sendEvent(target, ev)
+			}
+		}
+	}
+	// (1b) Same, per declared extra supertopic (§VIII extension).
+	p.disseminateExtras(ev)
+
+	// (2) Gossip within the group: ln(S)+c distinct targets, never
+	// repeating a target for this event (the paper's Ω set).
+	k := p.fanout()
+	targets := p.topicTable.Sample(r, k)
+	for _, target := range targets {
+		p.sendEvent(target, ev)
+	}
+}
+
+func (p *Process) sendEvent(to ids.ProcessID, ev *Event) {
+	if to == p.id {
+		return
+	}
+	p.env.Send(to, &Message{
+		Type:      MsgEvent,
+		From:      p.id,
+		FromTopic: p.topic,
+		Event:     ev,
+	})
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/membership"
+	"damulticast/internal/topic"
+)
+
+// Robustness: the protocol engine must survive arbitrary (including
+// adversarial or corrupted) message sequences without panicking and
+// without violating its structural invariants — tables bounded, self
+// never admitted, supertopic always a strict includer of the topic.
+
+func randomMsgTopic(r *rand.Rand) topic.Topic {
+	pool := []topic.Topic{
+		topic.Root, ".a", ".a.b", ".a.b.c", ".x", ".x.y", ".zzz",
+		"", "not-a-topic", ".a..b", // deliberately invalid ones too
+	}
+	return pool[r.Intn(len(pool))]
+}
+
+func randomID(r *rand.Rand) ids.ProcessID {
+	pool := []ids.ProcessID{"p0", "p1", "p2", "q", "", "p0"} // includes self & empty
+	return pool[r.Intn(len(pool))]
+}
+
+func randomMessage(r *rand.Rand) *Message {
+	m := &Message{
+		Type:      MsgType(r.Intn(12)), // includes invalid types
+		From:      randomID(r),
+		FromTopic: randomMsgTopic(r),
+		Origin:    randomID(r),
+		TTL:       r.Intn(5) - 1,
+		ReqID:     uint64(r.Intn(8)),
+	}
+	if r.Intn(2) == 0 {
+		m.Event = &Event{
+			ID:      ids.EventID{Origin: randomID(r), Seq: uint64(r.Intn(4))},
+			Topic:   randomMsgTopic(r),
+			Payload: []byte{byte(r.Intn(256))},
+		}
+	}
+	if r.Intn(2) == 0 {
+		m.SearchTopics = []topic.Topic{randomMsgTopic(r), randomMsgTopic(r)}
+	}
+	if r.Intn(2) == 0 {
+		m.Contacts = []ids.ProcessID{randomID(r), randomID(r)}
+		m.ContactsTopic = randomMsgTopic(r)
+	}
+	if r.Intn(2) == 0 {
+		m.Digest = membership.Digest{
+			From: randomID(r),
+			Entries: []membership.Entry{
+				{ID: randomID(r), Age: r.Intn(10) - 2},
+			},
+		}
+	}
+	if r.Intn(2) == 0 {
+		m.SuperTopic = randomMsgTopic(r)
+		m.SuperEntries = []membership.Entry{{ID: randomID(r), Age: r.Intn(5)}}
+	}
+	return m
+}
+
+func checkInvariants(t *testing.T, p *Process) bool {
+	t.Helper()
+	// Supertopic table capacity is z; topic table bounded by its cap.
+	if got := len(p.SuperTable()); got > p.Params().Z {
+		t.Logf("super table %d > z", got)
+		return false
+	}
+	// Self never appears in any table.
+	for _, id := range p.TopicTable() {
+		if id == p.ID() {
+			t.Log("self in topic table")
+			return false
+		}
+	}
+	for _, id := range p.SuperTable() {
+		if id == p.ID() {
+			t.Log("self in super table")
+			return false
+		}
+	}
+	// The adopted supertopic, when set, strictly includes the topic.
+	if sk := p.SuperKnownTopic(); sk != "" && !sk.StrictlyIncludes(p.Topic()) {
+		t.Logf("super topic %q does not include %q", sk, p.Topic())
+		return false
+	}
+	return true
+}
+
+func TestFuzzHandleMessageNeverPanics(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := newFakeEnv(seed)
+		env.neighbors = []ids.ProcessID{"n1", "n2"}
+		params := DefaultParams()
+		params.ShufflePeriod = 1
+		params.MaintainPeriod = 1
+		p := MustNewProcess("p0", ".a.b", params, env)
+		p.SeedTopicTable([]ids.ProcessID{"m1", "m2"})
+		for i := 0; i < 200; i++ {
+			switch r.Intn(10) {
+			case 0:
+				p.Tick()
+			case 1:
+				if _, err := p.Publish([]byte{byte(i)}); err != nil {
+					return false
+				}
+			case 2:
+				p.StartFindSuperContact()
+			default:
+				p.HandleMessage(randomMessage(r))
+			}
+			if !checkInvariants(t, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuzzDeliveredEventsAlwaysIncluded(t *testing.T) {
+	// Whatever garbage arrives, a process only ever hands the
+	// application events whose topic its own topic includes... note:
+	// core deliberately delivers whatever EVENT reaches it (routing is
+	// the protocol's job, filtering would mask routing bugs), so this
+	// check documents the sim-level invariant instead: we assert that
+	// correctly-routed traffic (events of included topics) is ALWAYS
+	// delivered exactly once, even interleaved with garbage.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := newFakeEnv(seed)
+		p := MustNewProcess("p0", ".a", DefaultParams(), env)
+		p.SeedTopicTable([]ids.ProcessID{"m1"})
+		legit := &Event{ID: ids.EventID{Origin: "pub", Seq: 999}, Topic: ".a.b"}
+		for i := 0; i < 50; i++ {
+			p.HandleMessage(randomMessage(r))
+		}
+		p.HandleMessage(&Message{Type: MsgEvent, From: "m1", Event: legit})
+		for i := 0; i < 50; i++ {
+			p.HandleMessage(randomMessage(r))
+		}
+		p.HandleMessage(&Message{Type: MsgEvent, From: "m1", Event: legit})
+		count := 0
+		for _, ev := range env.delivered {
+			if ev.ID == legit.ID {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

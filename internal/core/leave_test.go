@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"damulticast/internal/ids"
+)
+
+func TestLeaveNotifiesAllTables(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", ".a.b", testParams(), env)
+	p.SeedTopicTable([]ids.ProcessID{"m1", "m2"})
+	p.SeedSuperTable(".a", []ids.ProcessID{"s1"})
+	if err := p.AddExtraSuperTable(".x", []ids.ProcessID{"x1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Leave()
+	if !p.Stopped() {
+		t.Fatal("Leave did not stop the process")
+	}
+	targets := map[ids.ProcessID]bool{}
+	for _, s := range env.sentOfType(MsgLeave) {
+		targets[s.to] = true
+	}
+	for _, want := range []ids.ProcessID{"m1", "m2", "s1", "x1"} {
+		if !targets[want] {
+			t.Errorf("no LEAVE sent to %s", want)
+		}
+	}
+	// Idempotent: leaving again sends nothing.
+	env.reset()
+	p.Leave()
+	if len(env.sent) != 0 {
+		t.Error("second Leave sent messages")
+	}
+}
+
+func TestOnLeavePurgesAllTables(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", ".a.b", testParams(), env)
+	p.SeedTopicTable([]ids.ProcessID{"gone", "stays"})
+	p.SeedSuperTable(".a", []ids.ProcessID{"gone", "s2"})
+	if err := p.AddExtraSuperTable(".x", []ids.ProcessID{"gone", "x2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	p.HandleMessage(&Message{Type: MsgLeave, From: "gone", FromTopic: ".a.b"})
+	for _, id := range p.TopicTable() {
+		if id == "gone" {
+			t.Error("leaver still in topic table")
+		}
+	}
+	for _, id := range p.SuperTable() {
+		if id == "gone" {
+			t.Error("leaver still in super table")
+		}
+	}
+	for _, id := range p.ExtraSuperTable(".x") {
+		if id == "gone" {
+			t.Error("leaver still in extra table")
+		}
+	}
+	if len(p.TopicTable()) != 1 || len(p.SuperTable()) != 1 || len(p.ExtraSuperTable(".x")) != 1 {
+		t.Error("unrelated entries purged")
+	}
+}
+
+func TestMsgLeaveString(t *testing.T) {
+	if MsgLeave.String() != "LEAVE" {
+		t.Errorf("String = %q", MsgLeave.String())
+	}
+}
+
+// Integration: after a member leaves, its group mates stop gossiping
+// to it and dissemination still covers the remaining group.
+func TestLeaveIntegration(t *testing.T) {
+	k := newKernel(47)
+	params := testParams()
+	params.GroupSizeHint = 6
+	var group []*Process
+	for i := 0; i < 6; i++ {
+		group = append(group, k.add(ids.ProcessID(fmt.Sprintf("g%d", i)), ".a", params))
+	}
+	var gids []ids.ProcessID
+	for _, p := range group {
+		gids = append(gids, p.ID())
+	}
+	for _, p := range group {
+		p.SetTopicTableCap(8)
+		p.SeedTopicTable(gids)
+	}
+
+	group[5].Leave()
+	k.pump(1 << 16)
+	for _, p := range group[:5] {
+		for _, id := range p.TopicTable() {
+			if id == "g5" {
+				t.Fatalf("%s still lists the leaver", p.ID())
+			}
+		}
+	}
+
+	ev, err := group[0].Publish([]byte("post-leave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.pump(1 << 16)
+	for _, p := range group[1:5] {
+		got := k.delivered[p.ID()]
+		if len(got) != 1 || got[0].ID != ev.ID {
+			t.Errorf("%s deliveries = %v", p.ID(), got)
+		}
+	}
+	if len(k.delivered["g5"]) != 0 {
+		t.Error("leaver received post-leave event")
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"damulticast/internal/ids"
+	"damulticast/internal/xrand"
+)
+
+// doShuffle performs one membership shuffle within the topic group
+// (the underlying algorithm of [10]) and piggybacks the supertopic
+// table on it (§V-A.2a: "once a process has an initialized supertopic
+// table, this information is disseminated, using the updates of the
+// underlying membership algorithm, to the other processes of the
+// group").
+func (p *Process) doShuffle() {
+	// Age entries and evict suspected-failed members first.
+	p.gossiper.Tick(p.params.MaxAge)
+
+	r := p.env.Rand()
+	partner, digest, ok := p.gossiper.InitiateShuffle(r)
+	if !ok {
+		return
+	}
+	m := &Message{
+		Type:      MsgShuffle,
+		From:      p.id,
+		FromTopic: p.topic,
+		Digest:    digest,
+	}
+	p.attachSuperInfo(m)
+	p.env.Send(partner, m)
+}
+
+// attachSuperInfo piggybacks the supertopic table onto a shuffle.
+func (p *Process) attachSuperInfo(m *Message) {
+	if p.superKnown == "" || p.superTable.Len() == 0 {
+		return
+	}
+	m.SuperTopic = p.superKnown
+	m.SuperEntries = p.superTable.Entries()
+}
+
+// onShuffle merges the incoming digest, replies with a local digest,
+// and merges any piggybacked supertopic information (Fig. 6 lines 6-9
+// generalized by the piggybacking optimization).
+func (p *Process) onShuffle(m *Message) {
+	if m.FromTopic != p.topic {
+		return // shuffles never cross groups
+	}
+	reply := p.gossiper.OnDigest(p.env.Rand(), m.Digest)
+	p.mergeSuperInfo(m)
+	out := &Message{
+		Type:      MsgShuffleReply,
+		From:      p.id,
+		FromTopic: p.topic,
+		Digest:    reply,
+	}
+	p.attachSuperInfo(out)
+	p.env.Send(m.From, out)
+}
+
+// onShuffleReply closes the exchange.
+func (p *Process) onShuffleReply(m *Message) {
+	if m.FromTopic != p.topic {
+		return
+	}
+	p.gossiper.OnReply(m.Digest)
+	p.mergeSuperInfo(m)
+}
+
+// mergeSuperInfo folds a piggybacked supertopic table into ours (the
+// paper's MERGE, Fig. 6 line 8): deeper supertopics supersede, equal
+// ones merge keeping favorites (freshest ages).
+func (p *Process) mergeSuperInfo(m *Message) {
+	if m.SuperTopic == "" || len(m.SuperEntries) == 0 {
+		return
+	}
+	contacts := make([]ids.ProcessID, 0, len(m.SuperEntries))
+	for _, e := range m.SuperEntries {
+		contacts = append(contacts, e.ID)
+	}
+	p.adoptSuper(m.SuperTopic, contacts)
+}
+
+// keepTableUpdated is the KEEP_TABLE_UPDATED task of Fig. 6:
+//
+//   - empty supertopic table (non-root) -> (re)start FIND_SUPER_CONTACT
+//     (lines 12-14);
+//   - otherwise, with probability pSel, probe the supertopic table for
+//     liveness; if the number of live superprocesses has fallen to
+//     τ or below, ask the live ones for fresh contacts (lines 16-23).
+func (p *Process) keepTableUpdated() {
+	hasPrimary := !p.topic.IsRoot()
+	if hasPrimary && p.superTable.Len() == 0 {
+		p.StartFindSuperContact()
+		// Extra tables (§VIII) are still maintained below.
+	}
+	if (!hasPrimary || p.superTable.Len() == 0) && len(p.extras) == 0 {
+		return // nothing upward to maintain
+	}
+	r := p.env.Rand()
+
+	// Resolve a previously started ping wave whose timeout elapsed.
+	if p.pingStarted >= 0 && p.tick-p.pingStarted >= p.params.PingTimeout {
+		p.resolveCheck()
+	}
+
+	if !xrand.Bernoulli(r, p.pSel()) {
+		return
+	}
+	// Start a liveness probe wave: ping every supertopic-table entry
+	// (primary and extras).
+	if p.pingStarted < 0 {
+		p.pingStarted = p.tick
+		for _, target := range p.superTable.IDs() {
+			p.env.Send(target, &Message{
+				Type:      MsgPing,
+				From:      p.id,
+				FromTopic: p.topic,
+			})
+		}
+		p.pingExtras()
+	}
+}
+
+// resolveCheck evaluates CHECK(sTable) after a ping wave: entries that
+// never answered within PingTimeout are dead. If the live count is at
+// or below τ, ask each live superprocess for fresh members
+// (NEWPROCESS, Fig. 6 lines 18-21); the dead are evicted.
+func (p *Process) resolveCheck() {
+	waveStart := p.pingStarted
+	p.pingStarted = -1
+	p.resolveExtraChecks(waveStart)
+	if p.superTable.Len() == 0 {
+		return
+	}
+	var live, dead []ids.ProcessID
+	for _, id := range p.superTable.IDs() {
+		if seen, ok := p.superSeen[id]; ok && seen >= waveStart {
+			live = append(live, id)
+		} else {
+			dead = append(dead, id)
+		}
+	}
+	for _, id := range dead {
+		p.superTable.Remove(id)
+		delete(p.superSeen, id)
+	}
+	if len(live) == 0 {
+		// Whole table dead: fall back to bootstrap on the next
+		// maintenance round (table is now empty).
+		return
+	}
+	if len(live) <= p.params.Tau {
+		for _, id := range live {
+			p.env.Send(id, &Message{
+				Type:      MsgNewProcessReq,
+				From:      p.id,
+				FromTopic: p.topic,
+			})
+		}
+	}
+}
+
+// onPing answers liveness probes.
+func (p *Process) onPing(m *Message) {
+	p.env.Send(m.From, &Message{
+		Type:      MsgPong,
+		From:      p.id,
+		FromTopic: p.topic,
+	})
+}
+
+// onPong records proof of life for a supertopic-table entry (primary
+// or extra).
+func (p *Process) onPong(m *Message) {
+	if p.superTable.Contains(m.From) {
+		p.superSeen[m.From] = p.tick
+	}
+	p.recordExtraPong(m.From)
+}
+
+// onNewProcessReq serves a NEWPROCESS request from a subgroup process:
+// reply with a sample of our own group (we are the superprocess; our
+// group is the requester's supergroup) — Fig. 6 lines 2-5.
+func (p *Process) onNewProcessReq(m *Message) {
+	sample := p.topicTable.Sample(p.env.Rand(), p.params.Z)
+	contacts := append(sample, p.id)
+	p.env.Send(m.From, &Message{
+		Type:          MsgNewProcessAns,
+		From:          p.id,
+		FromTopic:     p.topic,
+		Contacts:      contacts,
+		ContactsTopic: p.topic,
+	})
+}
+
+// onNewProcessAns merges fresh superprocess contacts (Fig. 6 lines
+// 6-9).
+func (p *Process) onNewProcessAns(m *Message) {
+	if m.ContactsTopic == "" {
+		return
+	}
+	// An extra table declared for exactly this topic consumes the
+	// answer; otherwise the primary-table adoption rules apply.
+	if p.mergeExtraContacts(m.ContactsTopic, m.Contacts) {
+		return
+	}
+	p.adoptSuper(m.ContactsTopic, m.Contacts)
+	for _, id := range m.Contacts {
+		if p.superTable.Contains(id) {
+			p.superSeen[id] = p.tick
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/membership"
+	"damulticast/internal/topic"
+)
+
+// MsgType enumerates the protocol's wire messages.
+type MsgType int
+
+// Message types. Names follow the paper's pseudo-code.
+const (
+	// MsgEvent carries a published event (SEND(eTi), Figs. 5/7).
+	MsgEvent MsgType = iota + 1
+	// MsgReqContact is the FIND_SUPER_CONTACT search request
+	// (REQCONTACT, Fig. 4).
+	MsgReqContact
+	// MsgAnsContact answers a REQCONTACT with known contacts
+	// (ANSCONTACT, Fig. 4).
+	MsgAnsContact
+	// MsgNewProcessReq asks a live superprocess for fresh supergroup
+	// members (NEWPROCESS request, Fig. 6 line 20).
+	MsgNewProcessReq
+	// MsgNewProcessAns returns a sample of the supergroup
+	// (NEWPROCESS reply, Fig. 6 line 4).
+	MsgNewProcessAns
+	// MsgShuffle is a membership view exchange within a group
+	// (the underlying algorithm of [10]), optionally piggybacking the
+	// sender's supertopic table (§V-A.2a optimization).
+	MsgShuffle
+	// MsgShuffleReply closes a shuffle.
+	MsgShuffleReply
+	// MsgPing probes a supertopic-table entry for liveness (the
+	// timeout-based CHECK of Fig. 6, footnote 7).
+	MsgPing
+	// MsgPong answers a ping.
+	MsgPong
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgEvent:         "EVENT",
+	MsgReqContact:    "REQCONTACT",
+	MsgAnsContact:    "ANSCONTACT",
+	MsgNewProcessReq: "NEWPROCESS_REQ",
+	MsgNewProcessAns: "NEWPROCESS_ANS",
+	MsgShuffle:       "SHUFFLE",
+	MsgShuffleReply:  "SHUFFLE_REPLY",
+	MsgPing:          "PING",
+	MsgPong:          "PONG",
+}
+
+// String names the message type.
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msgtype(%d)", int(t))
+}
+
+// IsEvent reports whether messages of this type carry application
+// events (and therefore count toward the paper's message complexity).
+func (t MsgType) IsEvent() bool { return t == MsgEvent }
+
+// Event is a published application event. Topic is the topic it was
+// published on; by topic inclusion it is implicitly also an event of
+// every supertopic.
+type Event struct {
+	ID      ids.EventID
+	Topic   topic.Topic
+	Payload []byte
+}
+
+// Clone returns a deep copy (payload included) so that transports and
+// applications may retain events without aliasing protocol buffers.
+func (e *Event) Clone() *Event {
+	if e == nil {
+		return nil
+	}
+	cp := *e
+	if e.Payload != nil {
+		cp.Payload = make([]byte, len(e.Payload))
+		copy(cp.Payload, e.Payload)
+	}
+	return &cp
+}
+
+// Message is the single wire envelope for all protocol traffic.
+// Only the fields relevant to Type are populated.
+type Message struct {
+	Type      MsgType
+	From      ids.ProcessID
+	FromTopic topic.Topic
+
+	// MsgEvent
+	Event *Event
+
+	// MsgReqContact: the searcher, its topic, the expanding list of
+	// searched topics (the paper's initMsg), a hop budget and a
+	// request id for duplicate suppression.
+	Origin       ids.ProcessID
+	OriginTopic  topic.Topic
+	SearchTopics []topic.Topic
+	TTL          int
+	ReqID        uint64
+
+	// MsgAnsContact / MsgNewProcessAns: contact ids and the topic
+	// those contacts are interested in.
+	Contacts      []ids.ProcessID
+	ContactsTopic topic.Topic
+
+	// MsgShuffle / MsgShuffleReply
+	Digest membership.Digest
+	// Piggybacked supertopic table (may be empty): entries about
+	// processes interested in SuperTopic.
+	SuperEntries []membership.Entry
+	SuperTopic   topic.Topic
+}
+
+// String renders a compact human-readable form for logs and tests.
+func (m *Message) String() string {
+	switch m.Type {
+	case MsgEvent:
+		return fmt.Sprintf("EVENT(%s on %s) from %s", m.Event.ID, m.Event.Topic, m.From)
+	case MsgReqContact:
+		return fmt.Sprintf("REQCONTACT(origin=%s search=%v ttl=%d)", m.Origin, m.SearchTopics, m.TTL)
+	case MsgAnsContact:
+		return fmt.Sprintf("ANSCONTACT(%v of %s) from %s", m.Contacts, m.ContactsTopic, m.From)
+	default:
+		return fmt.Sprintf("%s from %s", m.Type, m.From)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+)
+
+func TestAddExtraSuperTableValidation(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", ".sports.football", testParams(), env)
+	if err := p.AddExtraSuperTable("junk", nil); !errors.Is(err, ErrBadExtraSuper) {
+		t.Errorf("err = %v", err)
+	}
+	if err := p.AddExtraSuperTable(".sports.football", nil); !errors.Is(err, ErrBadExtraSuper) {
+		t.Errorf("own topic accepted: %v", err)
+	}
+	if err := p.AddExtraSuperTable(".sports", nil); !errors.Is(err, ErrBadExtraSuper) {
+		t.Errorf("primary supertopic accepted as extra: %v", err)
+	}
+	if err := p.AddExtraSuperTable(".entertainment", []ids.ProcessID{"e1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ExtraSuperTopics(); len(got) != 1 || got[0] != ".entertainment" {
+		t.Errorf("ExtraSuperTopics = %v", got)
+	}
+	if got := p.ExtraSuperTable(".entertainment"); len(got) != 1 || got[0] != "e1" {
+		t.Errorf("ExtraSuperTable = %v", got)
+	}
+	if got := p.ExtraSuperTable(".nope"); got != nil {
+		t.Errorf("unknown extra table = %v", got)
+	}
+	// Merging into the same table.
+	if err := p.AddExtraSuperTable(".entertainment", []ids.ProcessID{"e2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.ExtraSuperTable(".entertainment")); got != 2 {
+		t.Errorf("merged table size = %d", got)
+	}
+	// Capacity stays z.
+	_ = p.AddExtraSuperTable(".entertainment", []ids.ProcessID{"e3", "e4", "e5"})
+	if got := len(p.ExtraSuperTable(".entertainment")); got != p.Params().Z {
+		t.Errorf("extra table size = %d, want z", got)
+	}
+	p.RemoveExtraSuperTable(".entertainment")
+	if len(p.ExtraSuperTopics()) != 0 {
+		t.Error("extra table not removed")
+	}
+}
+
+func TestMemoryComplexityIncludesExtras(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", ".a.b", testParams(), env)
+	p.SeedSuperTable(".a", []ids.ProcessID{"s1"})
+	if err := p.AddExtraSuperTable(".x", []ids.ProcessID{"x1", "x2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MemoryComplexity(); got != 3 {
+		t.Errorf("MemoryComplexity = %d, want 3", got)
+	}
+}
+
+func TestDisseminateReachesExtraSupers(t *testing.T) {
+	env := newFakeEnv(1)
+	params := testParams()
+	params.G = 1 << 20 // pSel = 1
+	params.A = 3       // pA = 1 with z=3
+	p := MustNewProcess("p0", ".sports.football", params, env)
+	if err := p.AddExtraSuperTable(".entertainment", []ids.ProcessID{"e1", "e2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish([]byte("derby tonight")); err != nil {
+		t.Fatal(err)
+	}
+	sentTo := map[ids.ProcessID]bool{}
+	for _, s := range env.sentOfType(MsgEvent) {
+		sentTo[s.to] = true
+	}
+	if !sentTo["e1"] || !sentTo["e2"] {
+		t.Errorf("extra supers not reached: %v", sentTo)
+	}
+}
+
+func TestDisseminateExtrasRespectsPSel(t *testing.T) {
+	env := newFakeEnv(1)
+	params := testParams()
+	params.G = 0 // never self-elect
+	p := MustNewProcess("p0", ".sports.football", params, env)
+	if err := p.AddExtraSuperTable(".entertainment", []ids.ProcessID{"e1"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := p.Publish(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range env.sentOfType(MsgEvent) {
+		if s.to == "e1" {
+			t.Fatal("extra super reached with G=0")
+		}
+	}
+}
+
+func TestExtraTableLivenessMaintenance(t *testing.T) {
+	env := newFakeEnv(1)
+	params := maintainParams() // pSel=1, MaintainPeriod=1, PingTimeout=1
+	params.Tau = 1
+	p := MustNewProcess("p0", ".a.b", params, env)
+	p.SeedSuperTable(".a", []ids.ProcessID{"s1"})
+	if err := p.AddExtraSuperTable(".x", []ids.ProcessID{"x1", "x2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Tick() // ping wave covers s1, x1, x2
+	pings := env.sentOfType(MsgPing)
+	if len(pings) != 3 {
+		t.Fatalf("pings = %d, want 3", len(pings))
+	}
+	// s1 and x1 answer; x2 stays silent.
+	p.HandleMessage(&Message{Type: MsgPong, From: "s1", FromTopic: ".a"})
+	p.HandleMessage(&Message{Type: MsgPong, From: "x1", FromTopic: ".x"})
+	env.reset()
+
+	p.Tick() // resolve: x2 evicted; x1 alone is <= τ, gets NEWPROCESS
+	if got := p.ExtraSuperTable(".x"); len(got) != 1 || got[0] != "x1" {
+		t.Fatalf("extra table after CHECK = %v", got)
+	}
+	var reqTargets []ids.ProcessID
+	for _, s := range env.sentOfType(MsgNewProcessReq) {
+		reqTargets = append(reqTargets, s.to)
+	}
+	foundX1 := false
+	for _, id := range reqTargets {
+		if id == "x1" {
+			foundX1 = true
+		}
+	}
+	if !foundX1 {
+		t.Errorf("no NEWPROCESS to surviving extra contact; targets = %v", reqTargets)
+	}
+
+	// The answer replenishes the extra table, not the primary one.
+	p.HandleMessage(&Message{
+		Type:          MsgNewProcessAns,
+		From:          "x1",
+		FromTopic:     ".x",
+		Contacts:      []ids.ProcessID{"x7"},
+		ContactsTopic: ".x",
+	})
+	if got := len(p.ExtraSuperTable(".x")); got != 2 {
+		t.Errorf("extra table after refresh = %d entries", got)
+	}
+	if p.SuperKnownTopic() != ".a" {
+		t.Errorf("primary super topic corrupted: %q", p.SuperKnownTopic())
+	}
+}
+
+func TestRootProcessMaintainsExtras(t *testing.T) {
+	// A root-group process normally skips link maintenance; with a
+	// declared extra parent (cross-hierarchy), its table must still be
+	// probed.
+	env := newFakeEnv(1)
+	params := maintainParams()
+	p := MustNewProcess("p0", topic.Root, params, env)
+	if err := p.AddExtraSuperTable(".mirror", []ids.ProcessID{"m1"}); err != nil {
+		t.Fatal(err)
+	}
+	p.Tick()
+	if len(env.sentOfType(MsgPing)) != 1 {
+		t.Error("root process did not ping extra table")
+	}
+}
+
+// End-to-end: an event published in a group with two parents reaches
+// both parent groups.
+func TestMultiParentClimb(t *testing.T) {
+	k := newKernel(23)
+	params := testParams()
+	params.G = 1 << 20
+	params.A = 3
+	params.GroupSizeHint = 4
+
+	mk := func(tp topic.Topic, n int) []*Process {
+		var out []*Process
+		for i := 0; i < n; i++ {
+			out = append(out, k.add(ids.ProcessID(fmt.Sprintf("%s/%d", tp, i)), tp, params))
+		}
+		var all []ids.ProcessID
+		for _, p := range out {
+			all = append(all, p.ID())
+		}
+		for _, p := range out {
+			p.SetTopicTableCap(8)
+			p.SeedTopicTable(all)
+		}
+		return out
+	}
+	football := mk(".sports.football", 4)
+	sports := mk(".sports", 4)
+	entertainment := mk(".entertainment", 4)
+
+	sup := func(g []*Process) []ids.ProcessID {
+		var out []ids.ProcessID
+		for _, p := range g[:3] {
+			out = append(out, p.ID())
+		}
+		return out
+	}
+	for _, p := range football {
+		p.SeedSuperTable(".sports", sup(sports))
+		if err := p.AddExtraSuperTable(".entertainment", sup(entertainment)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ev, err := football[0].Publish([]byte("final"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.pump(1 << 20)
+
+	for _, g := range [][]*Process{sports, entertainment} {
+		for _, p := range g {
+			got := k.delivered[p.ID()]
+			if len(got) != 1 || got[0].ID != ev.ID {
+				t.Fatalf("%s (topic %s) deliveries = %v", p.ID(), p.Topic(), got)
+			}
+		}
+	}
+}

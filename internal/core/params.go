@@ -1,0 +1,151 @@
+// Package core implements the daMulticast protocol engine: the
+// membership tables (topic table, supertopic table), the
+// FIND_SUPER_CONTACT bootstrap task (paper Fig. 4), the
+// subscription/reception logic (Fig. 5), the link-maintenance task
+// KEEP_TABLE_UPDATED (Fig. 6), and the dissemination algorithm
+// (Fig. 7).
+//
+// The engine is transport-agnostic and clock-agnostic: a Process is a
+// pure message-driven state machine driven through HandleMessage and
+// Tick, with all outbound traffic funnelled through an Env. The
+// round-based simulator (internal/sim) and the live goroutine runtime
+// (internal/runtime) both drive this same engine, so the figures the
+// simulator regenerates exercise exactly the code a deployment runs.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the per-topic protocol constants of the paper. The
+// symbols match §V and §VII-A.
+type Params struct {
+	// B sizes the topic table: (B+1)·ln(S) entries (substrate [10]).
+	B float64
+	// C is the gossip fanout constant: events are forwarded to
+	// ln(S)+C random group members.
+	C float64
+	// G determines the self-election probability pSel = G/S with
+	// which a process forwards an event toward its supergroup.
+	G float64
+	// A determines the per-superprocess send probability pA = A/Z.
+	A float64
+	// Z is the (constant) supertopic table size.
+	Z int
+	// Tau is the liveness threshold τ: when CHECK(sTable) ≤ Tau the
+	// process requests fresh superprocess contacts (Fig. 6 line 18).
+	Tau int
+
+	// GroupSizeHint, when > 0, is used as S for pSel and the fanout.
+	// When 0, S is estimated from the topic-table occupancy, inverting
+	// the (B+1)·ln(S) sizing rule.
+	GroupSizeHint int
+
+	// SeenCap bounds the duplicate-suppression window.
+	SeenCap int
+
+	// MaxAge is the membership age (in ticks) beyond which a
+	// topic-table entry is suspected failed and evicted. 0 disables
+	// age-based eviction (the simulator's static-table mode).
+	MaxAge int
+
+	// ShufflePeriod is the number of ticks between membership
+	// shuffles (0 disables shuffling — static tables).
+	ShufflePeriod int
+
+	// MaintainPeriod is the number of ticks between KEEP_TABLE_UPDATED
+	// executions (0 disables link maintenance).
+	MaintainPeriod int
+
+	// PingTimeout is how many ticks a superprocess may stay silent
+	// after a ping before CHECK counts it dead.
+	PingTimeout int
+
+	// FindSuperPeriod is the number of ticks FIND_SUPER_CONTACT waits
+	// for an answer before widening its search scope by one level.
+	FindSuperPeriod int
+
+	// ReqContactTTL bounds the hop count of REQCONTACT forwarding
+	// through the bootstrap neighborhood.
+	ReqContactTTL int
+
+	// NeighborhoodFanout is how many bootstrap neighbors each
+	// REQCONTACT wave contacts.
+	NeighborhoodFanout int
+}
+
+// DefaultParams returns the paper's simulation setting (§VII-A):
+// b=3, c=5, g=5, a=1, z=3, plus sensible defaults for the live-mode
+// knobs the paper leaves to the implementation.
+func DefaultParams() Params {
+	return Params{
+		B:                  3,
+		C:                  5,
+		G:                  5,
+		A:                  1,
+		Z:                  3,
+		Tau:                1,
+		SeenCap:            8192,
+		MaxAge:             10,
+		ShufflePeriod:      1,
+		MaintainPeriod:     2,
+		PingTimeout:        2,
+		FindSuperPeriod:    3,
+		ReqContactTTL:      8,
+		NeighborhoodFanout: 4,
+	}
+}
+
+// Validation errors.
+var (
+	ErrBadZ   = errors.New("core: Z must be >= 1")
+	ErrBadA   = errors.New("core: A must be in [0, Z]")
+	ErrBadG   = errors.New("core: G must be >= 0")
+	ErrBadB   = errors.New("core: B must be >= 0")
+	ErrBadTau = errors.New("core: Tau must be in [0, Z]")
+)
+
+// Validate checks the constraints stated in the paper: 1 ≤ a ≤ z,
+// 1 ≤ g (we relax to 0 ≤ g to allow disabling upward links in
+// ablations), 0 ≤ τ ≤ z.
+func (p Params) Validate() error {
+	if p.Z < 1 {
+		return fmt.Errorf("%w (got %d)", ErrBadZ, p.Z)
+	}
+	if p.A < 0 || p.A > float64(p.Z) {
+		return fmt.Errorf("%w (got %g with Z=%d)", ErrBadA, p.A, p.Z)
+	}
+	if p.G < 0 {
+		return fmt.Errorf("%w (got %g)", ErrBadG, p.G)
+	}
+	if p.B < 0 {
+		return fmt.Errorf("%w (got %g)", ErrBadB, p.B)
+	}
+	if p.Tau < 0 || p.Tau > p.Z {
+		return fmt.Errorf("%w (got %d with Z=%d)", ErrBadTau, p.Tau, p.Z)
+	}
+	return nil
+}
+
+// withDefaults fills zero-valued live-mode knobs from DefaultParams so
+// that callers may specify only the paper's five constants.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.SeenCap == 0 {
+		p.SeenCap = d.SeenCap
+	}
+	if p.PingTimeout == 0 {
+		p.PingTimeout = d.PingTimeout
+	}
+	if p.FindSuperPeriod == 0 {
+		p.FindSuperPeriod = d.FindSuperPeriod
+	}
+	if p.ReqContactTTL == 0 {
+		p.ReqContactTTL = d.ReqContactTTL
+	}
+	if p.NeighborhoodFanout == 0 {
+		p.NeighborhoodFanout = d.NeighborhoodFanout
+	}
+	return p
+}

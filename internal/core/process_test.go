@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	p.ShufflePeriod = 0  // static tables unless a test opts in
+	p.MaintainPeriod = 0 // no background maintenance unless opted in
+	return p
+}
+
+func TestNewProcessValidation(t *testing.T) {
+	env := newFakeEnv(1)
+	if _, err := NewProcess("p", topic.Topic("bad"), testParams(), env); err == nil {
+		t.Error("invalid topic accepted")
+	}
+	bad := testParams()
+	bad.Z = 0
+	if _, err := NewProcess("p", ".a", bad, env); !errors.Is(err, ErrBadZ) {
+		t.Errorf("err = %v, want ErrBadZ", err)
+	}
+	bad = testParams()
+	bad.A = 99
+	if _, err := NewProcess("p", ".a", bad, env); !errors.Is(err, ErrBadA) {
+		t.Errorf("err = %v, want ErrBadA", err)
+	}
+	bad = testParams()
+	bad.Tau = 99
+	if _, err := NewProcess("p", ".a", bad, env); !errors.Is(err, ErrBadTau) {
+		t.Errorf("err = %v, want ErrBadTau", err)
+	}
+	bad = testParams()
+	bad.G = -1
+	if _, err := NewProcess("p", ".a", bad, env); !errors.Is(err, ErrBadG) {
+		t.Errorf("err = %v, want ErrBadG", err)
+	}
+	bad = testParams()
+	bad.B = -1
+	if _, err := NewProcess("p", ".a", bad, env); !errors.Is(err, ErrBadB) {
+		t.Errorf("err = %v, want ErrBadB", err)
+	}
+}
+
+func TestMustNewProcessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNewProcess("p", topic.Topic("bad"), testParams(), newFakeEnv(1))
+}
+
+func TestAccessors(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p1", ".a.b", testParams(), env)
+	if p.ID() != "p1" {
+		t.Errorf("ID = %s", p.ID())
+	}
+	if p.Topic() != ".a.b" {
+		t.Errorf("Topic = %s", p.Topic())
+	}
+	if p.Params().Z != 3 {
+		t.Errorf("Params.Z = %d", p.Params().Z)
+	}
+	if p.Stopped() {
+		t.Error("fresh process stopped")
+	}
+	if p.SuperKnownTopic() != "" {
+		t.Errorf("SuperKnownTopic = %q", p.SuperKnownTopic())
+	}
+	if p.MemoryComplexity() != 0 {
+		t.Errorf("MemoryComplexity = %d", p.MemoryComplexity())
+	}
+}
+
+func TestSeedTables(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p1", ".a.b", testParams(), env)
+	p.SeedTopicTable([]ids.ProcessID{"p2", "p3"})
+	if got := len(p.TopicTable()); got != 2 {
+		t.Errorf("topic table len = %d", got)
+	}
+	p.SeedSuperTable(".a", []ids.ProcessID{"q1", "q2"})
+	if got := len(p.SuperTable()); got != 2 {
+		t.Errorf("super table len = %d", got)
+	}
+	if p.SuperKnownTopic() != ".a" {
+		t.Errorf("SuperKnownTopic = %q", p.SuperKnownTopic())
+	}
+	if p.MemoryComplexity() != 4 {
+		t.Errorf("MemoryComplexity = %d", p.MemoryComplexity())
+	}
+	// Seeding with an empty slice is a no-op.
+	q := MustNewProcess("q", ".a.b", testParams(), env)
+	q.SeedSuperTable(".a", nil)
+	if q.SuperKnownTopic() != "" {
+		t.Error("empty seed set super topic")
+	}
+}
+
+func TestSuperTableCapIsZ(t *testing.T) {
+	env := newFakeEnv(1)
+	params := testParams()
+	params.Z = 2
+	p := MustNewProcess("p1", ".a.b", params, env)
+	p.SeedSuperTable(".a", []ids.ProcessID{"q1", "q2", "q3", "q4"})
+	if got := len(p.SuperTable()); got != 2 {
+		t.Errorf("super table len = %d, want Z=2", got)
+	}
+}
+
+func TestAdoptSuperPrefersDeeper(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p1", ".a.b.c", testParams(), env)
+	// Root contacts first (found via expanding search).
+	p.SeedSuperTable(topic.Root, []ids.ProcessID{"r1"})
+	if p.SuperKnownTopic() != topic.Root {
+		t.Fatalf("SuperKnownTopic = %q", p.SuperKnownTopic())
+	}
+	// Deeper contacts supersede.
+	p.SeedSuperTable(".a", []ids.ProcessID{"q1"})
+	if p.SuperKnownTopic() != ".a" {
+		t.Fatalf("SuperKnownTopic = %q, want .a", p.SuperKnownTopic())
+	}
+	if got := p.SuperTable(); len(got) != 1 || got[0] != "q1" {
+		t.Errorf("SuperTable = %v", got)
+	}
+	// Shallower contacts are now ignored.
+	p.SeedSuperTable(topic.Root, []ids.ProcessID{"r2"})
+	if p.SuperKnownTopic() != ".a" {
+		t.Errorf("shallower adopt changed topic to %q", p.SuperKnownTopic())
+	}
+	// Non-supertopics are refused outright.
+	p.SeedSuperTable(".x", []ids.ProcessID{"bad"})
+	if p.SuperKnownTopic() != ".a" {
+		t.Errorf("unrelated topic adopted: %q", p.SuperKnownTopic())
+	}
+	// The topic itself is not its own supertopic.
+	p.SeedSuperTable(".a.b.c", []ids.ProcessID{"bad"})
+	for _, id := range p.SuperTable() {
+		if id == "bad" {
+			t.Error("self-topic contacts adopted")
+		}
+	}
+}
+
+func TestStopAndRestart(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p1", ".a", testParams(), env)
+	p.SeedTopicTable([]ids.ProcessID{"p2"})
+	p.Stop()
+	if !p.Stopped() {
+		t.Fatal("not stopped")
+	}
+	if _, err := p.Publish([]byte("x")); !errors.Is(err, ErrStopped) {
+		t.Errorf("Publish on stopped = %v", err)
+	}
+	p.HandleMessage(&Message{Type: MsgEvent, From: "p2", Event: &Event{ID: ids.EventID{Origin: "p2", Seq: 1}, Topic: ".a"}})
+	if len(env.delivered) != 0 {
+		t.Error("stopped process delivered")
+	}
+	p.Tick()
+	if p.Now() != 0 {
+		t.Error("stopped process ticked")
+	}
+	p.Restart()
+	if p.Stopped() {
+		t.Error("Restart did not clear stopped")
+	}
+	if _, err := p.Publish([]byte("y")); err != nil {
+		t.Errorf("Publish after restart: %v", err)
+	}
+}
+
+func TestGroupSizeEstimation(t *testing.T) {
+	env := newFakeEnv(1)
+	params := testParams()
+	params.GroupSizeHint = 1000
+	p := MustNewProcess("p1", ".a", params, env)
+	if got := p.groupSize(); got != 1000 {
+		t.Errorf("groupSize with hint = %d", got)
+	}
+	// Without a hint: empty table -> 1; the estimate grows with
+	// occupancy and always exceeds the table length.
+	params.GroupSizeHint = 0
+	q := MustNewProcess("q1", ".a", params, env)
+	if got := q.groupSize(); got != 1 {
+		t.Errorf("empty-table estimate = %d", got)
+	}
+	q.SetTopicTableCap(64)
+	seed := make([]ids.ProcessID, 20)
+	for i := range seed {
+		seed[i] = ids.ProcessID(rune('A' + i))
+	}
+	q.SeedTopicTable(seed)
+	if got := q.groupSize(); got <= 20 {
+		t.Errorf("estimate %d not above table occupancy", got)
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	env := newFakeEnv(1)
+	params := testParams()
+	params.GroupSizeHint = 1000
+	params.G = 5
+	params.A = 1
+	params.Z = 3
+	p := MustNewProcess("p1", ".a", params, env)
+	if got := p.pSel(); got != 0.005 {
+		t.Errorf("pSel = %g", got)
+	}
+	if got := p.pA(); got < 0.333 || got > 0.334 {
+		t.Errorf("pA = %g", got)
+	}
+	if got := p.fanout(); got != 12 { // ceil(ln(1000)+5)
+		t.Errorf("fanout = %d", got)
+	}
+}
+
+func TestHandleMessageNil(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p1", ".a", testParams(), env)
+	p.HandleMessage(nil) // must not panic
+	p.HandleMessage(&Message{Type: MsgType(99), From: "x"})
+}
+
+func TestEventClone(t *testing.T) {
+	ev := &Event{ID: ids.EventID{Origin: "p", Seq: 1}, Topic: ".a", Payload: []byte("abc")}
+	cp := ev.Clone()
+	cp.Payload[0] = 'X'
+	if ev.Payload[0] != 'a' {
+		t.Error("Clone shares payload")
+	}
+	var nilEv *Event
+	if nilEv.Clone() != nil {
+		t.Error("nil Clone not nil")
+	}
+	empty := &Event{ID: ids.EventID{Origin: "p", Seq: 2}, Topic: ".a"}
+	if cp2 := empty.Clone(); cp2.Payload != nil {
+		t.Error("nil payload cloned to non-nil")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	ev := &Event{ID: ids.EventID{Origin: "p", Seq: 1}, Topic: ".a"}
+	cases := []*Message{
+		{Type: MsgEvent, From: "p", Event: ev},
+		{Type: MsgReqContact, Origin: "p", SearchTopics: []topic.Topic{".a"}, TTL: 3},
+		{Type: MsgAnsContact, From: "q", Contacts: []ids.ProcessID{"x"}, ContactsTopic: ".a"},
+		{Type: MsgPing, From: "p"},
+	}
+	for _, m := range cases {
+		if m.String() == "" {
+			t.Errorf("empty String for %v", m.Type)
+		}
+	}
+	if MsgType(42).String() != "msgtype(42)" {
+		t.Errorf("unknown type string = %q", MsgType(42).String())
+	}
+	if !MsgEvent.IsEvent() || MsgPing.IsEvent() {
+		t.Error("IsEvent misclassifies")
+	}
+}
+
+func TestParamsWithDefaults(t *testing.T) {
+	var p Params
+	p.Z = 3
+	p = p.withDefaults()
+	if p.SeenCap == 0 || p.PingTimeout == 0 || p.FindSuperPeriod == 0 ||
+		p.ReqContactTTL == 0 || p.NeighborhoodFanout == 0 {
+		t.Errorf("withDefaults left zeros: %+v", p)
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.B != 3 || p.C != 5 || p.G != 5 || p.A != 1 || p.Z != 3 {
+		t.Errorf("DefaultParams deviates from §VII-A: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+}

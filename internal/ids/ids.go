@@ -1,0 +1,110 @@
+// Package ids defines process and event identities shared by all
+// daMulticast components, plus a bounded duplicate-suppression set used
+// by the RECEIVE handler ("if eTi not received", Fig. 5 of the paper).
+package ids
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcessID uniquely names a process in the system. In simulations it
+// is a small decimal string; in live deployments it is typically
+// "host:port" or an application-chosen name.
+type ProcessID string
+
+// String returns the identifier.
+func (p ProcessID) String() string { return string(p) }
+
+// EventID uniquely identifies a published event as (origin, sequence).
+// Each publisher numbers its own events, so IDs are unique without
+// coordination.
+type EventID struct {
+	Origin ProcessID
+	Seq    uint64
+}
+
+// String formats the event id as "origin#seq".
+func (e EventID) String() string {
+	return fmt.Sprintf("%s#%d", e.Origin, e.Seq)
+}
+
+// Less provides a total order for deterministic iteration in tests.
+func (e EventID) Less(o EventID) bool {
+	if e.Origin != o.Origin {
+		return e.Origin < o.Origin
+	}
+	return e.Seq < o.Seq
+}
+
+// SortProcessIDs sorts ids in place and returns them (for deterministic
+// logs and tests).
+func SortProcessIDs(ps []ProcessID) []ProcessID {
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// SeenSet is a bounded set of EventIDs with FIFO eviction. Gossip
+// protocols must suppress duplicate deliveries of the same event, but
+// cannot remember every event forever; a bounded window is the standard
+// compromise (cf. lpbcast's event-id buffer).
+//
+// The zero value is unusable; use NewSeenSet. SeenSet is not
+// goroutine-safe; callers synchronize (each core.Process owns one).
+type SeenSet struct {
+	cap   int
+	set   map[EventID]struct{}
+	queue []EventID
+	head  int
+}
+
+// DefaultSeenCap is a generous default window for simulations and
+// examples: large enough that no legitimate duplicate window is missed,
+// small enough to bound memory.
+const DefaultSeenCap = 8192
+
+// NewSeenSet returns a SeenSet that remembers at most capacity ids.
+// capacity <= 0 selects DefaultSeenCap.
+func NewSeenSet(capacity int) *SeenSet {
+	if capacity <= 0 {
+		capacity = DefaultSeenCap
+	}
+	return &SeenSet{
+		cap: capacity,
+		set: make(map[EventID]struct{}, capacity),
+	}
+}
+
+// Seen reports whether id is in the window.
+func (s *SeenSet) Seen(id EventID) bool {
+	_, ok := s.set[id]
+	return ok
+}
+
+// Add inserts id, evicting the oldest entry if the window is full.
+// It returns true if the id was new (i.e. this is the first sighting).
+func (s *SeenSet) Add(id EventID) bool {
+	if _, ok := s.set[id]; ok {
+		return false
+	}
+	if len(s.set) >= s.cap {
+		old := s.queue[s.head]
+		delete(s.set, old)
+		s.head++
+		// Compact the backing slice occasionally so the queue does
+		// not grow without bound.
+		if s.head > s.cap {
+			s.queue = append(s.queue[:0], s.queue[s.head:]...)
+			s.head = 0
+		}
+	}
+	s.set[id] = struct{}{}
+	s.queue = append(s.queue, id)
+	return true
+}
+
+// Len returns the number of ids currently remembered.
+func (s *SeenSet) Len() int { return len(s.set) }
+
+// Cap returns the configured window capacity.
+func (s *SeenSet) Cap() int { return s.cap }

@@ -1,0 +1,165 @@
+package ids
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventIDString(t *testing.T) {
+	e := EventID{Origin: "p7", Seq: 42}
+	if got := e.String(); got != "p7#42" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEventIDLess(t *testing.T) {
+	tests := []struct {
+		a, b EventID
+		want bool
+	}{
+		{EventID{"a", 1}, EventID{"b", 0}, true},
+		{EventID{"b", 0}, EventID{"a", 1}, false},
+		{EventID{"a", 1}, EventID{"a", 2}, true},
+		{EventID{"a", 2}, EventID{"a", 2}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSortProcessIDs(t *testing.T) {
+	got := SortProcessIDs([]ProcessID{"c", "a", "b"})
+	want := []ProcessID{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortProcessIDs = %v", got)
+	}
+}
+
+func TestSeenSetBasic(t *testing.T) {
+	s := NewSeenSet(4)
+	id := EventID{"p", 1}
+	if s.Seen(id) {
+		t.Error("fresh set claims Seen")
+	}
+	if !s.Add(id) {
+		t.Error("first Add returned false")
+	}
+	if s.Add(id) {
+		t.Error("second Add returned true")
+	}
+	if !s.Seen(id) {
+		t.Error("Seen false after Add")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Cap() != 4 {
+		t.Errorf("Cap = %d", s.Cap())
+	}
+}
+
+func TestSeenSetEviction(t *testing.T) {
+	s := NewSeenSet(3)
+	for i := uint64(0); i < 3; i++ {
+		s.Add(EventID{"p", i})
+	}
+	// Adding a 4th evicts the oldest (seq 0).
+	s.Add(EventID{"p", 3})
+	if s.Seen(EventID{"p", 0}) {
+		t.Error("oldest id not evicted")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if !s.Seen(EventID{"p", i}) {
+			t.Errorf("id %d unexpectedly evicted", i)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSeenSetDefaultCap(t *testing.T) {
+	s := NewSeenSet(0)
+	if s.Cap() != DefaultSeenCap {
+		t.Errorf("Cap = %d, want %d", s.Cap(), DefaultSeenCap)
+	}
+	s = NewSeenSet(-5)
+	if s.Cap() != DefaultSeenCap {
+		t.Errorf("Cap = %d, want %d", s.Cap(), DefaultSeenCap)
+	}
+}
+
+func TestSeenSetCompaction(t *testing.T) {
+	// Push far past capacity to exercise the queue-compaction branch.
+	s := NewSeenSet(8)
+	for i := uint64(0); i < 1000; i++ {
+		if !s.Add(EventID{"p", i}) {
+			t.Fatalf("Add(%d) returned false", i)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	// The last 8 must be present, earlier ones gone.
+	for i := uint64(992); i < 1000; i++ {
+		if !s.Seen(EventID{"p", i}) {
+			t.Errorf("recent id %d missing", i)
+		}
+	}
+	if s.Seen(EventID{"p", 0}) {
+		t.Error("ancient id still present")
+	}
+}
+
+// Property: after any Add sequence, Len never exceeds Cap and the most
+// recently added id is always present.
+func TestPropSeenSetBounds(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSeenSet(16)
+		var last EventID
+		for i := 0; i < int(n)+1; i++ {
+			last = EventID{ProcessID(string(rune('a' + r.Intn(4)))), uint64(r.Intn(64))}
+			s.Add(last)
+			if s.Len() > s.Cap() {
+				return false
+			}
+		}
+		return s.Seen(last)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add returns true iff the id was not already present.
+func TestPropAddIdempotent(t *testing.T) {
+	prop := func(seqs []uint8) bool {
+		s := NewSeenSet(1024)
+		ref := map[EventID]bool{}
+		for _, q := range seqs {
+			id := EventID{"p", uint64(q)}
+			fresh := s.Add(id)
+			if fresh == ref[id] {
+				return false // Add said fresh but ref saw it (or vice versa)
+			}
+			ref[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSeenSetAdd(b *testing.B) {
+	s := NewSeenSet(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(EventID{"p", uint64(i)})
+	}
+}

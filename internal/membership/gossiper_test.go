@@ -1,0 +1,168 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+
+	"damulticast/internal/ids"
+)
+
+func TestGossiperInitiateEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := NewGossiper("me", NewView("me", 4))
+	if _, _, ok := g.InitiateShuffle(r); ok {
+		t.Error("InitiateShuffle succeeded with empty view")
+	}
+}
+
+func TestGossiperDigestIncludesSelf(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v := NewView("me", 8)
+	v.Add("a")
+	v.Add("b")
+	g := NewGossiper("me", v)
+	d := g.BuildDigest(r)
+	if d.From != "me" {
+		t.Errorf("From = %s", d.From)
+	}
+	if len(d.Entries) == 0 || d.Entries[0].ID != "me" || d.Entries[0].Age != 0 {
+		t.Errorf("digest does not lead with fresh self: %+v", d.Entries)
+	}
+}
+
+func TestGossiperFanoutOverride(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v := NewView("me", 16)
+	for i := 0; i < 10; i++ {
+		v.Add(ids.ProcessID(rune('a' + i)))
+	}
+	g := NewGossiper("me", v)
+	g.Fanout = 2
+	d := g.BuildDigest(r)
+	if len(d.Entries) != 3 { // self + 2
+		t.Errorf("entries = %d, want 3", len(d.Entries))
+	}
+	g.Fanout = 0 // half the view
+	d = g.BuildDigest(r)
+	if len(d.Entries) != 6 { // self + 5
+		t.Errorf("entries = %d, want 6", len(d.Entries))
+	}
+}
+
+func TestShuffleExchangeMergesBothSides(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	va := NewView("a", 8)
+	vb := NewView("b", 8)
+	va.Add("b")
+	va.Add("x")
+	vb.Add("y")
+	ga := NewGossiper("a", va)
+	gb := NewGossiper("b", vb)
+
+	partner, digest, ok := ga.InitiateShuffle(r)
+	if !ok {
+		t.Fatal("InitiateShuffle failed")
+	}
+	_ = partner
+	reply := gb.OnDigest(r, digest)
+	ga.OnReply(reply)
+
+	// b must now know a (digest carried self) and likely x.
+	if !vb.Contains("a") {
+		t.Error("receiver did not learn initiator")
+	}
+	// a must know b and y (reply carried b's view sample + self).
+	if !va.Contains("b") {
+		t.Error("initiator lost partner")
+	}
+	if !va.Contains("y") {
+		t.Error("initiator did not learn receiver's entries")
+	}
+}
+
+func TestGossiperTick(t *testing.T) {
+	v := NewView("me", 8)
+	v.Add("a")
+	g := NewGossiper("me", v)
+	if removed := g.Tick(5); removed != nil {
+		t.Errorf("premature eviction: %v", removed)
+	}
+	for i := 0; i < 4; i++ {
+		g.Tick(5)
+	}
+	// Age of "a" is now 6 > 5; next tick evicts.
+	if !v.Contains("a") {
+		t.Fatal("evicted too early")
+	}
+	removed := g.Tick(5)
+	if len(removed) != 1 || removed[0] != "a" {
+		t.Errorf("removed = %v", removed)
+	}
+	// maxAge <= 0 disables eviction.
+	v.Add("b")
+	for i := 0; i < 50; i++ {
+		if rm := g.Tick(0); rm != nil {
+			t.Fatalf("eviction with maxAge=0: %v", rm)
+		}
+	}
+}
+
+// Simulate a small group shuffling for a while: every process should
+// end with a full view containing only real members, and knowledge
+// should spread from a single seed.
+func TestShuffleConvergence(t *testing.T) {
+	const n = 30
+	r := rand.New(rand.NewSource(9))
+	members := make([]ids.ProcessID, n)
+	gossipers := make(map[ids.ProcessID]*Gossiper, n)
+	for i := 0; i < n; i++ {
+		id := ids.ProcessID(rune('A' + i))
+		members[i] = id
+	}
+	for i, id := range members {
+		v := NewView(id, 8)
+		// Ring seeding: each knows only its successor.
+		v.Add(members[(i+1)%n])
+		gossipers[id] = NewGossiper(id, v)
+	}
+	for round := 0; round < 50; round++ {
+		for _, id := range members {
+			g := gossipers[id]
+			partner, d, ok := g.InitiateShuffle(r)
+			if !ok {
+				continue
+			}
+			reply := gossipers[partner].OnDigest(r, d)
+			g.OnReply(reply)
+		}
+	}
+	for _, id := range members {
+		v := gossipers[id].View()
+		if v.Len() < v.Cap() {
+			t.Errorf("%s view underfull: %d/%d", id, v.Len(), v.Cap())
+		}
+		for _, m := range v.IDs() {
+			if m == id {
+				t.Errorf("%s contains itself", id)
+			}
+		}
+	}
+}
+
+func BenchmarkShuffle(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	va := NewView("a", 28)
+	vb := NewView("b", 28)
+	for i := 0; i < 28; i++ {
+		va.Add(ids.ProcessID(rune('c' + i)))
+		vb.Add(ids.ProcessID(rune('C' + i)))
+	}
+	ga := NewGossiper("a", va)
+	gb := NewGossiper("b", vb)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, d, _ := ga.InitiateShuffle(r)
+		reply := gb.OnDigest(r, d)
+		ga.OnReply(reply)
+	}
+}

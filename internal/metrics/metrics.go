@@ -1,0 +1,207 @@
+// Package metrics provides the counters the simulator and the live
+// runtime use to reproduce the paper's measurements: per-group message
+// counts (Fig. 8), inter-group message counts (Fig. 9) and delivery
+// tallies for reliability (Figs. 10-11).
+//
+// Registry is safe for concurrent use; the live runtime increments from
+// many goroutines while the simulator runs single-threaded.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"damulticast/internal/topic"
+)
+
+// Kind classifies a counted message or delivery.
+type Kind int
+
+// Counter kinds. Start at 1 so the zero value is invalid.
+const (
+	// IntraGroup counts event messages gossiped within one group.
+	IntraGroup Kind = iota + 1
+	// InterGroup counts event messages sent from a group to its
+	// supergroup over supertopic-table links.
+	InterGroup
+	// Delivered counts first-time deliveries to the application.
+	Delivered
+	// Parasite counts deliveries of events whose topic the receiving
+	// process is NOT interested in. daMulticast guarantees this stays 0.
+	Parasite
+	// Control counts protocol control messages (membership gossip,
+	// REQCONTACT/ANSCONTACT, NEWPROCESS).
+	Control
+	// Dropped counts messages lost by the unreliable channel.
+	Dropped
+)
+
+var kindNames = map[Kind]string{
+	IntraGroup: "intra",
+	InterGroup: "inter",
+	Delivered:  "delivered",
+	Parasite:   "parasite",
+	Control:    "control",
+	Dropped:    "dropped",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Key identifies one counter: a kind scoped to a topic (group). For
+// InterGroup counters, Topic is the *source* group and Dest the
+// destination (super) group; for all other kinds Dest is empty.
+type Key struct {
+	Kind  Kind
+	Topic topic.Topic
+	Dest  topic.Topic
+}
+
+// Registry is a concurrent counter map.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[Key]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counts: make(map[Key]int64)}
+}
+
+// Add increments the counter for key by delta.
+func (r *Registry) Add(key Key, delta int64) {
+	r.mu.Lock()
+	r.counts[key] += delta
+	r.mu.Unlock()
+}
+
+// Inc increments the counter for key by one.
+func (r *Registry) Inc(key Key) { r.Add(key, 1) }
+
+// IncIntra counts one intra-group event message in group t.
+func (r *Registry) IncIntra(t topic.Topic) { r.Inc(Key{Kind: IntraGroup, Topic: t}) }
+
+// IncInter counts one inter-group event message from group src to dst.
+func (r *Registry) IncInter(src, dst topic.Topic) {
+	r.Inc(Key{Kind: InterGroup, Topic: src, Dest: dst})
+}
+
+// IncDelivered counts one first-time application delivery in group t.
+func (r *Registry) IncDelivered(t topic.Topic) { r.Inc(Key{Kind: Delivered, Topic: t}) }
+
+// IncParasite counts one parasite delivery in group t (should never
+// happen with daMulticast; baselines do produce these).
+func (r *Registry) IncParasite(t topic.Topic) { r.Inc(Key{Kind: Parasite, Topic: t}) }
+
+// IncControl counts one control message in group t.
+func (r *Registry) IncControl(t topic.Topic) { r.Inc(Key{Kind: Control, Topic: t}) }
+
+// IncDropped counts one message lost by the channel in group t.
+func (r *Registry) IncDropped(t topic.Topic) { r.Inc(Key{Kind: Dropped, Topic: t}) }
+
+// Get returns the current value for key.
+func (r *Registry) Get(key Key) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[key]
+}
+
+// Intra returns the intra-group event count for t.
+func (r *Registry) Intra(t topic.Topic) int64 { return r.Get(Key{Kind: IntraGroup, Topic: t}) }
+
+// Inter returns the inter-group event count from src to dst.
+func (r *Registry) Inter(src, dst topic.Topic) int64 {
+	return r.Get(Key{Kind: InterGroup, Topic: src, Dest: dst})
+}
+
+// Delivered returns the delivery count for t.
+func (r *Registry) Delivered(t topic.Topic) int64 { return r.Get(Key{Kind: Delivered, Topic: t}) }
+
+// Parasites returns the total parasite deliveries across all groups.
+func (r *Registry) Parasites() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for k, v := range r.counts {
+		if k.Kind == Parasite {
+			total += v
+		}
+	}
+	return total
+}
+
+// TotalEvents returns intra + inter event messages across all groups
+// (the paper's total message complexity for one dissemination).
+func (r *Registry) TotalEvents() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for k, v := range r.counts {
+		if k.Kind == IntraGroup || k.Kind == InterGroup {
+			total += v
+		}
+	}
+	return total
+}
+
+// Reset zeroes all counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counts = make(map[Key]int64)
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of all counters.
+func (r *Registry) Snapshot() map[Key]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Key]int64, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter of other into r.
+func (r *Registry) Merge(other *Registry) {
+	snap := other.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range snap {
+		r.counts[k] += v
+	}
+}
+
+// String renders the registry sorted by key for deterministic logs.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	keys := make([]Key, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Kind != keys[j].Kind {
+			return keys[i].Kind < keys[j].Kind
+		}
+		if keys[i].Topic != keys[j].Topic {
+			return keys[i].Topic < keys[j].Topic
+		}
+		return keys[i].Dest < keys[j].Dest
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		if k.Dest != "" {
+			fmt.Fprintf(&b, "%s[%s->%s]=%d\n", k.Kind, k.Topic, k.Dest, snap[k])
+		} else {
+			fmt.Fprintf(&b, "%s[%s]=%d\n", k.Kind, k.Topic, snap[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"damulticast/internal/topic"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{IntraGroup, "intra"},
+		{InterGroup, "inter"},
+		{Delivered, "delivered"},
+		{Parasite, "parasite"},
+		{Control, "control"},
+		{Dropped, "dropped"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	ta, tb := topic.MustParse(".a"), topic.MustParse(".a.b")
+
+	r.IncIntra(tb)
+	r.IncIntra(tb)
+	r.IncInter(tb, ta)
+	r.IncDelivered(tb)
+	r.IncParasite(ta)
+	r.IncControl(ta)
+	r.IncDropped(tb)
+
+	if got := r.Intra(tb); got != 2 {
+		t.Errorf("Intra = %d", got)
+	}
+	if got := r.Inter(tb, ta); got != 1 {
+		t.Errorf("Inter = %d", got)
+	}
+	if got := r.Delivered(tb); got != 1 {
+		t.Errorf("Delivered = %d", got)
+	}
+	if got := r.Parasites(); got != 1 {
+		t.Errorf("Parasites = %d", got)
+	}
+	if got := r.TotalEvents(); got != 3 {
+		t.Errorf("TotalEvents = %d", got)
+	}
+	if got := r.Get(Key{Kind: Control, Topic: ta}); got != 1 {
+		t.Errorf("Control = %d", got)
+	}
+	if got := r.Get(Key{Kind: Dropped, Topic: tb}); got != 1 {
+		t.Errorf("Dropped = %d", got)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.IncIntra(topic.Root)
+	r.Reset()
+	if got := r.Intra(topic.Root); got != 0 {
+		t.Errorf("after Reset Intra = %d", got)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Error("snapshot not empty after reset")
+	}
+}
+
+func TestRegistrySnapshotIsCopy(t *testing.T) {
+	r := NewRegistry()
+	r.IncIntra(topic.Root)
+	snap := r.Snapshot()
+	snap[Key{Kind: IntraGroup, Topic: topic.Root}] = 999
+	if got := r.Intra(topic.Root); got != 1 {
+		t.Errorf("mutating snapshot changed registry: %d", got)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.IncIntra(topic.Root)
+	b.IncIntra(topic.Root)
+	b.IncDelivered(topic.Root)
+	a.Merge(b)
+	if got := a.Intra(topic.Root); got != 2 {
+		t.Errorf("merged Intra = %d", got)
+	}
+	if got := a.Delivered(topic.Root); got != 1 {
+		t.Errorf("merged Delivered = %d", got)
+	}
+	// b unchanged.
+	if got := b.Intra(topic.Root); got != 1 {
+		t.Errorf("source registry mutated: %d", got)
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	ta, tb := topic.MustParse(".a"), topic.MustParse(".a.b")
+	r.IncIntra(tb)
+	r.IncInter(tb, ta)
+	s := r.String()
+	if !strings.Contains(s, "intra[.a.b]=1") {
+		t.Errorf("String missing intra line: %q", s)
+	}
+	if !strings.Contains(s, "inter[.a.b->.a]=1") {
+		t.Errorf("String missing inter line: %q", s)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.IncIntra(topic.Root)
+				r.IncInter(topic.MustParse(".a"), topic.Root)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Intra(topic.Root); got != workers*each {
+		t.Errorf("Intra = %d, want %d", got, workers*each)
+	}
+	if got := r.Inter(topic.MustParse(".a"), topic.Root); got != workers*each {
+		t.Errorf("Inter = %d, want %d", got, workers*each)
+	}
+}
+
+func BenchmarkRegistryInc(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.IncIntra(topic.Root)
+	}
+}

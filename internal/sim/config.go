@@ -1,0 +1,170 @@
+// Package sim is the experiment harness that reproduces the paper's
+// simulation study (§VII): it builds a topic hierarchy of daMulticast
+// processes on the simnet kernel with statically initialized membership
+// tables, publishes events, and measures per-group message counts
+// (Fig. 8), inter-group message counts (Fig. 9) and delivery
+// reliability under stillborn (Fig. 10) and weakly consistent (Fig. 11)
+// failure models.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"damulticast/internal/core"
+	"damulticast/internal/topic"
+)
+
+// FailureMode selects how process failures are modelled.
+type FailureMode int
+
+// Failure models of §VII.
+const (
+	// FailNone disables failures.
+	FailNone FailureMode = iota + 1
+	// FailStillborn fails processes at time zero, for every observer
+	// ("the state of a process is set at the beginning of the
+	// simulation and does not change") — Figs. 8-10.
+	FailStillborn
+	// FailPerObserver makes each process appear failed independently
+	// per observer, with the appearance fixed for the whole run
+	// (weakly consistent membership) — Fig. 11.
+	FailPerObserver
+)
+
+// String names the failure mode.
+func (f FailureMode) String() string {
+	switch f {
+	case FailNone:
+		return "none"
+	case FailStillborn:
+		return "stillborn"
+	case FailPerObserver:
+		return "per-observer"
+	default:
+		return fmt.Sprintf("failuremode(%d)", int(f))
+	}
+}
+
+// GroupSpec declares one topic group and its population.
+type GroupSpec struct {
+	Topic topic.Topic
+	Size  int
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Groups lists every group; each group's topic must include the
+	// publish topic or be included by it... in the paper's linear
+	// chain every group lies on the root path of PublishTopic.
+	Groups []GroupSpec
+	// Params are the protocol constants (same for all groups, as in
+	// §VII-A; per-group parameterization can be layered later).
+	Params core.Params
+	// PSucc is the channel success probability (paper: 0.85).
+	PSucc float64
+	// AliveFraction is the fraction of processes alive (stillborn
+	// mode) or appearing alive per observer (per-observer mode).
+	AliveFraction float64
+	// FailureMode selects the model.
+	FailureMode FailureMode
+	// PublishTopic is the topic the event is published on (paper: T2,
+	// the bottom-most).
+	PublishTopic topic.Topic
+	// Publications is how many independent events are published (each
+	// by a random alive member of the publish group). Metrics are
+	// summed; reliability averages. Default 1.
+	Publications int
+	// MaxRounds bounds the run (static-table runs quiesce naturally).
+	MaxRounds int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validation errors.
+var (
+	ErrNoGroups      = errors.New("sim: no groups configured")
+	ErrBadSize       = errors.New("sim: group size must be >= 1")
+	ErrBadPSucc      = errors.New("sim: PSucc must be in (0, 1]")
+	ErrBadAlive      = errors.New("sim: AliveFraction must be in [0, 1]")
+	ErrNoPublisher   = errors.New("sim: PublishTopic has no group")
+	ErrBadMode       = errors.New("sim: unknown failure mode")
+	ErrDupGroupTopic = errors.New("sim: duplicate group topic")
+)
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Groups) == 0 {
+		return ErrNoGroups
+	}
+	seen := map[topic.Topic]bool{}
+	foundPub := false
+	for _, g := range c.Groups {
+		if g.Size < 1 {
+			return fmt.Errorf("%w: %s has %d", ErrBadSize, g.Topic, g.Size)
+		}
+		if !g.Topic.Valid() {
+			return fmt.Errorf("sim: invalid group topic %q", string(g.Topic))
+		}
+		if seen[g.Topic] {
+			return fmt.Errorf("%w: %s", ErrDupGroupTopic, g.Topic)
+		}
+		seen[g.Topic] = true
+		if g.Topic == c.PublishTopic {
+			foundPub = true
+		}
+	}
+	if !foundPub {
+		return fmt.Errorf("%w: %s", ErrNoPublisher, c.PublishTopic)
+	}
+	if c.PSucc <= 0 || c.PSucc > 1 {
+		return fmt.Errorf("%w: %g", ErrBadPSucc, c.PSucc)
+	}
+	if c.AliveFraction < 0 || c.AliveFraction > 1 {
+		return fmt.Errorf("%w: %g", ErrBadAlive, c.AliveFraction)
+	}
+	switch c.FailureMode {
+	case FailNone, FailStillborn, FailPerObserver:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadMode, int(c.FailureMode))
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PaperTopics returns the paper's three-level chain: T0 = root,
+// T1 = .t1, T2 = .t1.t2.
+func PaperTopics() (t0, t1, t2 topic.Topic) {
+	chain, err := topic.Chain(2, "t")
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	return topic.Root, chain[0], chain[1]
+}
+
+// PaperConfig returns the exact setting of §VII-A: S(T2)=1000,
+// S(T1)=100, S(T0)=10; b=3, c=5, g=5, a=1, z=3; psucc=0.85; events
+// published on T2; stillborn failures with the given alive fraction.
+func PaperConfig(alive float64, seed int64) Config {
+	t0, t1, t2 := PaperTopics()
+	params := core.DefaultParams()
+	params.ShufflePeriod = 0  // "tables are determined statically"
+	params.MaintainPeriod = 0 // "and do not change during the simulation"
+	return Config{
+		Groups: []GroupSpec{
+			{Topic: t0, Size: 10},
+			{Topic: t1, Size: 100},
+			{Topic: t2, Size: 1000},
+		},
+		Params:        params,
+		PSucc:         0.85,
+		AliveFraction: alive,
+		FailureMode:   FailStillborn,
+		PublishTopic:  t2,
+		Publications:  1,
+		MaxRounds:     200,
+		Seed:          seed,
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"damulticast/internal/core"
+	"damulticast/internal/topic"
+)
+
+// The paper's figure runs freeze the membership ("pessimistically, we
+// assume that the membership algorithm does not replace a failed
+// process"). These tests exercise the opposite regime — periodic
+// shuffles and link maintenance enabled inside the simulator — to show
+// the full protocol also runs under the round harness and that
+// dynamic membership does not break the figures' invariants.
+
+func dynamicConfig(alive float64, seed int64) Config {
+	t0, t1, t2 := PaperTopics()
+	params := core.DefaultParams()
+	params.ShufflePeriod = 2
+	params.MaintainPeriod = 4
+	params.MaxAge = 30
+	return Config{
+		Groups: []GroupSpec{
+			{Topic: t0, Size: 5},
+			{Topic: t1, Size: 15},
+			{Topic: t2, Size: 40},
+		},
+		Params:        params,
+		PSucc:         0.95,
+		AliveFraction: alive,
+		FailureMode:   FailStillborn,
+		PublishTopic:  t2,
+		Publications:  1,
+		MaxRounds:     60,
+		Seed:          seed,
+	}
+}
+
+func TestDynamicMembershipRunsAndDelivers(t *testing.T) {
+	res, err := Run(dynamicConfig(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, t2 := PaperTopics()
+	if res.Reliability[t2] < 0.9 {
+		t.Errorf("T2 reliability = %g with dynamic membership", res.Reliability[t2])
+	}
+	if res.Parasites != 0 {
+		t.Errorf("parasites = %d", res.Parasites)
+	}
+	// Control traffic (shuffles, pings) must be counted separately
+	// from event traffic.
+	reg := func() int64 {
+		r, err := NewRunner(dynamicConfig(1, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var control int64
+		for k, v := range r.Registry().Snapshot() {
+			if k.Kind.String() == "control" {
+				control += v
+			}
+		}
+		return control
+	}()
+	if reg == 0 {
+		t.Error("no control messages despite shuffling enabled")
+	}
+}
+
+func TestDynamicMembershipSurvivesFailures(t *testing.T) {
+	// With maintenance on, moderate stillborn failures must still let
+	// most alive T2 members receive (the membership keeps views fresh
+	// even though dead entries linger in seeded tables).
+	var rel float64
+	const runs = 5
+	_, _, t2 := PaperTopics()
+	for seed := int64(0); seed < runs; seed++ {
+		res, err := Run(dynamicConfig(0.7, 50+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel += res.Reliability[t2]
+	}
+	rel /= runs
+	if rel < 0.75 {
+		t.Errorf("mean T2 reliability under churn = %g", rel)
+	}
+}
+
+func TestDynamicDoesNotLeakEventsAcrossBranches(t *testing.T) {
+	// Add a disjoint branch; even with shuffles and bootstrap searches
+	// running, its members must receive nothing.
+	cfg := dynamicConfig(1, 9)
+	cfg.Groups = append(cfg.Groups, GroupSpec{Topic: topic.MustParse(".iso"), Size: 10})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parasites != 0 {
+		t.Fatalf("parasites = %d", res.Parasites)
+	}
+	if got := res.Reliability[topic.MustParse(".iso")]; got != 0 {
+		t.Errorf("disjoint branch delivery = %g", got)
+	}
+}

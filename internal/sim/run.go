@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"damulticast/internal/core"
+	"damulticast/internal/ids"
+	"damulticast/internal/metrics"
+	"damulticast/internal/simnet"
+	"damulticast/internal/topic"
+	"damulticast/internal/xrand"
+)
+
+// Result aggregates one run's measurements.
+type Result struct {
+	// Intra maps each group to the number of event messages sent
+	// within it (Fig. 8's y-axis).
+	Intra map[topic.Topic]int64
+	// Inter maps src->dst group links to event messages sent across
+	// them (Fig. 9's y-axis).
+	Inter map[[2]topic.Topic]int64
+	// DeliveredAlive counts alive processes per group that received
+	// the event (averaged over publications).
+	DeliveredAlive map[topic.Topic]float64
+	// Alive counts alive processes per group (publisher included).
+	Alive map[topic.Topic]int
+	// Size is the configured group size.
+	Size map[topic.Topic]int
+	// Reliability is DeliveredAlive / Alive per group, counting the
+	// publisher as trivially reached: the protocol-level reliability
+	// of §VI-D measured over processes that could receive at all.
+	Reliability map[topic.Topic]float64
+	// ReliabilityAll is DeliveredAlive / Size: the fraction of ALL
+	// group members (failed ones included) that received the event —
+	// the y-axis of Figs. 10-11 ("percentage of processes receiving a
+	// message"), which is why those curves track the alive fraction.
+	ReliabilityAll map[topic.Topic]float64
+	// AllAliveReached reports whether every alive process of the
+	// group received every publication (the paper's strict
+	// "reliability" event of §VI-D).
+	AllAliveReached map[topic.Topic]bool
+	// FirstDeliveryRound maps each group to the simulation round of
+	// its earliest delivery (gossip latency in rounds; 0 when the
+	// group never received). The paper does not plot latency, but it
+	// is the standard companion metric for epidemic dissemination and
+	// the ablation benches report it.
+	FirstDeliveryRound map[topic.Topic]int
+	// Parasites counts deliveries to uninterested processes
+	// (invariantly 0 for daMulticast).
+	Parasites int64
+	// TotalEvents is the total number of event messages sent.
+	TotalEvents int64
+	// Rounds is how many rounds ran before quiescence.
+	Rounds int
+}
+
+// node adapts a core.Process to the simnet kernel.
+type node struct {
+	proc *core.Process
+	env  *nodeEnv
+}
+
+func (n *node) ID() ids.ProcessID { return n.proc.ID() }
+func (n *node) Tick()             { n.proc.Tick() }
+func (n *node) HandleMessage(msg any) {
+	if m, ok := msg.(*core.Message); ok {
+		n.proc.HandleMessage(m)
+	}
+}
+
+// nodeEnv implements core.Env on the kernel.
+type nodeEnv struct {
+	id      ids.ProcessID
+	net     *simnet.Network
+	overlay *[]ids.ProcessID
+	rng     *rand.Rand
+	deliver func(id ids.ProcessID, ev *core.Event)
+}
+
+func (e *nodeEnv) Send(to ids.ProcessID, m *core.Message) { e.net.Send(e.id, to, m) }
+func (e *nodeEnv) Deliver(ev *core.Event)                 { e.deliver(e.id, ev) }
+func (e *nodeEnv) Rand() *rand.Rand                       { return e.rng }
+func (e *nodeEnv) Neighborhood(k int) []ids.ProcessID {
+	return xrand.SampleIDs(e.rng, *e.overlay, k)
+}
+
+// Runner holds a fully built simulation, exposed so tests and ablation
+// benches can poke at intermediate state. Most callers use Run.
+type Runner struct {
+	cfg     Config
+	net     *simnet.Network
+	reg     *metrics.Registry
+	groups  map[topic.Topic][]*core.Process
+	byID    map[ids.ProcessID]*core.Process
+	topicOf map[ids.ProcessID]topic.Topic
+	overlay []ids.ProcessID
+	// received[eventID][process] marks deliveries.
+	received map[ids.EventID]map[ids.ProcessID]bool
+	// firstRound[group] is the earliest round any member delivered.
+	firstRound map[topic.Topic]int
+	pubCount   uint64
+}
+
+// NewRunner builds the network per cfg: groups of processes with
+// statically initialized topic tables (size (b+1)·ln(S), random group
+// mates) and supertopic tables (z random members of the nearest
+// configured supergroup), exactly like the paper's simulator setup.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:        cfg,
+		net:        simnet.New(cfg.Seed),
+		reg:        metrics.NewRegistry(),
+		groups:     make(map[topic.Topic][]*core.Process, len(cfg.Groups)),
+		byID:       make(map[ids.ProcessID]*core.Process),
+		topicOf:    make(map[ids.ProcessID]topic.Topic),
+		received:   make(map[ids.EventID]map[ids.ProcessID]bool),
+		firstRound: make(map[topic.Topic]int),
+	}
+	r.net.PSucc = cfg.PSucc
+	r.net.OnSend = r.onSend
+
+	// Periodic protocol tasks only matter when the config enables
+	// them; the paper's figure runs use static tables.
+	r.net.TickNodes = cfg.Params.ShufflePeriod > 0 || cfg.Params.MaintainPeriod > 0
+
+	// Create processes.
+	for _, g := range cfg.Groups {
+		params := cfg.Params
+		params.GroupSizeHint = g.Size
+		for i := 0; i < g.Size; i++ {
+			id := ids.ProcessID(fmt.Sprintf("%s#%d", g.Topic, i))
+			env := &nodeEnv{
+				id:      id,
+				net:     r.net,
+				overlay: &r.overlay,
+				rng:     r.net.Rand(),
+				deliver: r.onDeliver,
+			}
+			proc, err := core.NewProcess(id, g.Topic, params, env)
+			if err != nil {
+				return nil, err
+			}
+			r.groups[g.Topic] = append(r.groups[g.Topic], proc)
+			r.byID[id] = proc
+			r.topicOf[id] = g.Topic
+			r.overlay = append(r.overlay, id)
+			if err := r.net.AddNode(&node{proc: proc, env: env}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Static table initialization.
+	rng := r.net.Rand()
+	for _, g := range cfg.Groups {
+		members := r.groups[g.Topic]
+		memberIDs := make([]ids.ProcessID, len(members))
+		for i, p := range members {
+			memberIDs[i] = p.ID()
+		}
+		tableCap := xrand.ViewSize(g.Size, cfg.Params.B)
+		superTopic, superIDs := r.nearestSupergroup(g.Topic)
+		for _, p := range members {
+			p.SetTopicTableCap(tableCap)
+			p.SeedTopicTable(sampleOthers(rng, memberIDs, p.ID(), tableCap))
+			if superTopic != "" {
+				p.SeedSuperTable(superTopic, xrand.SampleIDs(rng, superIDs, cfg.Params.Z))
+			}
+		}
+	}
+
+	// Failure installation.
+	switch cfg.FailureMode {
+	case FailStillborn:
+		r.installStillborn()
+	case FailPerObserver:
+		pFail := 1 - cfg.AliveFraction
+		r.net.SetPairDown(simnet.PairDownCoin(cfg.Seed+1, pFail))
+	}
+	return r, nil
+}
+
+// nearestSupergroup finds the deepest configured group whose topic
+// strictly includes t (the topic that "induces" t), with its members.
+func (r *Runner) nearestSupergroup(t topic.Topic) (topic.Topic, []ids.ProcessID) {
+	best := topic.Topic("")
+	for gt := range r.groups {
+		if gt.StrictlyIncludes(t) {
+			if best == "" || gt.Depth() > best.Depth() {
+				best = gt
+			}
+		}
+	}
+	if best == "" {
+		return "", nil
+	}
+	members := r.groups[best]
+	out := make([]ids.ProcessID, len(members))
+	for i, p := range members {
+		out[i] = p.ID()
+	}
+	return best, out
+}
+
+// sampleOthers samples up to k ids from pool excluding self.
+func sampleOthers(rng *rand.Rand, pool []ids.ProcessID, self ids.ProcessID, k int) []ids.ProcessID {
+	return xrand.SampleExcluding(rng, pool, k, map[ids.ProcessID]struct{}{self: {}})
+}
+
+// installStillborn fails floor((1-alive)·S) processes per group at
+// time zero. Failed processes stay in others' tables ("pessimistically,
+// we assume that the membership algorithm does not replace a failed
+// process").
+func (r *Runner) installStillborn() {
+	rng := r.net.Rand()
+	// Iterate the config slice, not the groups map: map order would
+	// consume the RNG nondeterministically across runs.
+	for _, g := range r.cfg.Groups {
+		members := r.groups[g.Topic]
+		nFail := int(float64(len(members)) * (1 - r.cfg.AliveFraction))
+		perm := rng.Perm(len(members))
+		for i := 0; i < nFail && i < len(members); i++ {
+			p := members[perm[i]]
+			p.Stop()
+			if err := r.net.Crash(p.ID()); err != nil {
+				panic(err) // node was just added; cannot fail
+			}
+		}
+	}
+}
+
+// onSend classifies and counts every message attempt.
+func (r *Runner) onSend(env simnet.Envelope, dropped bool) {
+	m, ok := env.Msg.(*core.Message)
+	if !ok {
+		return
+	}
+	src, dst := r.topicOf[env.From], r.topicOf[env.To]
+	if m.Type == core.MsgEvent {
+		if src == dst {
+			r.reg.IncIntra(src)
+		} else {
+			r.reg.IncInter(src, dst)
+		}
+	} else {
+		r.reg.IncControl(src)
+	}
+	if dropped {
+		r.reg.IncDropped(src)
+	}
+}
+
+// onDeliver records deliveries and checks the no-parasite invariant.
+func (r *Runner) onDeliver(id ids.ProcessID, ev *core.Event) {
+	gt := r.topicOf[id]
+	if !gt.Includes(ev.Topic) {
+		r.reg.IncParasite(gt)
+		return
+	}
+	r.reg.IncDelivered(gt)
+	if set, ok := r.received[ev.ID]; ok {
+		set[id] = true
+	}
+	if _, ok := r.firstRound[gt]; !ok {
+		r.firstRound[gt] = r.net.Round()
+	}
+}
+
+// PublishFrom makes a random alive member of the publish group publish
+// one event, returning its id for tracking. Deliveries only occur when
+// the network is subsequently stepped, so registering the tracking set
+// right after Publish is race-free.
+func (r *Runner) PublishFrom(rng *rand.Rand) (ids.EventID, error) {
+	members := r.groups[r.cfg.PublishTopic]
+	alive := make([]*core.Process, 0, len(members))
+	for _, p := range members {
+		if !p.Stopped() {
+			alive = append(alive, p)
+		}
+	}
+	if len(alive) == 0 {
+		return ids.EventID{}, fmt.Errorf("sim: no alive publisher in %s", r.cfg.PublishTopic)
+	}
+	pub := alive[rng.Intn(len(alive))]
+	r.pubCount++
+	ev, err := pub.Publish([]byte(fmt.Sprintf("event-%d", r.pubCount)))
+	if err != nil {
+		return ids.EventID{}, err
+	}
+	// The publisher counts as trivially reached.
+	r.received[ev.ID] = map[ids.ProcessID]bool{pub.ID(): true}
+	return ev.ID, nil
+}
+
+// Run executes the configured experiment and aggregates the result.
+func Run(cfg Config) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Run performs the publications and drives the network to quiescence.
+func (r *Runner) Run() (*Result, error) {
+	cfg := r.cfg
+	pubs := cfg.Publications
+	if pubs <= 0 {
+		pubs = 1
+	}
+	rng := r.net.Rand()
+	totalRounds := 0
+	evs := make([]ids.EventID, 0, pubs)
+	for i := 0; i < pubs; i++ {
+		id, err := r.PublishFrom(rng)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, id)
+		totalRounds += r.net.Run(cfg.MaxRounds)
+	}
+	return r.collect(evs, totalRounds), nil
+}
+
+func (r *Runner) collect(evs []ids.EventID, rounds int) *Result {
+	res := &Result{
+		Intra:              make(map[topic.Topic]int64),
+		Inter:              make(map[[2]topic.Topic]int64),
+		DeliveredAlive:     make(map[topic.Topic]float64),
+		Alive:              make(map[topic.Topic]int),
+		Size:               make(map[topic.Topic]int),
+		Reliability:        make(map[topic.Topic]float64),
+		ReliabilityAll:     make(map[topic.Topic]float64),
+		AllAliveReached:    make(map[topic.Topic]bool),
+		FirstDeliveryRound: make(map[topic.Topic]int, len(r.firstRound)),
+		Parasites:          r.reg.Parasites(),
+		TotalEvents:        r.reg.TotalEvents(),
+		Rounds:             rounds,
+	}
+	for gt, round := range r.firstRound {
+		res.FirstDeliveryRound[gt] = round
+	}
+	for _, g := range r.cfg.Groups {
+		res.Size[g.Topic] = g.Size
+		res.Intra[g.Topic] = r.reg.Intra(g.Topic)
+		alive := 0
+		for _, p := range r.groups[g.Topic] {
+			if !p.Stopped() {
+				alive++
+			}
+		}
+		res.Alive[g.Topic] = alive
+
+		// Average received fraction over publications; strict
+		// all-reached over all publications.
+		allReached := true
+		var fracSum float64
+		for _, evID := range evs {
+			got := 0
+			for _, p := range r.groups[g.Topic] {
+				if !p.Stopped() && r.received[evID][p.ID()] {
+					got++
+				}
+			}
+			if alive > 0 {
+				fracSum += float64(got) / float64(alive)
+				if got < alive {
+					allReached = false
+				}
+			}
+		}
+		if n := len(evs); n > 0 && alive > 0 {
+			res.DeliveredAlive[g.Topic] = fracSum / float64(n) * float64(alive)
+			res.Reliability[g.Topic] = fracSum / float64(n)
+			res.ReliabilityAll[g.Topic] = res.DeliveredAlive[g.Topic] / float64(g.Size)
+		}
+		res.AllAliveReached[g.Topic] = allReached && alive > 0
+	}
+	for src := range r.groups {
+		for dst := range r.groups {
+			if src == dst {
+				continue
+			}
+			if v := r.reg.Inter(src, dst); v > 0 {
+				res.Inter[[2]topic.Topic{src, dst}] += v
+			}
+		}
+	}
+	return res
+}
+
+// Registry exposes the metrics registry (for tests and benches).
+func (r *Runner) Registry() *metrics.Registry { return r.reg }
+
+// Group returns the processes of one group (for tests).
+func (r *Runner) Group(t topic.Topic) []*core.Process { return r.groups[t] }

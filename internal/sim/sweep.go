@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"damulticast/internal/topic"
+)
+
+// Row is one x-axis point of a figure: an alive fraction plus named
+// series values.
+type Row struct {
+	Alive  float64
+	Values map[string]float64
+}
+
+// Figure is regenerated figure data: ordered rows with a stable set of
+// series names.
+type Figure struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Series []string
+	Rows   []Row
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("alive")
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(s)
+	}
+	b.WriteByte('\n')
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%.2f", row.Alive)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%.4f", row.Values[s])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DefaultAliveFractions is the x-axis of Figs. 8-11: alive fractions
+// from 10% to 100%.
+func DefaultAliveFractions() []float64 {
+	out := make([]float64, 0, 10)
+	for f := 0.1; f <= 1.0001; f += 0.1 {
+		out = append(out, f)
+	}
+	return out
+}
+
+// groupSeriesName labels a group's series like the paper's legends.
+func groupSeriesName(t topic.Topic) string {
+	switch t.Depth() {
+	case 0:
+		return "T0"
+	default:
+		return fmt.Sprintf("T%d", t.Depth())
+	}
+}
+
+// averageRuns runs cfgFor runsPerPoint times per alive fraction and
+// averages extract's named values.
+func averageRuns(
+	alives []float64,
+	runsPerPoint int,
+	cfgFor func(alive float64, seed int64) Config,
+	extract func(*Result) map[string]float64,
+) ([]Row, []string, error) {
+	if runsPerPoint < 1 {
+		runsPerPoint = 1
+	}
+	var rows []Row
+	nameSet := map[string]bool{}
+	for i, alive := range alives {
+		acc := map[string]float64{}
+		for run := 0; run < runsPerPoint; run++ {
+			seed := int64(1000*i + run + 1)
+			res, err := Run(cfgFor(alive, seed))
+			if err != nil {
+				return nil, nil, err
+			}
+			for k, v := range extract(res) {
+				acc[k] += v
+				nameSet[k] = true
+			}
+		}
+		for k := range acc {
+			acc[k] /= float64(runsPerPoint)
+		}
+		rows = append(rows, Row{Alive: alive, Values: acc})
+	}
+	names := make([]string, 0, len(nameSet))
+	for k := range nameSet {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return rows, names, nil
+}
+
+// Figure8 regenerates "Number of events sent in each group" vs. alive
+// fraction (stillborn failures).
+func Figure8(alives []float64, runsPerPoint int) (*Figure, error) {
+	rows, names, err := averageRuns(alives, runsPerPoint, PaperConfig,
+		func(res *Result) map[string]float64 {
+			out := map[string]float64{}
+			for t, v := range res.Intra {
+				out[groupSeriesName(t)] = float64(v)
+			}
+			return out
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:   "fig8",
+		XLabel: "fraction of alive processes",
+		YLabel: "events sent within group",
+		Series: names,
+		Rows:   rows,
+	}, nil
+}
+
+// Figure9 regenerates "Number of intergroup events" vs. alive fraction
+// (stillborn failures): series T2->T1 and T1->T0.
+func Figure9(alives []float64, runsPerPoint int) (*Figure, error) {
+	rows, names, err := averageRuns(alives, runsPerPoint, PaperConfig,
+		func(res *Result) map[string]float64 {
+			out := map[string]float64{}
+			for link, v := range res.Inter {
+				name := fmt.Sprintf("%s->%s", groupSeriesName(link[0]), groupSeriesName(link[1]))
+				out[name] = float64(v)
+			}
+			return out
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:   "fig9",
+		XLabel: "fraction of alive processes",
+		YLabel: "intergroup events",
+		Series: names,
+		Rows:   rows,
+	}, nil
+}
+
+// reliabilityFigure is shared by Figures 10 and 11.
+func reliabilityFigure(name string, mode FailureMode, alives []float64, runsPerPoint int) (*Figure, error) {
+	cfgFor := func(alive float64, seed int64) Config {
+		cfg := PaperConfig(alive, seed)
+		cfg.FailureMode = mode
+		return cfg
+	}
+	rows, names, err := averageRuns(alives, runsPerPoint, cfgFor,
+		func(res *Result) map[string]float64 {
+			out := map[string]float64{}
+			for t, v := range res.ReliabilityAll {
+				out[groupSeriesName(t)] = v
+			}
+			return out
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:   name,
+		XLabel: "fraction of alive processes",
+		YLabel: "fraction of processes receiving",
+		Series: names,
+		Rows:   rows,
+	}, nil
+}
+
+// Figure10 regenerates reliability under stillborn failures.
+func Figure10(alives []float64, runsPerPoint int) (*Figure, error) {
+	return reliabilityFigure("fig10", FailStillborn, alives, runsPerPoint)
+}
+
+// Figure11 regenerates reliability under per-observer (weakly
+// consistent) failures.
+func Figure11(alives []float64, runsPerPoint int) (*Figure, error) {
+	return reliabilityFigure("fig11", FailPerObserver, alives, runsPerPoint)
+}

@@ -1,0 +1,242 @@
+// Package simnet is a deterministic, round-based message-passing
+// kernel for protocol simulation. It reproduces the paper's simulator
+// semantics (§VII-A): synchronous gossip rounds, unreliable best-effort
+// channels (per-message Bernoulli loss with success probability
+// psucc), and two failure models —
+//
+//   - stillborn: a process is failed from the start, for everyone
+//     (Figs. 8-10), and
+//   - per-observer (weakly consistent): a process can appear failed to
+//     one observer while appearing alive to another (Fig. 11); the
+//     appearance is fixed per (observer, target) pair for the run.
+//
+// Messages sent in round r are delivered in round r+1. The kernel is
+// single-threaded and fully deterministic given its seed.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"damulticast/internal/ids"
+)
+
+// Node is a simulated process: a message-driven state machine.
+type Node interface {
+	// ID returns the node's identity.
+	ID() ids.ProcessID
+	// HandleMessage processes one delivered message.
+	HandleMessage(msg any)
+	// Tick advances the node's logical clock one round.
+	Tick()
+}
+
+// Envelope is one in-flight message.
+type Envelope struct {
+	From, To ids.ProcessID
+	Msg      any
+}
+
+// Errors.
+var (
+	ErrDuplicateNode = errors.New("simnet: duplicate node id")
+	ErrUnknownNode   = errors.New("simnet: unknown node id")
+)
+
+// Network is the simulation kernel.
+type Network struct {
+	rng   *rand.Rand
+	nodes map[ids.ProcessID]Node
+	order []ids.ProcessID // insertion order, for deterministic iteration
+
+	queue []Envelope // deliveries for the next round
+	round int
+
+	// PSucc is the per-message channel success probability (1 = lossless).
+	PSucc float64
+
+	// TickNodes controls whether Step ticks every node each round.
+	TickNodes bool
+
+	down map[ids.ProcessID]bool
+
+	// pairDown, when non-nil, implements the weakly consistent model:
+	// pairDown(observer, target) reports whether target appears failed
+	// to observer; such sends are dropped.
+	pairDown func(observer, target ids.ProcessID) bool
+
+	// OnSend, when non-nil, observes every send attempt. dropped
+	// reports whether the channel lost it (loss, dead target, or
+	// per-observer failure appearance). Counting happens here: the
+	// paper's message complexity counts events *sent*.
+	OnSend func(env Envelope, dropped bool)
+}
+
+// New creates a lossless network with the given seed.
+func New(seed int64) *Network {
+	return &Network{
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[ids.ProcessID]Node),
+		down:  make(map[ids.ProcessID]bool),
+		PSucc: 1,
+	}
+}
+
+// Rand exposes the network's deterministic random source. Nodes built
+// on the network should draw from it so a run is one random stream.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Round returns the current round number (0 before the first Step).
+func (n *Network) Round() int { return n.round }
+
+// AddNode registers a node.
+func (n *Network) AddNode(node Node) error {
+	id := node.ID()
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return nil
+}
+
+// Node returns the registered node, or nil.
+func (n *Network) Node(id ids.ProcessID) Node { return n.nodes[id] }
+
+// NodeIDs returns all node ids in insertion order (copy).
+func (n *Network) NodeIDs() []ids.ProcessID {
+	out := make([]ids.ProcessID, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.order) }
+
+// Crash marks a node failed for everyone (stillborn when applied
+// before the first round). Crashed nodes neither receive nor should
+// send; sends they nevertheless attempt are delivered (the kernel does
+// not police senders — protocol-level Stop should silence them).
+func (n *Network) Crash(id ids.ProcessID) error {
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	n.down[id] = true
+	return nil
+}
+
+// Recover clears the crashed mark.
+func (n *Network) Recover(id ids.ProcessID) { delete(n.down, id) }
+
+// Down reports whether id is crashed.
+func (n *Network) Down(id ids.ProcessID) bool { return n.down[id] }
+
+// AliveIDs returns ids of nodes not crashed, in insertion order.
+func (n *Network) AliveIDs() []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(n.order))
+	for _, id := range n.order {
+		if !n.down[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SetPairDown installs the weakly consistent failure view (Fig. 11
+// model). Pass nil to clear.
+func (n *Network) SetPairDown(f func(observer, target ids.ProcessID) bool) {
+	n.pairDown = f
+}
+
+// Send enqueues a message for delivery next round. Loss is decided at
+// send time: the channel may drop it (1-PSucc), the target may be
+// crashed, or the target may appear failed to the sender under the
+// weakly consistent model. OnSend observes the attempt either way.
+func (n *Network) Send(from, to ids.ProcessID, msg any) {
+	env := Envelope{From: from, To: to, Msg: msg}
+	dropped := false
+	switch {
+	case n.down[to]:
+		dropped = true
+	case n.pairDown != nil && n.pairDown(from, to):
+		dropped = true
+	case n.PSucc < 1 && n.rng.Float64() >= n.PSucc:
+		dropped = true
+	}
+	if n.OnSend != nil {
+		n.OnSend(env, dropped)
+	}
+	if dropped {
+		return
+	}
+	n.queue = append(n.queue, env)
+}
+
+// Pending returns the number of messages waiting for the next round.
+func (n *Network) Pending() int { return len(n.queue) }
+
+// Step runs one synchronous round: deliver everything queued (sends
+// performed during delivery land in the following round), then tick
+// nodes if TickNodes is set. It returns the number of messages
+// delivered.
+func (n *Network) Step() int {
+	n.round++
+	batch := n.queue
+	n.queue = nil
+	delivered := 0
+	for _, env := range batch {
+		node, ok := n.nodes[env.To]
+		if !ok || n.down[env.To] {
+			continue
+		}
+		node.HandleMessage(env.Msg)
+		delivered++
+	}
+	if n.TickNodes {
+		for _, id := range n.order {
+			if !n.down[id] {
+				n.nodes[id].Tick()
+			}
+		}
+	}
+	return delivered
+}
+
+// Run steps until the network quiesces (no pending messages) or
+// maxRounds elapse, returning the number of rounds executed. With
+// TickNodes set the network may never quiesce (periodic tasks keep
+// sending); the bound then decides.
+func (n *Network) Run(maxRounds int) int {
+	ran := 0
+	for ran < maxRounds && len(n.queue) > 0 {
+		n.Step()
+		ran++
+	}
+	return ran
+}
+
+// PairDownCoin builds a deterministic per-(observer,target) failure
+// appearance: each ordered pair independently appears failed with
+// probability pFail, fixed for the run. It draws all coins from seed
+// up front lazily, caching decisions.
+func PairDownCoin(seed int64, pFail float64) func(observer, target ids.ProcessID) bool {
+	if pFail <= 0 {
+		return func(ids.ProcessID, ids.ProcessID) bool { return false }
+	}
+	if pFail >= 1 {
+		return func(ids.ProcessID, ids.ProcessID) bool { return true }
+	}
+	type pair struct{ a, b ids.ProcessID }
+	cache := make(map[pair]bool)
+	rng := rand.New(rand.NewSource(seed))
+	return func(observer, target ids.ProcessID) bool {
+		p := pair{observer, target}
+		if v, ok := cache[p]; ok {
+			return v
+		}
+		v := rng.Float64() < pFail
+		cache[p] = v
+		return v
+	}
+}

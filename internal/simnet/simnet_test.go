@@ -1,0 +1,289 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"damulticast/internal/ids"
+)
+
+// echoNode counts received messages and optionally forwards once.
+type echoNode struct {
+	id       ids.ProcessID
+	net      *Network
+	received []any
+	forward  ids.ProcessID // if set, forward each message here once
+	ticks    int
+}
+
+func (e *echoNode) ID() ids.ProcessID { return e.id }
+func (e *echoNode) Tick()             { e.ticks++ }
+func (e *echoNode) HandleMessage(msg any) {
+	e.received = append(e.received, msg)
+	if e.forward != "" {
+		to := e.forward
+		e.forward = ""
+		e.net.Send(e.id, to, msg)
+	}
+}
+
+func addEcho(t *testing.T, n *Network, id ids.ProcessID) *echoNode {
+	t.Helper()
+	e := &echoNode{id: id, net: n}
+	if err := n.AddNode(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	err := n.AddNode(&echoNode{id: "a"})
+	if !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSendDeliverNextRound(t *testing.T) {
+	n := New(1)
+	a := addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	n.Send("a", "b", "hello")
+	if len(b.received) != 0 {
+		t.Fatal("delivered before Step")
+	}
+	if n.Pending() != 1 {
+		t.Fatalf("Pending = %d", n.Pending())
+	}
+	if got := n.Step(); got != 1 {
+		t.Fatalf("Step delivered %d", got)
+	}
+	if len(b.received) != 1 || b.received[0] != "hello" {
+		t.Fatalf("b.received = %v", b.received)
+	}
+	if len(a.received) != 0 {
+		t.Error("sender received its own message")
+	}
+	if n.Round() != 1 {
+		t.Errorf("Round = %d", n.Round())
+	}
+}
+
+func TestSendsDuringDeliveryLandNextRound(t *testing.T) {
+	n := New(1)
+	a := addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	c := addEcho(t, n, "c")
+	_ = a
+	b.forward = "c"
+	n.Send("a", "b", "x")
+	n.Step()
+	if len(c.received) != 0 {
+		t.Fatal("forward delivered same round")
+	}
+	n.Step()
+	if len(c.received) != 1 {
+		t.Fatal("forward not delivered next round")
+	}
+}
+
+func TestRunQuiesces(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	b.forward = "a"
+	n.Send("a", "b", "x")
+	rounds := n.Run(100)
+	if rounds != 2 {
+		t.Errorf("rounds = %d, want 2", rounds)
+	}
+	if n.Pending() != 0 {
+		t.Error("pending after Run")
+	}
+}
+
+func TestCrashBlocksDelivery(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	if err := n.Crash("b"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Down("b") {
+		t.Error("Down = false")
+	}
+	n.Send("a", "b", "x")
+	n.Step()
+	if len(b.received) != 0 {
+		t.Error("crashed node received")
+	}
+	n.Recover("b")
+	n.Send("a", "b", "y")
+	n.Step()
+	if len(b.received) != 1 {
+		t.Error("recovered node did not receive")
+	}
+	if err := n.Crash("zzz"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Crash(unknown) = %v", err)
+	}
+}
+
+func TestAliveIDs(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	addEcho(t, n, "b")
+	addEcho(t, n, "c")
+	_ = n.Crash("b")
+	alive := n.AliveIDs()
+	if len(alive) != 2 || alive[0] != "a" || alive[1] != "c" {
+		t.Errorf("AliveIDs = %v", alive)
+	}
+	if n.Len() != 3 {
+		t.Errorf("Len = %d", n.Len())
+	}
+	idsAll := n.NodeIDs()
+	if len(idsAll) != 3 || idsAll[1] != "b" {
+		t.Errorf("NodeIDs = %v", idsAll)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(42)
+	addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	n.PSucc = 0.85
+	const total = 20000
+	for i := 0; i < total; i++ {
+		n.Send("a", "b", i)
+	}
+	n.Step()
+	got := float64(len(b.received)) / total
+	if math.Abs(got-0.85) > 0.01 {
+		t.Errorf("delivery rate = %.4f, want ~0.85", got)
+	}
+}
+
+func TestOnSendObservesDrops(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	addEcho(t, n, "b")
+	_ = n.Crash("b")
+	var attempts, drops int
+	n.OnSend = func(env Envelope, dropped bool) {
+		attempts++
+		if dropped {
+			drops++
+		}
+	}
+	n.Send("a", "b", "x") // dead target: dropped
+	if attempts != 1 || drops != 1 {
+		t.Errorf("attempts=%d drops=%d", attempts, drops)
+	}
+}
+
+func TestPairDown(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	c := addEcho(t, n, "c")
+	// b appears failed to a, but not to c.
+	n.SetPairDown(func(obs, tgt ids.ProcessID) bool {
+		return obs == "a" && tgt == "b"
+	})
+	n.Send("a", "b", "x")
+	n.Send("c", "b", "y")
+	n.Step()
+	if len(b.received) != 1 || b.received[0] != "y" {
+		t.Errorf("b.received = %v", b.received)
+	}
+	_ = c
+	n.SetPairDown(nil)
+	n.Send("a", "b", "z")
+	n.Step()
+	if len(b.received) != 2 {
+		t.Error("clearing pairDown did not restore delivery")
+	}
+}
+
+func TestPairDownCoin(t *testing.T) {
+	coin := PairDownCoin(7, 0.5)
+	// Deterministic: same pair always same answer.
+	first := coin("a", "b")
+	for i := 0; i < 10; i++ {
+		if coin("a", "b") != first {
+			t.Fatal("coin not stable for a pair")
+		}
+	}
+	// Roughly half of many pairs are down.
+	down := 0
+	const total = 10000
+	for i := 0; i < total; i++ {
+		if coin(ids.ProcessID(rune(i)), ids.ProcessID(rune(i+total))) {
+			down++
+		}
+	}
+	frac := float64(down) / total
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("down fraction = %.3f", frac)
+	}
+	// Extremes allocate no cache.
+	never := PairDownCoin(7, 0)
+	if never("a", "b") {
+		t.Error("pFail=0 coin returned true")
+	}
+	always := PairDownCoin(7, 1)
+	if !always("a", "b") {
+		t.Error("pFail=1 coin returned false")
+	}
+}
+
+func TestTickNodes(t *testing.T) {
+	n := New(1)
+	a := addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	_ = n.Crash("b")
+	n.TickNodes = true
+	n.Send("a", "a", "keepalive") // to self; fine, kernel permits
+	n.Step()
+	n.Step()
+	if a.ticks != 2 {
+		t.Errorf("a.ticks = %d", a.ticks)
+	}
+	if b.ticks != 0 {
+		t.Errorf("crashed node ticked %d times", b.ticks)
+	}
+}
+
+func TestSendToUnknownNodeIsDropped(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	n.Send("a", "ghost", "x")
+	if got := n.Step(); got != 0 {
+		t.Errorf("delivered %d to ghost", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []any {
+		n := New(99)
+		n.PSucc = 0.5
+		addEcho(t, n, "a")
+		b := addEcho(t, n, "b")
+		for i := 0; i < 100; i++ {
+			n.Send("a", "b", i)
+		}
+		n.Step()
+		return b.received
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("non-deterministic: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("non-deterministic delivery order")
+		}
+	}
+}

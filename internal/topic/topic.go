@@ -1,0 +1,384 @@
+// Package topic implements the hierarchical topic model of daMulticast
+// (Baehni, Eugster, Guerraoui; DSN 2004).
+//
+// Topics are dotted paths rooted at "." (the root topic). For example,
+// in ".dsn04.reviewers", "dsn04" is the direct supertopic of
+// "reviewers" and "." (the root) is the supertopic of "dsn04".
+//
+// A topic Ta *includes* a topic Tb when Ta is a (direct or transitive)
+// supertopic of Tb; an event published on Tb is, by definition, also an
+// event of every topic that includes Tb. daMulticast exploits exactly
+// this relation to route events bottom-up through the group hierarchy.
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Root is the root topic ".". Every other topic is (transitively)
+// included by it. The root has no supertopic.
+const Root = Topic(".")
+
+// Topic is a normalized, dot-separated hierarchical topic name.
+//
+// The zero value "" is not a valid topic; use Parse or MustParse to
+// obtain one. Valid topics are either Root or strings of the form
+// ".seg1.seg2...." where every segment matches [a-z0-9_-]+
+// case-insensitively (we normalize to lower case).
+type Topic string
+
+// Errors returned by Parse.
+var (
+	ErrEmpty        = errors.New("topic: empty name")
+	ErrNoLeadingDot = errors.New("topic: name must start with '.'")
+	ErrEmptySegment = errors.New("topic: empty segment")
+	ErrBadSegment   = errors.New("topic: segment contains invalid character")
+	ErrTooDeep      = errors.New("topic: hierarchy too deep")
+)
+
+// MaxDepth bounds the depth of a topic to keep FIND_SUPER_CONTACT's
+// expanding search finite even with adversarial inputs.
+const MaxDepth = 64
+
+// Parse validates and normalizes a topic name.
+//
+// Accepted forms:
+//
+//	"."                  -> Root
+//	".a", ".a.b.c"       -> as-is (lower-cased)
+//	"a.b" (no leading dot) is rejected.
+//
+// Trailing dots are rejected except for the root itself.
+func Parse(s string) (Topic, error) {
+	if s == "" {
+		return "", ErrEmpty
+	}
+	if s == "." {
+		return Root, nil
+	}
+	if s[0] != '.' {
+		return "", fmt.Errorf("%w: %q", ErrNoLeadingDot, s)
+	}
+	segs := strings.Split(s[1:], ".")
+	if len(segs) > MaxDepth {
+		return "", fmt.Errorf("%w: %d segments (max %d)", ErrTooDeep, len(segs), MaxDepth)
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, seg := range segs {
+		if seg == "" {
+			return "", fmt.Errorf("%w: %q", ErrEmptySegment, s)
+		}
+		for _, r := range seg {
+			if !isSegmentRune(r) {
+				return "", fmt.Errorf("%w: %q in %q", ErrBadSegment, string(r), s)
+			}
+		}
+		b.WriteByte('.')
+		b.WriteString(strings.ToLower(seg))
+	}
+	return Topic(b.String()), nil
+}
+
+func isSegmentRune(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z':
+		return true
+	case r >= 'A' && r <= 'Z':
+		return true
+	case r >= '0' && r <= '9':
+		return true
+	case r == '_' || r == '-':
+		return true
+	}
+	return false
+}
+
+// MustParse is like Parse but panics on error. Intended for tests and
+// package-level literals with known-good names.
+func MustParse(s string) Topic {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// String returns the dotted name.
+func (t Topic) String() string { return string(t) }
+
+// IsRoot reports whether t is the root topic.
+func (t Topic) IsRoot() bool { return t == Root }
+
+// Valid reports whether t would survive a Parse round-trip unchanged.
+func (t Topic) Valid() bool {
+	p, err := Parse(string(t))
+	return err == nil && p == t
+}
+
+// Depth returns the number of segments below the root: Root has depth
+// 0, ".a" has depth 1, ".a.b" has depth 2, and so on. This matches the
+// paper's topic-hierarchy levels where the root topic is T0.
+func (t Topic) Depth() int {
+	if t.IsRoot() || t == "" {
+		return 0
+	}
+	return strings.Count(string(t), ".")
+}
+
+// Super returns the direct supertopic of t, as in the paper's
+// super(Ti). The supertopic of ".a.b" is ".a"; of ".a" it is Root.
+// Super of Root returns Root itself (the root has no supertopic);
+// callers should guard with IsRoot.
+func (t Topic) Super() Topic {
+	if t.IsRoot() || t == "" {
+		return Root
+	}
+	i := strings.LastIndexByte(string(t), '.')
+	if i <= 0 {
+		return Root
+	}
+	return t[:i]
+}
+
+// Leaf returns the last segment of the topic ("reviewers" for
+// ".dsn04.reviewers"), or "." for the root.
+func (t Topic) Leaf() string {
+	if t.IsRoot() || t == "" {
+		return "."
+	}
+	i := strings.LastIndexByte(string(t), '.')
+	return string(t[i+1:])
+}
+
+// Includes reports whether t includes sub, i.e. whether t is a direct
+// or transitive supertopic of sub, or t == sub. Every event of topic
+// sub is also an event of topic t when t.Includes(sub).
+//
+// The root includes everything. A topic includes itself (reflexive),
+// matching the paper's usage where events of Ti are "also of topic
+// super(Ti)" and dissemination within Ti itself is always performed.
+func (t Topic) Includes(sub Topic) bool {
+	if t.IsRoot() {
+		return true
+	}
+	if t == sub {
+		return true
+	}
+	if len(sub) <= len(t) {
+		return false
+	}
+	return strings.HasPrefix(string(sub), string(t)) && sub[len(t)] == '.'
+}
+
+// StrictlyIncludes is Includes minus reflexivity.
+func (t Topic) StrictlyIncludes(sub Topic) bool {
+	return t != sub && t.Includes(sub)
+}
+
+// Ancestors returns the chain of supertopics of t from the direct
+// supertopic up to and including the root, in bottom-up order.
+// Ancestors of Root is empty.
+func (t Topic) Ancestors() []Topic {
+	if t.IsRoot() || t == "" {
+		return nil
+	}
+	out := make([]Topic, 0, t.Depth())
+	for cur := t.Super(); ; cur = cur.Super() {
+		out = append(out, cur)
+		if cur.IsRoot() {
+			break
+		}
+	}
+	return out
+}
+
+// PathFromRoot returns [Root, ..., t] in top-down order, always
+// starting at the root and ending at t itself.
+func (t Topic) PathFromRoot() []Topic {
+	anc := t.Ancestors()
+	out := make([]Topic, 0, len(anc)+1)
+	for i := len(anc) - 1; i >= 0; i-- {
+		out = append(out, anc[i])
+	}
+	return append(out, t)
+}
+
+// CommonAncestor returns the deepest topic that includes both a and b
+// (possibly one of a, b themselves, and at worst the root).
+func CommonAncestor(a, b Topic) Topic {
+	if a.Includes(b) {
+		return a
+	}
+	if b.Includes(a) {
+		return b
+	}
+	pa, pb := a.PathFromRoot(), b.PathFromRoot()
+	n := len(pa)
+	if len(pb) < n {
+		n = len(pb)
+	}
+	best := Root
+	for i := 0; i < n; i++ {
+		if pa[i] != pb[i] {
+			break
+		}
+		best = pa[i]
+	}
+	return best
+}
+
+// Child returns the direct subtopic of t obtained by appending one
+// segment. The segment must be valid; otherwise an error is returned.
+func (t Topic) Child(segment string) (Topic, error) {
+	if t == "" {
+		return "", ErrEmpty
+	}
+	base := string(t)
+	if t.IsRoot() {
+		base = ""
+	}
+	return Parse(base + "." + segment)
+}
+
+// Hierarchy is an explicit registry of the topics known to an
+// application or a simulation. daMulticast itself never needs a global
+// topic registry (that is the point of the protocol), but simulations,
+// workload generators and the analysis package do: they need to know
+// which groups exist and how many processes each contains.
+//
+// A Hierarchy is not safe for concurrent mutation; wrap it if shared.
+type Hierarchy struct {
+	topics map[Topic]struct{}
+}
+
+// NewHierarchy returns a hierarchy containing only the root topic.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{topics: map[Topic]struct{}{Root: {}}}
+}
+
+// Add registers t and all its ancestors.
+func (h *Hierarchy) Add(t Topic) error {
+	if !t.Valid() {
+		return fmt.Errorf("topic: invalid topic %q", string(t))
+	}
+	h.topics[t] = struct{}{}
+	for _, a := range t.Ancestors() {
+		h.topics[a] = struct{}{}
+	}
+	return nil
+}
+
+// MustAdd is Add but panics on invalid input (for tests/fixtures).
+func (h *Hierarchy) MustAdd(t Topic) {
+	if err := h.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether t has been registered (or is an ancestor of
+// a registered topic).
+func (h *Hierarchy) Contains(t Topic) bool {
+	_, ok := h.topics[t]
+	return ok
+}
+
+// Len returns the number of registered topics, including the root.
+func (h *Hierarchy) Len() int { return len(h.topics) }
+
+// Topics returns all registered topics sorted top-down (by depth, then
+// lexicographically). The root comes first.
+func (h *Hierarchy) Topics() []Topic {
+	out := make([]Topic, 0, len(h.topics))
+	for t := range h.topics {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Depth(), out[j].Depth()
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Children returns the direct subtopics of t among registered topics,
+// sorted lexicographically.
+func (h *Hierarchy) Children(t Topic) []Topic {
+	var out []Topic
+	for cand := range h.topics {
+		if cand != t && cand.Super() == t && !cand.IsRoot() {
+			out = append(out, cand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subtree returns t plus all registered topics that t strictly
+// includes, sorted top-down.
+func (h *Hierarchy) Subtree(t Topic) []Topic {
+	var out []Topic
+	for cand := range h.topics {
+		if t.Includes(cand) {
+			out = append(out, cand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Depth(), out[j].Depth()
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Depth returns the depth t of the hierarchy: the maximum topic depth
+// among registered topics (the paper's parameter t).
+func (h *Hierarchy) Depth() int {
+	max := 0
+	for t := range h.topics {
+		if d := t.Depth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Leaves returns registered topics with no registered subtopic.
+func (h *Hierarchy) Leaves() []Topic {
+	var out []Topic
+	for t := range h.topics {
+		if len(h.Children(t)) == 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Chain builds a linear hierarchy of the given depth with the given
+// segment prefix: Chain(3, "l") = [".l1", ".l1.l2", ".l1.l2.l3"],
+// returned bottom-up-last (top-down order). This matches the paper's
+// analysis model where Ti's supertopic is T(i-1) down from the root T0.
+func Chain(depth int, prefix string) ([]Topic, error) {
+	if depth < 0 || depth > MaxDepth {
+		return nil, fmt.Errorf("%w: depth %d", ErrTooDeep, depth)
+	}
+	out := make([]Topic, 0, depth)
+	cur := Root
+	for i := 1; i <= depth; i++ {
+		next, err := cur.Child(fmt.Sprintf("%s%d", prefix, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out, nil
+}

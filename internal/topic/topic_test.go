@@ -1,0 +1,363 @@
+package topic
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Topic
+	}{
+		{".", Root},
+		{".a", ".a"},
+		{".dsn04.reviewers", ".dsn04.reviewers"},
+		{".A.B", ".a.b"},
+		{".news.sports.foot-ball", ".news.sports.foot-ball"},
+		{".x_1.y_2", ".x_1.y_2"},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	tests := []struct {
+		in      string
+		wantErr error
+	}{
+		{"", ErrEmpty},
+		{"a.b", ErrNoLeadingDot},
+		{"..a", ErrEmptySegment},
+		{".a.", ErrEmptySegment},
+		{".a..b", ErrEmptySegment},
+		{".a b", ErrBadSegment},
+		{".a/b", ErrBadSegment},
+		{".ä", ErrBadSegment},
+		{"." + strings.Repeat("x.", MaxDepth) + "x", ErrTooDeep},
+	}
+	for _, tt := range tests {
+		_, err := Parse(tt.in)
+		if !errors.Is(err, tt.wantErr) {
+			t.Errorf("Parse(%q) error = %v, want %v", tt.in, err, tt.wantErr)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("not-a-topic")
+}
+
+func TestDepth(t *testing.T) {
+	tests := []struct {
+		in   Topic
+		want int
+	}{
+		{Root, 0},
+		{".a", 1},
+		{".a.b", 2},
+		{".dsn04.reviewers", 2},
+		{".a.b.c.d", 4},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Depth(); got != tt.want {
+			t.Errorf("%q.Depth() = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSuper(t *testing.T) {
+	tests := []struct {
+		in, want Topic
+	}{
+		{Root, Root},
+		{".a", Root},
+		{".a.b", ".a"},
+		{".dsn04.reviewers", ".dsn04"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Super(); got != tt.want {
+			t.Errorf("%q.Super() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLeaf(t *testing.T) {
+	tests := []struct {
+		in   Topic
+		want string
+	}{
+		{Root, "."},
+		{".a", "a"},
+		{".dsn04.reviewers", "reviewers"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Leaf(); got != tt.want {
+			t.Errorf("%q.Leaf() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIncludes(t *testing.T) {
+	tests := []struct {
+		super, sub Topic
+		want       bool
+	}{
+		{Root, ".a", true},
+		{Root, Root, true},
+		{".a", ".a", true},
+		{".a", ".a.b", true},
+		{".a", ".a.b.c", true},
+		{".a", ".ab", false}, // prefix but not a segment boundary
+		{".a.b", ".a", false},
+		{".a", ".b", false},
+		{".dsn04", ".dsn04.reviewers", true},
+		{".dsn04.reviewers", ".dsn04", false},
+	}
+	for _, tt := range tests {
+		if got := tt.super.Includes(tt.sub); got != tt.want {
+			t.Errorf("%q.Includes(%q) = %v, want %v", tt.super, tt.sub, got, tt.want)
+		}
+	}
+}
+
+func TestStrictlyIncludes(t *testing.T) {
+	if Topic(".a").StrictlyIncludes(".a") {
+		t.Error(".a strictly includes itself")
+	}
+	if !Topic(".a").StrictlyIncludes(".a.b") {
+		t.Error(".a does not strictly include .a.b")
+	}
+}
+
+func TestAncestorsAndPath(t *testing.T) {
+	tt := MustParse(".a.b.c")
+	wantAnc := []Topic{".a.b", ".a", Root}
+	if got := tt.Ancestors(); !reflect.DeepEqual(got, wantAnc) {
+		t.Errorf("Ancestors = %v, want %v", got, wantAnc)
+	}
+	wantPath := []Topic{Root, ".a", ".a.b", ".a.b.c"}
+	if got := tt.PathFromRoot(); !reflect.DeepEqual(got, wantPath) {
+		t.Errorf("PathFromRoot = %v, want %v", got, wantPath)
+	}
+	if got := Root.Ancestors(); got != nil {
+		t.Errorf("Root.Ancestors = %v, want nil", got)
+	}
+	if got := Root.PathFromRoot(); !reflect.DeepEqual(got, []Topic{Root}) {
+		t.Errorf("Root.PathFromRoot = %v", got)
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	tests := []struct {
+		a, b, want Topic
+	}{
+		{".a.b", ".a.c", ".a"},
+		{".a.b", ".a.b.c", ".a.b"},
+		{".a", ".b", Root},
+		{Root, ".x.y", Root},
+		{".a.b.c", ".a.b.c", ".a.b.c"},
+	}
+	for _, tt := range tests {
+		if got := CommonAncestor(tt.a, tt.b); got != tt.want {
+			t.Errorf("CommonAncestor(%q,%q) = %q, want %q", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestChild(t *testing.T) {
+	c, err := Root.Child("a")
+	if err != nil || c != ".a" {
+		t.Errorf("Root.Child(a) = %q, %v", c, err)
+	}
+	c, err = Topic(".a").Child("b")
+	if err != nil || c != ".a.b" {
+		t.Errorf(".a.Child(b) = %q, %v", c, err)
+	}
+	if _, err := Topic(".a").Child("bad seg"); err == nil {
+		t.Error("Child with invalid segment succeeded")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAdd(".a.b.c")
+	h.MustAdd(".a.d")
+
+	if !h.Contains(Root) || !h.Contains(".a") || !h.Contains(".a.b") {
+		t.Error("ancestors not auto-registered")
+	}
+	if h.Len() != 5 {
+		t.Errorf("Len = %d, want 5", h.Len())
+	}
+	if got := h.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	wantKids := []Topic{".a.b", ".a.d"}
+	if got := h.Children(".a"); !reflect.DeepEqual(got, wantKids) {
+		t.Errorf("Children(.a) = %v, want %v", got, wantKids)
+	}
+	wantLeaves := []Topic{".a.b.c", ".a.d"}
+	if got := h.Leaves(); !reflect.DeepEqual(got, wantLeaves) {
+		t.Errorf("Leaves = %v, want %v", got, wantLeaves)
+	}
+	sub := h.Subtree(".a")
+	if len(sub) != 4 || sub[0] != ".a" {
+		t.Errorf("Subtree(.a) = %v", sub)
+	}
+	all := h.Topics()
+	if all[0] != Root {
+		t.Errorf("Topics()[0] = %q, want root", all[0])
+	}
+	if err := h.Add(Topic("junk")); err == nil {
+		t.Error("Add(junk) succeeded")
+	}
+}
+
+func TestChain(t *testing.T) {
+	got, err := Chain(3, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Topic{".l1", ".l1.l2", ".l1.l2.l3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Chain = %v, want %v", got, want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Super() != got[i-1] {
+			t.Errorf("chain link broken at %d", i)
+		}
+	}
+	if _, err := Chain(-1, "l"); err == nil {
+		t.Error("Chain(-1) succeeded")
+	}
+	if _, err := Chain(MaxDepth+1, "l"); err == nil {
+		t.Error("Chain(too deep) succeeded")
+	}
+	empty, err := Chain(0, "l")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("Chain(0) = %v, %v", empty, err)
+	}
+}
+
+// randomTopic builds an arbitrary valid topic from a random source.
+func randomTopic(r *rand.Rand) Topic {
+	depth := r.Intn(6)
+	cur := Root
+	for i := 0; i < depth; i++ {
+		seg := string(rune('a' + r.Intn(26)))
+		next, err := cur.Child(seg)
+		if err != nil {
+			panic(err)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Property: Parse is idempotent on its own output.
+func TestPropParseRoundTrip(t *testing.T) {
+	f := func() bool { return true }
+	_ = f
+	cfg := &quick.Config{MaxCount: 500}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp := randomTopic(r)
+		again, err := Parse(string(tp))
+		return err == nil && again == tp
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Super decreases depth by exactly one (except at root), and
+// the supertopic always includes the topic.
+func TestPropSuperDepth(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp := randomTopic(r)
+		if tp.IsRoot() {
+			return tp.Super() == Root
+		}
+		s := tp.Super()
+		return s.Depth() == tp.Depth()-1 && s.Includes(tp) && !tp.Includes(s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Includes is transitive.
+func TestPropIncludesTransitive(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomTopic(r)
+		b := c.Super()
+		a := b.Super()
+		return a.Includes(b) && b.Includes(c) && a.Includes(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CommonAncestor includes both arguments and is the deepest
+// such topic along either path.
+func TestPropCommonAncestor(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomTopic(r), randomTopic(r)
+		ca := CommonAncestor(a, b)
+		if !ca.Includes(a) || !ca.Includes(b) {
+			return false
+		}
+		// No strictly deeper common ancestor exists on a's path.
+		for _, cand := range a.PathFromRoot() {
+			if cand.Depth() > ca.Depth() && cand.Includes(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIncludes(b *testing.B) {
+	super := MustParse(".news.sports")
+	sub := MustParse(".news.sports.football.premier")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !super.Includes(sub) {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(".news.sports.football"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package workload generates topic hierarchies and subscriber
+// populations for experiments beyond the paper's fixed three-level
+// chain: random trees with configurable depth and branching, and
+// population assignments that mimic realistic subscription skew
+// (bigger groups toward the leaves, as in §VII-A where S grows 10× per
+// level, or Zipf-like skew across branches).
+//
+// The generators produce sim.Config values, so any generated workload
+// runs on the same harness that reproduces the paper's figures.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"damulticast/internal/core"
+	"damulticast/internal/sim"
+	"damulticast/internal/topic"
+)
+
+// TreeSpec parameterizes a random topic tree.
+type TreeSpec struct {
+	// Depth is the maximum topic depth (>= 1).
+	Depth int
+	// MaxBranch bounds the children per topic (>= 1). The actual
+	// count per node is uniform in [1, MaxBranch].
+	MaxBranch int
+	// Prefix names the segments; segments are "<prefix><n>".
+	Prefix string
+}
+
+// Errors.
+var (
+	ErrBadSpec   = errors.New("workload: invalid tree spec")
+	ErrBadSizing = errors.New("workload: invalid sizing parameters")
+)
+
+// RandomTree builds a random topic hierarchy: starting from a single
+// depth-1 topic, each topic at depth < spec.Depth gets a uniform
+// number of children in [1, MaxBranch].
+func RandomTree(rng *rand.Rand, spec TreeSpec) (*topic.Hierarchy, error) {
+	if spec.Depth < 1 || spec.Depth > topic.MaxDepth || spec.MaxBranch < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadSpec, spec)
+	}
+	if spec.Prefix == "" {
+		spec.Prefix = "n"
+	}
+	h := topic.NewHierarchy()
+	seq := 0
+	nextSeg := func() string {
+		seq++
+		return fmt.Sprintf("%s%d", spec.Prefix, seq)
+	}
+	var grow func(parent topic.Topic, depth int) error
+	grow = func(parent topic.Topic, depth int) error {
+		if depth > spec.Depth {
+			return nil
+		}
+		kids := 1 + rng.Intn(spec.MaxBranch)
+		for i := 0; i < kids; i++ {
+			child, err := parent.Child(nextSeg())
+			if err != nil {
+				return err
+			}
+			if err := h.Add(child); err != nil {
+				return err
+			}
+			if err := grow(child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := grow(topic.Root, 1); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Chain returns the paper's linear hierarchy of the given depth as a
+// Hierarchy (levels T1..Tdepth below the root T0).
+func Chain(depth int) (*topic.Hierarchy, error) {
+	topics, err := topic.Chain(depth, "t")
+	if err != nil {
+		return nil, err
+	}
+	h := topic.NewHierarchy()
+	for _, t := range topics {
+		if err := h.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Sizing assigns subscriber counts to topics.
+type Sizing struct {
+	// RootSize is the population of the root group (>= 1).
+	RootSize int
+	// GrowthPerLevel multiplies the population per depth level
+	// (the paper uses 10: 10, 100, 1000). Must be >= 1.
+	GrowthPerLevel float64
+	// MaxSize caps any single group.
+	MaxSize int
+	// Jitter in [0,1) perturbs each size by ±Jitter·size.
+	Jitter float64
+}
+
+// PaperSizing reproduces §VII-A's 10×-per-level growth.
+func PaperSizing() Sizing {
+	return Sizing{RootSize: 10, GrowthPerLevel: 10, MaxSize: 1000}
+}
+
+// Assign computes a group size for every topic in h.
+func (s Sizing) Assign(rng *rand.Rand, h *topic.Hierarchy) (map[topic.Topic]int, error) {
+	if s.RootSize < 1 || s.GrowthPerLevel < 1 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadSizing, s)
+	}
+	if s.Jitter < 0 || s.Jitter >= 1 {
+		return nil, fmt.Errorf("%w: jitter %g", ErrBadSizing, s.Jitter)
+	}
+	out := make(map[topic.Topic]int, h.Len())
+	for _, t := range h.Topics() {
+		size := float64(s.RootSize) * math.Pow(s.GrowthPerLevel, float64(t.Depth()))
+		if s.Jitter > 0 {
+			size *= 1 + s.Jitter*(2*rng.Float64()-1)
+		}
+		n := int(math.Round(size))
+		if n < 1 {
+			n = 1
+		}
+		if s.MaxSize > 0 && n > s.MaxSize {
+			n = s.MaxSize
+		}
+		out[t] = n
+	}
+	return out, nil
+}
+
+// ZipfSizes distributes total subscribers over the topics with a
+// Zipf(s=exponent) rank distribution, deepest-first ranking — a
+// common model for subscription popularity skew. Every topic gets at
+// least one subscriber.
+func ZipfSizes(rng *rand.Rand, h *topic.Hierarchy, total int, exponent float64) (map[topic.Topic]int, error) {
+	if total < h.Len() {
+		return nil, fmt.Errorf("%w: total %d below topic count %d", ErrBadSizing, total, h.Len())
+	}
+	if exponent <= 0 {
+		return nil, fmt.Errorf("%w: exponent %g", ErrBadSizing, exponent)
+	}
+	topics := h.Topics()
+	// Deepest (most specific) topics get the top ranks, mirroring the
+	// paper's leaf-heavy populations.
+	for i, j := 0, len(topics)-1; i < j; i, j = i+1, j-1 {
+		topics[i], topics[j] = topics[j], topics[i]
+	}
+	weights := make([]float64, len(topics))
+	var norm float64
+	for i := range topics {
+		weights[i] = 1 / math.Pow(float64(i+1), exponent)
+		norm += weights[i]
+	}
+	out := make(map[topic.Topic]int, len(topics))
+	assigned := 0
+	for i, t := range topics {
+		n := int(float64(total) * weights[i] / norm)
+		if n < 1 {
+			n = 1
+		}
+		out[t] = n
+		assigned += n
+	}
+	// Distribute the rounding remainder (or trim overshoot) on the
+	// largest group.
+	out[topics[0]] += total - assigned
+	if out[topics[0]] < 1 {
+		out[topics[0]] = 1
+	}
+	_ = rng // reserved for future randomized tie-breaking
+	return out, nil
+}
+
+// Config assembles a sim.Config from a hierarchy and sizes, publishing
+// at the deepest (and with the paper's sizing, largest) topic.
+func Config(h *topic.Hierarchy, sizes map[topic.Topic]int, params core.Params,
+	psucc, alive float64, mode sim.FailureMode, seed int64) (sim.Config, error) {
+	var groups []sim.GroupSpec
+	var deepest topic.Topic
+	for _, t := range h.Topics() {
+		n, ok := sizes[t]
+		if !ok {
+			return sim.Config{}, fmt.Errorf("workload: no size for topic %s", t)
+		}
+		groups = append(groups, sim.GroupSpec{Topic: t, Size: n})
+		if deepest == "" || t.Depth() > deepest.Depth() {
+			deepest = t
+		}
+	}
+	cfg := sim.Config{
+		Groups:        groups,
+		Params:        params,
+		PSucc:         psucc,
+		AliveFraction: alive,
+		FailureMode:   mode,
+		PublishTopic:  deepest,
+		Publications:  1,
+		MaxRounds:     300,
+		Seed:          seed,
+	}
+	return cfg, cfg.Validate()
+}

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"damulticast/internal/core"
+	"damulticast/internal/sim"
+	"damulticast/internal/topic"
+)
+
+func newRng() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+func TestRandomTreeShape(t *testing.T) {
+	h, err := RandomTree(newRng(), TreeSpec{Depth: 3, MaxBranch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 3 {
+		t.Errorf("depth = %d", h.Depth())
+	}
+	if h.Len() < 4 { // root + at least one per level
+		t.Errorf("Len = %d", h.Len())
+	}
+	// Every non-root topic's parent is registered (tree property).
+	for _, tp := range h.Topics() {
+		if tp.IsRoot() {
+			continue
+		}
+		if !h.Contains(tp.Super()) {
+			t.Errorf("parent of %s missing", tp)
+		}
+	}
+}
+
+func TestRandomTreeValidation(t *testing.T) {
+	if _, err := RandomTree(newRng(), TreeSpec{Depth: 0, MaxBranch: 2}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RandomTree(newRng(), TreeSpec{Depth: 2, MaxBranch: 0}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := RandomTree(newRng(), TreeSpec{Depth: topic.MaxDepth + 1, MaxBranch: 1}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestChain(t *testing.T) {
+	h, err := Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 3 || h.Depth() != 2 {
+		t.Errorf("Len=%d Depth=%d", h.Len(), h.Depth())
+	}
+}
+
+func TestPaperSizing(t *testing.T) {
+	h, err := Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := PaperSizing().Assign(newRng(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{0: 10, 1: 100, 2: 1000}
+	for tp, n := range sizes {
+		if n != want[tp.Depth()] {
+			t.Errorf("size of %s = %d, want %d", tp, n, want[tp.Depth()])
+		}
+	}
+}
+
+func TestSizingValidationAndClamps(t *testing.T) {
+	h, _ := Chain(2)
+	if _, err := (Sizing{RootSize: 0, GrowthPerLevel: 2}).Assign(newRng(), h); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := (Sizing{RootSize: 1, GrowthPerLevel: 0.5}).Assign(newRng(), h); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := (Sizing{RootSize: 1, GrowthPerLevel: 2, Jitter: 1}).Assign(newRng(), h); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("err = %v", err)
+	}
+	sizes, err := Sizing{RootSize: 10, GrowthPerLevel: 10, MaxSize: 50}.Assign(newRng(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tp, n := range sizes {
+		if n > 50 {
+			t.Errorf("size of %s = %d above cap", tp, n)
+		}
+	}
+	// Jitter keeps sizes positive.
+	sizes, err = Sizing{RootSize: 1, GrowthPerLevel: 1, Jitter: 0.9}.Assign(newRng(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tp, n := range sizes {
+		if n < 1 {
+			t.Errorf("size of %s = %d", tp, n)
+		}
+	}
+}
+
+func TestZipfSizes(t *testing.T) {
+	h, err := RandomTree(newRng(), TreeSpec{Depth: 3, MaxBranch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 5000
+	sizes, err := ZipfSizes(newRng(), h, total, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, n := range sizes {
+		if n < 1 {
+			t.Fatalf("zero-size group")
+		}
+		sum += n
+	}
+	if sum != total {
+		t.Errorf("total = %d, want %d", sum, total)
+	}
+	// Validation.
+	if _, err := ZipfSizes(newRng(), h, h.Len()-1, 1.1); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ZipfSizes(newRng(), h, total, 0); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConfigBuildsValidSimConfig(t *testing.T) {
+	h, err := Chain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := Sizing{RootSize: 5, GrowthPerLevel: 3}.Assign(newRng(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.ShufflePeriod = 0
+	params.MaintainPeriod = 0
+	cfg, err := Config(h, sizes, params, 1, 1, sim.FailNone, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PublishTopic.Depth() != 2 {
+		t.Errorf("publish topic = %s", cfg.PublishTopic)
+	}
+	// The generated workload actually runs, reliably, end to end.
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parasites != 0 {
+		t.Errorf("parasites = %d", res.Parasites)
+	}
+	for tp, rel := range res.Reliability {
+		if rel < 1 {
+			t.Errorf("group %s reliability = %g under lossless/no-failure", tp, rel)
+		}
+	}
+	// Missing size is an error.
+	delete(sizes, cfg.PublishTopic)
+	if _, err := Config(h, sizes, params, 1, 1, sim.FailNone, 3); err == nil {
+		t.Error("missing size accepted")
+	}
+}
+
+// Property: any random tree + Zipf sizing yields a valid, runnable
+// sim.Config whose run produces no parasites.
+func TestPropGeneratedWorkloadsRun(t *testing.T) {
+	params := core.DefaultParams()
+	params.ShufflePeriod = 0
+	params.MaintainPeriod = 0
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := RandomTree(rng, TreeSpec{Depth: 1 + rng.Intn(3), MaxBranch: 1 + rng.Intn(2)})
+		if err != nil {
+			return false
+		}
+		sizes, err := ZipfSizes(rng, h, h.Len()*20, 1.2)
+		if err != nil {
+			return false
+		}
+		cfg, err := Config(h, sizes, params, 0.9, 0.8, sim.FailStillborn, seed)
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return false
+		}
+		return res.Parasites == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

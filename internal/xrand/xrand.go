@@ -1,0 +1,147 @@
+// Package xrand provides the small set of random primitives the
+// gossip protocols need — Bernoulli trials, uniform sampling without
+// replacement, shuffles — on top of a seedable *rand.Rand so that every
+// simulation run is reproducible from its seed.
+//
+// All functions take an explicit *rand.Rand; nothing in this package
+// touches the global math/rand source (avoid mutable globals).
+package xrand
+
+import (
+	"math"
+	"math/rand"
+
+	"damulticast/internal/ids"
+)
+
+// Bernoulli returns true with probability p. p <= 0 always returns
+// false; p >= 1 always returns true.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// SampleIDs returns min(k, len(pool)) distinct elements drawn uniformly
+// without replacement from pool. The pool itself is never mutated; the
+// result is a fresh slice. Order of the sample is random.
+func SampleIDs(r *rand.Rand, pool []ids.ProcessID, k int) []ids.ProcessID {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	if k >= len(pool) {
+		out := make([]ids.ProcessID, len(pool))
+		copy(out, pool)
+		Shuffle(r, out)
+		return out
+	}
+	// Partial Fisher-Yates over a copy of indices: O(len(pool)) setup,
+	// O(k) draws. For the table sizes in this system (tens of entries)
+	// this is both simple and fast.
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]ids.ProcessID, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, pool[idx[i]])
+	}
+	return out
+}
+
+// SampleExcluding samples k distinct ids from pool, never returning
+// any id in exclude. Matches the paper's Fig. 7 loop that selects
+// targets from Table \ Ω.
+func SampleExcluding(r *rand.Rand, pool []ids.ProcessID, k int, exclude map[ids.ProcessID]struct{}) []ids.ProcessID {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	filtered := make([]ids.ProcessID, 0, len(pool))
+	for _, p := range pool {
+		if _, skip := exclude[p]; !skip {
+			filtered = append(filtered, p)
+		}
+	}
+	return SampleIDs(r, filtered, k)
+}
+
+// Shuffle permutes s in place.
+func Shuffle(r *rand.Rand, s []ids.ProcessID) {
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// Pick returns one uniformly random element of pool and true, or the
+// zero ProcessID and false if pool is empty.
+func Pick(r *rand.Rand, pool []ids.ProcessID) (ids.ProcessID, bool) {
+	if len(pool) == 0 {
+		return "", false
+	}
+	return pool[r.Intn(len(pool))], true
+}
+
+// Fanout computes the paper's intra-group dissemination fanout
+// ln(S) + c for a group of size s, rounded up, never negative, and at
+// least 1 for any non-empty group (a process must be able to forward
+// even in tiny groups).
+func Fanout(s int, c float64) int {
+	if s <= 0 {
+		return 0
+	}
+	f := int(math.Ceil(math.Log(float64(s)) + c))
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// ViewSize computes the membership-table size (b+1)·ln(S) of the
+// underlying flat membership algorithm (Kermarrec-Massoulié-Ganesh,
+// paper ref [10]), rounded up, with a floor of 1 for non-empty groups.
+func ViewSize(s int, b float64) int {
+	if s <= 0 {
+		return 0
+	}
+	v := int(math.Ceil((b + 1) * math.Log(float64(s))))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// PSel computes the self-election probability g/S (clamped to [0,1])
+// with which a process decides to forward an event to its supertopic
+// table (paper §V-B).
+func PSel(g float64, s int) float64 {
+	if s <= 0 {
+		return 0
+	}
+	p := g / float64(s)
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// PA computes the per-superprocess send probability a/z (clamped).
+func PA(a float64, z int) float64 {
+	if z <= 0 {
+		return 0
+	}
+	p := a / float64(z)
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}

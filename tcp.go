@@ -1,0 +1,212 @@
+package damulticast
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport carries protocol frames over TCP with a 4-byte
+// big-endian length prefix. Each node listens on one address (which is
+// also its process id) and lazily maintains outbound connections to
+// its peers. Frame delivery remains best-effort: connection errors
+// surface as Send errors, which the protocol treats as channel losses.
+type TCPTransport struct {
+	listener net.Listener
+	addr     string
+
+	mu      sync.Mutex
+	handler func([]byte)
+	conns   map[string]net.Conn   // outbound, keyed by peer address
+	inbound map[net.Conn]struct{} // accepted connections being served
+	closed  bool
+	wg      sync.WaitGroup
+
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// MaxFrame bounds accepted frame sizes (default 1 MiB).
+	MaxFrame uint32
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// ErrFrameTooLarge signals an oversized inbound or outbound frame.
+var ErrFrameTooLarge = errors.New("damulticast: frame exceeds MaxFrame")
+
+// NewTCPTransport listens on listenAddr ("host:port", ":0" picks a
+// free port) and starts accepting inbound peers.
+func NewTCPTransport(listenAddr string) (*TCPTransport, error) {
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("damulticast: listen: %w", err)
+	}
+	t := &TCPTransport{
+		listener:    l,
+		addr:        l.Addr().String(),
+		conns:       make(map[string]net.Conn),
+		inbound:     make(map[net.Conn]struct{}),
+		DialTimeout: 2 * time.Second,
+		MaxFrame:    1 << 20,
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.addr }
+
+// SetHandler installs the receive callback.
+func (t *TCPTransport) SetHandler(h func([]byte)) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		payload, err := t.readFrame(r)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(payload)
+		}
+	}
+}
+
+func (t *TCPTransport) readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > t.MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Send frames and transmits payload to addr, dialing or reusing a
+// cached connection. A failed write evicts the cached connection so
+// the next Send redials.
+func (t *TCPTransport) Send(addr string, payload []byte) error {
+	if uint32(len(payload)) > t.MaxFrame {
+		return ErrFrameTooLarge
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTransportClosed
+	}
+	conn, ok := t.conns[addr]
+	t.mu.Unlock()
+
+	if !ok {
+		var err error
+		conn, err = net.DialTimeout("tcp", addr, t.DialTimeout)
+		if err != nil {
+			return fmt.Errorf("damulticast: dial %s: %w", addr, err)
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return ErrTransportClosed
+		}
+		if existing, race := t.conns[addr]; race {
+			// Another Send raced us; keep the existing connection.
+			t.mu.Unlock()
+			_ = conn.Close()
+			conn = existing
+		} else {
+			t.conns[addr] = conn
+			t.mu.Unlock()
+		}
+	}
+
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	if _, err := conn.Write(frame); err != nil {
+		t.mu.Lock()
+		if t.conns[addr] == conn {
+			delete(t.conns, addr)
+		}
+		t.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("damulticast: write %s: %w", addr, err)
+	}
+	return nil
+}
+
+// Close stops the listener and all connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[string]net.Conn)
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,153 @@
+package damulticast
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTCPTransportSendReceive(t *testing.T) {
+	a, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	var mu sync.Mutex
+	var got [][]byte
+	b.SetHandler(func(p []byte) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	if err := a.Send(b.Addr(), []byte("frame-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Addr(), []byte("frame-2")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	if string(got[0]) != "frame-1" || string(got[1]) != "frame-2" {
+		t.Errorf("frames = %q", got)
+	}
+	mu.Unlock()
+}
+
+func TestTCPTransportConnectionReuse(t *testing.T) {
+	a, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	var mu sync.Mutex
+	count := 0
+	b.SetHandler(func(p []byte) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	for i := 0; i < 50; i++ {
+		if err := a.Send(b.Addr(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return count == 50
+	})
+}
+
+func TestTCPTransportSendErrors(t *testing.T) {
+	a, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dialing a dead port fails.
+	if err := a.Send("127.0.0.1:1", []byte("x")); err == nil {
+		t.Error("send to dead port succeeded")
+	}
+	// Oversized frame.
+	a.MaxFrame = 4
+	if err := a.Send("127.0.0.1:1", []byte("toolong")); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("127.0.0.1:1", []byte("x")); !errors.Is(err, ErrTransportClosed) {
+		t.Errorf("send after close = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestTCPNodesEndToEnd(t *testing.T) {
+	ta, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := NewNode(Config{
+		Topic:        ".metrics",
+		Transport:    ta,
+		Params:       liveParams(),
+		TickInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewNode(Config{
+		Topic:         ".metrics",
+		Transport:     tb,
+		Params:        liveParams(),
+		GroupContacts: []string{ta.Addr()},
+		TickInterval:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := sub.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sub.Stop(); _ = pub.Stop() })
+
+	id, err := pub.Publish([]byte("cpu=97"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.Events():
+		if ev.ID != id || string(ev.Payload) != "cpu=97" {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event never crossed TCP")
+	}
+}

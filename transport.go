@@ -1,0 +1,189 @@
+package damulticast
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"damulticast/internal/core"
+)
+
+// Transport carries encoded protocol messages between nodes.
+// Implementations must be safe for concurrent use; Send may be called
+// from the node's protocol goroutine while the receive path runs on
+// transport goroutines. Delivery is best-effort: Send errors are
+// treated as channel losses by the protocol.
+type Transport interface {
+	// Addr returns the address other nodes use to reach this
+	// transport; it doubles as the node's default process id.
+	Addr() string
+	// Send transmits payload to the transport at addr.
+	Send(addr string, payload []byte) error
+	// SetHandler installs the receive callback. Must be called before
+	// any delivery; Node.Start does this.
+	SetHandler(func(payload []byte))
+	// Close releases resources; subsequent Sends fail.
+	Close() error
+}
+
+// encodeMessage serializes a protocol message as JSON. All message
+// fields are exported plain data, so encoding/json round-trips them.
+func encodeMessage(m *core.Message) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// decodeMessage parses a frame produced by encodeMessage.
+func decodeMessage(payload []byte) (*core.Message, error) {
+	var m core.Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("damulticast: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// Transport errors.
+var (
+	ErrTransportClosed = errors.New("damulticast: transport closed")
+	ErrUnknownAddr     = errors.New("damulticast: unknown address")
+	ErrDuplicateAddr   = errors.New("damulticast: duplicate address")
+)
+
+// MemNetwork is an in-process transport fabric for tests, examples and
+// single-binary deployments: every MemTransport created from it can
+// reach every other by address. Optionally lossy (LossRate) to emulate
+// the paper's unreliable channels.
+type MemNetwork struct {
+	mu         sync.RWMutex
+	transports map[string]*MemTransport
+	// LossRate in [0,1) drops that fraction of frames (test aid).
+	lossRate float64
+	lossSeq  uint64
+}
+
+// NewMemNetwork creates an empty fabric.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{transports: make(map[string]*MemTransport)}
+}
+
+// SetLossRate makes the fabric drop the given fraction of frames,
+// deterministically interleaved (every k-th frame pattern), which
+// keeps tests reproducible without a shared random source.
+func (n *MemNetwork) SetLossRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	if rate >= 1 {
+		rate = 0.999
+	}
+	n.lossRate = rate
+}
+
+// NewTransport registers a new endpoint with the given address.
+// Panics on duplicate addresses (programming error in fixtures).
+func (n *MemNetwork) NewTransport(addr string) *MemTransport {
+	t, err := n.AddTransport(addr)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AddTransport registers a new endpoint, failing on duplicates.
+func (n *MemNetwork) AddTransport(addr string) (*MemTransport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.transports[addr]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateAddr, addr)
+	}
+	t := &MemTransport{net: n, addr: addr}
+	n.transports[addr] = t
+	return t, nil
+}
+
+// deliver routes a frame to the destination's handler, applying loss.
+func (n *MemNetwork) deliver(to string, payload []byte) error {
+	n.mu.RLock()
+	target, ok := n.transports[to]
+	loss := n.lossRate
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+	}
+	if loss > 0 {
+		n.mu.Lock()
+		n.lossSeq++
+		drop := float64(n.lossSeq%1000) < loss*1000
+		n.mu.Unlock()
+		if drop {
+			return nil // silently lost, like a UDP drop
+		}
+	}
+	target.mu.RLock()
+	h := target.handler
+	closed := target.closed
+	target.mu.RUnlock()
+	if closed || h == nil {
+		return nil
+	}
+	// Copy the payload: the receiver must never alias sender buffers.
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	go h(cp)
+	return nil
+}
+
+// remove unregisters a closed endpoint.
+func (n *MemNetwork) remove(addr string) {
+	n.mu.Lock()
+	delete(n.transports, addr)
+	n.mu.Unlock()
+}
+
+// MemTransport is one endpoint of a MemNetwork.
+type MemTransport struct {
+	net  *MemNetwork
+	addr string
+
+	mu      sync.RWMutex
+	handler func([]byte)
+	closed  bool
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// Addr returns the endpoint address.
+func (t *MemTransport) Addr() string { return t.addr }
+
+// SetHandler installs the receive callback.
+func (t *MemTransport) SetHandler(h func([]byte)) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Send routes a frame through the fabric.
+func (t *MemTransport) Send(addr string, payload []byte) error {
+	t.mu.RLock()
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return ErrTransportClosed
+	}
+	return t.net.deliver(addr, payload)
+}
+
+// Close unregisters the endpoint.
+func (t *MemTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.net.remove(t.addr)
+	return nil
+}
