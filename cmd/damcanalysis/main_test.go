@@ -51,6 +51,19 @@ func TestRunSingleTable(t *testing.T) {
 	}
 }
 
+// TestRunMemTableShort keeps -short coverage alive: the memory table
+// only builds topologies (no dissemination), so a single replication
+// is cheap enough to run unconditionally.
+func TestRunMemTableShort(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "mem", "-runs", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Memory complexity") {
+		t.Error("missing memory table")
+	}
+}
+
 func TestRunBadTable(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-table", "bogus"}, &out); err == nil {

@@ -1,14 +1,22 @@
 // Command damcsim regenerates the paper's simulation figures
-// (Figs. 8-11 of "Data-Aware Multicast", DSN 2004) as CSV on stdout.
+// (Figs. 8-11 of "Data-Aware Multicast", DSN 2004) as CSV on stdout,
+// and runs large-scale dynamic scenarios on the sharded parallel
+// kernel.
 //
 // Usage:
 //
 //	damcsim -fig 8 [-runs 5] [-points 10] [-out fig8.csv]
 //	damcsim -fig all -runs 3
+//	damcsim -fig churn            # beyond-paper churn-wave sweep
+//	damcsim -scenario churn -n 20000 [-intensity 0.3] [-rounds 24] [-workers 0]
 //
 // Each figure sweeps the fraction of alive processes over the paper's
 // setting (t=3, S={1000,100,10}, b=3, c=5, g=5, a=1, z=3, psucc=0.85)
-// and prints one CSV block per figure.
+// and prints one CSV block per figure. Scenario mode builds one flat
+// group of -n processes and drives a named dynamic schedule (churn,
+// flashcrowd, partition, lossburst) through the parallel kernel,
+// printing a summary. Results are byte-identical for every -workers
+// value.
 package main
 
 import (
@@ -16,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"damulticast/internal/sim"
+	"damulticast/internal/topic"
 )
 
 func main() {
@@ -29,15 +39,24 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("damcsim", flag.ContinueOnError)
-	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11" or "all"`)
+	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn" or "all"`)
 	runs := fs.Int("runs", 3, "independent runs averaged per point")
 	points := fs.Int("points", 10, "alive-fraction points in (0, 1]")
 	out := fs.String("out", "", "write CSV to this file instead of stdout")
+	scenario := fs.String("scenario", "", `run a named scenario instead of figures (one of "churn", "flashcrowd", "partition", "lossburst")`)
+	n := fs.Int("n", 20000, "scenario population (processes)")
+	intensity := fs.Float64("intensity", 0, "scenario knob in [0,1]; 0 selects the scenario default")
+	rounds := fs.Int("rounds", 0, "scenario rounds; 0 selects the default")
+	workers := fs.Int("workers", 0, "kernel shard count; 0 = GOMAXPROCS, 1 = sequential")
+	seed := fs.Int64("seed", 1, "scenario random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *runs < 1 || *points < 1 {
 		return fmt.Errorf("runs and points must be >= 1")
+	}
+	if *scenario != "" {
+		return runScenario(stdout, *scenario, *n, *intensity, *rounds, *seed, *workers)
 	}
 
 	alives := make([]float64, 0, *points)
@@ -61,17 +80,18 @@ func run(args []string, stdout io.Writer) error {
 
 	type gen func([]float64, int) (*sim.Figure, error)
 	gens := map[string]gen{
-		"8":  sim.Figure8,
-		"9":  sim.Figure9,
-		"10": sim.Figure10,
-		"11": sim.Figure11,
+		"8":     sim.Figure8,
+		"9":     sim.Figure9,
+		"10":    sim.Figure10,
+		"11":    sim.Figure11,
+		"churn": sim.FigureChurn,
 	}
 	order := []string{"8", "9", "10", "11"}
 
 	selected := order
 	if *fig != "all" {
 		if _, ok := gens[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11 or all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn or all)", *fig)
 		}
 		selected = []string{*fig}
 	}
@@ -86,5 +106,31 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(w)
 	}
+	return nil
+}
+
+// runScenario builds and drives one named scenario on the sharded
+// kernel and prints a human-readable summary.
+func runScenario(w io.Writer, name string, n int, intensity float64, rounds int, seed int64, workers int) error {
+	cfg, sc, err := sim.BuiltinScenario(name, n, intensity, rounds, seed, workers)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := sim.RunScenario(cfg, sc)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "scenario %s: n=%d workers=%d rounds=%d seed=%d\n", sc.Name, n, workers, sc.Rounds, seed)
+	fmt.Fprintf(w, "  events sent:   %d\n", res.TotalEvents)
+	fmt.Fprintf(w, "  parasites:     %d\n", res.Parasites)
+	root := topic.Root
+	fmt.Fprintf(w, "  alive at end:  %d of %d\n", res.Alive[root], res.Size[root])
+	fmt.Fprintf(w, "  delivered:     %.4f of alive (%.4f of all)\n", res.Reliability[root], res.ReliabilityAll[root])
+	if r, ok := res.FirstDeliveryRound[root]; ok {
+		fmt.Fprintf(w, "  first delivery: round %d\n", r)
+	}
+	fmt.Fprintf(w, "  wall time:     %s\n", elapsed.Round(time.Millisecond))
 	return nil
 }

@@ -46,6 +46,39 @@ func TestRunWritesFile(t *testing.T) {
 	}
 }
 
+func TestRunScenarioMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "churn", "-n", "300", "-rounds", "12", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"scenario churn", "events sent", "delivered", "wall time"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scenario summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScenarioUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "bogus"}, &out); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunChurnFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size sweep")
+	}
+	var out strings.Builder
+	if err := run([]string{"-fig", "churn", "-runs", "1", "-points", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# churn:") {
+		t.Errorf("missing churn figure header:\n%s", out.String())
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-fig", "99"}, &out); err == nil {

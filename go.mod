@@ -1,0 +1,3 @@
+module damulticast
+
+go 1.24

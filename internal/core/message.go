@@ -60,6 +60,13 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("msgtype(%d)", int(t))
 }
 
+// Known reports whether t is a defined protocol message type. Codecs
+// use it to reject frames whose type field is missing or garbage.
+func (t MsgType) Known() bool {
+	_, ok := msgTypeNames[t]
+	return ok
+}
+
 // IsEvent reports whether messages of this type carry application
 // events (and therefore count toward the paper's message complexity).
 func (t MsgType) IsEvent() bool { return t == MsgEvent }

@@ -16,7 +16,13 @@ import (
 // the live runtime implements it with transports and channels.
 //
 // Implementations must be usable from the single goroutine driving the
-// Process; the Process itself never spawns goroutines.
+// Process; the Process itself never spawns goroutines. Drivers that
+// run many Processes concurrently (the sharded simulation kernel in
+// internal/simnet) must give every Process its own Env with a private
+// Rand stream (see xrand.NewStream) and per-process buffers: a Process
+// only ever touches its own Env, so per-process Envs need no locking,
+// and private streams keep runs deterministic regardless of how
+// processes interleave across goroutines.
 type Env interface {
 	// Send transmits m to the process identified by to, best-effort
 	// (the channel may drop it; the paper assumes unreliable links).

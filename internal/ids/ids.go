@@ -69,9 +69,12 @@ func NewSeenSet(capacity int) *SeenSet {
 	if capacity <= 0 {
 		capacity = DefaultSeenCap
 	}
+	// The map grows on demand toward cap; preallocating cap slots here
+	// would make building an N-process simulation O(N·cap) — ~46s of
+	// wall clock for 20k processes at the default window.
 	return &SeenSet{
 		cap: capacity,
-		set: make(map[EventID]struct{}, capacity),
+		set: make(map[EventID]struct{}),
 	}
 }
 

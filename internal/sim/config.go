@@ -5,6 +5,20 @@
 // (Fig. 8), inter-group message counts (Fig. 9) and delivery
 // reliability under stillborn (Fig. 10) and weakly consistent (Fig. 11)
 // failure models.
+//
+// The harness runs on internal/simnet's sharded parallel kernel:
+// Config.Workers picks the shard count (0 = GOMAXPROCS) and every
+// process owns a private random stream and delivery buffer, so the
+// same seed yields a deep-equal Result for ANY worker count — the
+// determinism regression tests in determinism_test.go enforce this.
+// This scales runs to tens of thousands of processes (see
+// bench_test.go's 20k/50k benchmarks).
+//
+// Beyond the paper's static failure models, the scenario engine
+// (scenario.go) injects timed dynamic events between rounds — churn
+// waves, flash-crowd subscriptions, group partitions and heals,
+// correlated loss bursts — declared as a Scenario value or picked from
+// BuiltinScenario's named presets, and driven by Runner.RunScenario.
 package sim
 
 import (
@@ -79,6 +93,11 @@ type Config struct {
 	MaxRounds int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers is the simulation kernel's shard count: the round phase
+	// runs across this many goroutines. 0 selects GOMAXPROCS, 1 is the
+	// sequential kernel. The Result is byte-identical for every value
+	// (see internal/simnet's determinism contract).
+	Workers int
 }
 
 // Validation errors.

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// resultForWorkers runs the same configuration with a given kernel
+// shard count.
+func resultForWorkers(t *testing.T, base Config, workers int) *Result {
+	t.Helper()
+	cfg := base
+	cfg.Workers = workers
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWorkerCountInvariance is the determinism regression test: the
+// same seed and config must yield a deep-equal Result (every map
+// included) for worker counts 1, 2 and 8 — the sharded kernel's
+// byte-identical contract, end to end through the full experiment
+// harness.
+func TestWorkerCountInvariance(t *testing.T) {
+	configs := map[string]Config{
+		"static-stillborn": smallConfig(0.6, 77),
+		"per-observer": func() Config {
+			c := smallConfig(0.5, 13)
+			c.FailureMode = FailPerObserver
+			return c
+		}(),
+		"dynamic-membership": dynamicConfig(0.8, 21),
+		"multi-publication": func() Config {
+			c := smallConfig(1, 5)
+			c.Publications = 3
+			return c
+		}(),
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			ref := resultForWorkers(t, cfg, 1)
+			if ref.TotalEvents == 0 {
+				t.Fatal("reference run sent nothing")
+			}
+			for _, workers := range []int{2, 8} {
+				got := resultForWorkers(t, cfg, workers)
+				if !reflect.DeepEqual(ref, got) {
+					t.Errorf("workers=%d Result differs from sequential kernel:\nseq: %+v\ngot: %+v", workers, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvarianceScenario extends the contract to the
+// dynamic scenario engine: churn waves, partitions and loss bursts
+// injected between parallel rounds must not break worker-count
+// invariance.
+func TestWorkerCountInvarianceScenario(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		cfg, sc, err := BuiltinScenario("churn", 300, 0.4, 16, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunScenario(cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d scenario Result differs from sequential kernel", workers)
+		}
+	}
+}
+
+// TestDefaultWorkersMatchSequential: leaving Workers at zero (the
+// GOMAXPROCS default) is also byte-identical to the sequential kernel.
+func TestDefaultWorkersMatchSequential(t *testing.T) {
+	ref := resultForWorkers(t, smallConfig(0.7, 3), 1)
+	got := resultForWorkers(t, smallConfig(0.7, 3), 0)
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("default worker count differs from sequential kernel")
+	}
+}

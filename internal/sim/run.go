@@ -69,17 +69,21 @@ func (n *node) HandleMessage(msg any) {
 	}
 }
 
-// nodeEnv implements core.Env on the kernel.
+// nodeEnv implements core.Env on the kernel. Each process owns a
+// private random stream (derived from the run seed and its id) and a
+// private delivery buffer, so HandleMessage can run on any shard
+// goroutine without contending on shared state; the Runner flushes the
+// buffers serially in insertion order at the end of every round.
 type nodeEnv struct {
 	id      ids.ProcessID
 	net     *simnet.Network
 	overlay *[]ids.ProcessID
 	rng     *rand.Rand
-	deliver func(id ids.ProcessID, ev *core.Event)
+	pending []*core.Event // deliveries buffered during the round phase
 }
 
 func (e *nodeEnv) Send(to ids.ProcessID, m *core.Message) { e.net.Send(e.id, to, m) }
-func (e *nodeEnv) Deliver(ev *core.Event)                 { e.deliver(e.id, ev) }
+func (e *nodeEnv) Deliver(ev *core.Event)                 { e.pending = append(e.pending, ev) }
 func (e *nodeEnv) Rand() *rand.Rand                       { return e.rng }
 func (e *nodeEnv) Neighborhood(k int) []ids.ProcessID {
 	return xrand.SampleIDs(e.rng, *e.overlay, k)
@@ -95,6 +99,7 @@ type Runner struct {
 	byID    map[ids.ProcessID]*core.Process
 	topicOf map[ids.ProcessID]topic.Topic
 	overlay []ids.ProcessID
+	envs    []*nodeEnv // insertion order, for deterministic delivery flush
 	// received[eventID][process] marks deliveries.
 	received map[ids.EventID]map[ids.ProcessID]bool
 	// firstRound[group] is the earliest round any member delivered.
@@ -122,6 +127,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	r.net.PSucc = cfg.PSucc
 	r.net.OnSend = r.onSend
+	r.net.OnRoundEnd = r.flushDeliveries
+	r.net.Workers = cfg.Workers
 
 	// Periodic protocol tasks only matter when the config enables
 	// them; the paper's figure runs use static tables.
@@ -137,8 +144,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 				id:      id,
 				net:     r.net,
 				overlay: &r.overlay,
-				rng:     r.net.Rand(),
-				deliver: r.onDeliver,
+				rng:     xrand.NewStream(cfg.Seed, "proc:"+string(id)),
 			}
 			proc, err := core.NewProcess(id, g.Topic, params, env)
 			if err != nil {
@@ -148,6 +154,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			r.byID[id] = proc
 			r.topicOf[id] = g.Topic
 			r.overlay = append(r.overlay, id)
+			r.envs = append(r.envs, env)
 			if err := r.net.AddNode(&node{proc: proc, env: env}); err != nil {
 				return nil, err
 			}
@@ -254,8 +261,22 @@ func (r *Runner) onSend(env simnet.Envelope, dropped bool) {
 	}
 }
 
-// onDeliver records deliveries and checks the no-parasite invariant.
-func (r *Runner) onDeliver(id ids.ProcessID, ev *core.Event) {
+// flushDeliveries drains every node's buffered deliveries serially in
+// insertion order at the end of a round — the only point where the
+// shared tracking maps are written, so the parallel phase stays
+// race-free and the recorded order is canonical for any worker count.
+func (r *Runner) flushDeliveries(round int) {
+	for _, e := range r.envs {
+		for _, ev := range e.pending {
+			r.recordDeliver(e.id, ev, round)
+		}
+		e.pending = e.pending[:0]
+	}
+}
+
+// recordDeliver records one delivery and checks the no-parasite
+// invariant.
+func (r *Runner) recordDeliver(id ids.ProcessID, ev *core.Event, round int) {
 	gt := r.topicOf[id]
 	if !gt.Includes(ev.Topic) {
 		r.reg.IncParasite(gt)
@@ -266,7 +287,7 @@ func (r *Runner) onDeliver(id ids.ProcessID, ev *core.Event) {
 		set[id] = true
 	}
 	if _, ok := r.firstRound[gt]; !ok {
-		r.firstRound[gt] = r.net.Round()
+		r.firstRound[gt] = round
 	}
 }
 
@@ -275,7 +296,13 @@ func (r *Runner) onDeliver(id ids.ProcessID, ev *core.Event) {
 // the network is subsequently stepped, so registering the tracking set
 // right after Publish is race-free.
 func (r *Runner) PublishFrom(rng *rand.Rand) (ids.EventID, error) {
-	members := r.groups[r.cfg.PublishTopic]
+	return r.publishFromGroup(r.cfg.PublishTopic, rng)
+}
+
+// publishFromGroup publishes one event from a random alive member of
+// the given group.
+func (r *Runner) publishFromGroup(t topic.Topic, rng *rand.Rand) (ids.EventID, error) {
+	members := r.groups[t]
 	alive := make([]*core.Process, 0, len(members))
 	for _, p := range members {
 		if !p.Stopped() {
@@ -283,7 +310,7 @@ func (r *Runner) PublishFrom(rng *rand.Rand) (ids.EventID, error) {
 		}
 	}
 	if len(alive) == 0 {
-		return ids.EventID{}, fmt.Errorf("sim: no alive publisher in %s", r.cfg.PublishTopic)
+		return ids.EventID{}, fmt.Errorf("sim: no alive publisher in %s", t)
 	}
 	pub := alive[rng.Intn(len(alive))]
 	r.pubCount++

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"damulticast/internal/core"
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+	"damulticast/internal/xrand"
+)
+
+// ScenarioKind enumerates the dynamic events a scenario can inject
+// between simulation rounds.
+type ScenarioKind int
+
+// Scenario event kinds.
+const (
+	// ScenarioPublish publishes one event from a random alive member
+	// of the publish group (Topic overrides the config's PublishTopic
+	// when set).
+	ScenarioPublish ScenarioKind = iota + 1
+	// ScenarioCrashWave stops and crashes Fraction of the currently
+	// alive members of Topic (every group when Topic is empty) — a
+	// correlated churn wave.
+	ScenarioCrashWave
+	// ScenarioFlashCrowd restarts Fraction of the currently stopped
+	// members of Topic (every group when empty) and seeds their
+	// membership tables afresh — a burst of simultaneous
+	// subscriptions.
+	ScenarioFlashCrowd
+	// ScenarioPartition splits the members of Topic (every group when
+	// empty) into Cells cells; messages crossing cells are dropped
+	// until a ScenarioHeal.
+	ScenarioPartition
+	// ScenarioHeal removes the current partition.
+	ScenarioHeal
+	// ScenarioLossBurst sets the channel success probability to PSucc
+	// (correlated message loss) until a ScenarioLossRestore.
+	ScenarioLossBurst
+	// ScenarioLossRestore restores the configured channel success
+	// probability.
+	ScenarioLossRestore
+)
+
+var scenarioKindNames = map[ScenarioKind]string{
+	ScenarioPublish:     "publish",
+	ScenarioCrashWave:   "crash-wave",
+	ScenarioFlashCrowd:  "flash-crowd",
+	ScenarioPartition:   "partition",
+	ScenarioHeal:        "heal",
+	ScenarioLossBurst:   "loss-burst",
+	ScenarioLossRestore: "loss-restore",
+}
+
+// String names the scenario kind.
+func (k ScenarioKind) String() string {
+	if s, ok := scenarioKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("scenariokind(%d)", int(k))
+}
+
+// ScenarioEvent is one timed injection. Round r means "after r rounds
+// have executed": round 0 events apply before the first Step.
+type ScenarioEvent struct {
+	Round int
+	Kind  ScenarioKind
+	// Topic targets one group; empty targets every group (crash,
+	// flash-crowd, partition) or the config's PublishTopic (publish).
+	Topic topicOrAll
+	// Fraction of candidates affected (crash-wave, flash-crowd).
+	Fraction float64
+	// Cells is the partition cell count (>= 2).
+	Cells int
+	// PSucc is the loss-burst channel success probability in (0, 1].
+	PSucc float64
+}
+
+// topicOrAll aliases topic.Topic for scenario targeting; the empty
+// value means "all groups".
+type topicOrAll = topic.Topic
+
+// Scenario is a deterministic schedule of dynamic events driven over a
+// fixed number of rounds. The same scenario with the same Config seed
+// yields a byte-identical Result for any kernel worker count.
+type Scenario struct {
+	Name   string
+	Rounds int
+	Events []ScenarioEvent
+}
+
+// Scenario validation errors.
+var (
+	ErrBadRounds    = errors.New("sim: scenario rounds must be >= 1")
+	ErrBadEvent     = errors.New("sim: bad scenario event")
+	ErrNoPartition  = errors.New("sim: heal without partition")
+	ErrBadEventKind = errors.New("sim: unknown scenario event kind")
+)
+
+// Validate checks the scenario against basic well-formedness rules,
+// including that every heal is preceded (in round order) by a
+// partition.
+func (s Scenario) Validate() error {
+	if s.Rounds < 1 {
+		return ErrBadRounds
+	}
+	for i, ev := range s.Events {
+		if ev.Round < 0 || ev.Round >= s.Rounds {
+			return fmt.Errorf("%w: event %d round %d outside [0, %d)", ErrBadEvent, i, ev.Round, s.Rounds)
+		}
+		switch ev.Kind {
+		case ScenarioPublish, ScenarioHeal, ScenarioLossRestore:
+		case ScenarioCrashWave, ScenarioFlashCrowd:
+			if ev.Fraction < 0 || ev.Fraction > 1 {
+				return fmt.Errorf("%w: event %d fraction %g", ErrBadEvent, i, ev.Fraction)
+			}
+		case ScenarioPartition:
+			if ev.Cells < 2 {
+				return fmt.Errorf("%w: event %d needs >= 2 cells", ErrBadEvent, i)
+			}
+		case ScenarioLossBurst:
+			if ev.PSucc <= 0 || ev.PSucc > 1 {
+				return fmt.Errorf("%w: event %d psucc %g", ErrBadEvent, i, ev.PSucc)
+			}
+		default:
+			return fmt.Errorf("%w: %d", ErrBadEventKind, int(ev.Kind))
+		}
+	}
+	// A heal must follow a partition in application (round) order —
+	// the same order RunScenario uses.
+	ordered := make([]ScenarioEvent, len(s.Events))
+	copy(ordered, s.Events)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Round < ordered[j].Round })
+	partitioned := false
+	for _, ev := range ordered {
+		switch ev.Kind {
+		case ScenarioPartition:
+			partitioned = true
+		case ScenarioHeal:
+			if !partitioned {
+				return fmt.Errorf("%w: heal at round %d", ErrNoPartition, ev.Round)
+			}
+			partitioned = false
+		}
+	}
+	return nil
+}
+
+// RunScenario drives the built network through the scenario: events
+// apply serially between rounds, every round steps the (possibly
+// sharded) kernel once, and the aggregate Result covers all scenario
+// publications. Unlike Run, the network does not stop at quiescence —
+// exactly sc.Rounds rounds execute.
+func (r *Runner) RunScenario(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	events := make([]ScenarioEvent, len(sc.Events))
+	copy(events, sc.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Round < events[j].Round })
+
+	var evs []ids.EventID
+	ei := 0
+	for round := 0; round < sc.Rounds; round++ {
+		for ei < len(events) && events[ei].Round <= round {
+			if err := r.applyEvent(events[ei], &evs); err != nil {
+				return nil, err
+			}
+			ei++
+		}
+		r.net.Step()
+	}
+	return r.collect(evs, sc.Rounds), nil
+}
+
+// RunScenario builds a network for cfg and drives it through sc.
+func RunScenario(cfg Config, sc Scenario) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunScenario(sc)
+}
+
+// targetGroups resolves an event's topic to group specs, in config
+// order (deterministic).
+func (r *Runner) targetGroups(t topicOrAll) []GroupSpec {
+	if t == "" {
+		return r.cfg.Groups
+	}
+	for _, g := range r.cfg.Groups {
+		if g.Topic == t {
+			return []GroupSpec{g}
+		}
+	}
+	return nil
+}
+
+// applyEvent injects one scenario event. All mutations run serially
+// between rounds and draw from the kernel's serial stream, so they are
+// independent of the worker count.
+func (r *Runner) applyEvent(ev ScenarioEvent, evs *[]ids.EventID) error {
+	switch ev.Kind {
+	case ScenarioPublish:
+		pubTopic := r.cfg.PublishTopic
+		if ev.Topic != "" {
+			pubTopic = ev.Topic
+		}
+		id, err := r.publishFromGroup(pubTopic, r.net.Rand())
+		if err != nil {
+			return err
+		}
+		*evs = append(*evs, id)
+	case ScenarioCrashWave:
+		rng := r.net.Rand()
+		for _, g := range r.targetGroups(ev.Topic) {
+			var alive []*core.Process
+			for _, p := range r.groups[g.Topic] {
+				if !p.Stopped() {
+					alive = append(alive, p)
+				}
+			}
+			nCrash := int(float64(len(alive)) * ev.Fraction)
+			perm := rng.Perm(len(alive))
+			for i := 0; i < nCrash; i++ {
+				p := alive[perm[i]]
+				p.Stop()
+				if err := r.net.Crash(p.ID()); err != nil {
+					return err
+				}
+			}
+		}
+	case ScenarioFlashCrowd:
+		rng := r.net.Rand()
+		for _, g := range r.targetGroups(ev.Topic) {
+			members := r.groups[g.Topic]
+			memberIDs := make([]ids.ProcessID, len(members))
+			for i, p := range members {
+				memberIDs[i] = p.ID()
+			}
+			var stopped []*core.Process
+			for _, p := range members {
+				if p.Stopped() {
+					stopped = append(stopped, p)
+				}
+			}
+			nJoin := int(float64(len(stopped)) * ev.Fraction)
+			tableCap := xrand.ViewSize(g.Size, r.cfg.Params.B)
+			superTopic, superIDs := r.nearestSupergroup(g.Topic)
+			perm := rng.Perm(len(stopped))
+			for i := 0; i < nJoin; i++ {
+				p := stopped[perm[i]]
+				p.Restart()
+				r.net.Recover(p.ID())
+				p.SeedTopicTable(sampleOthers(rng, memberIDs, p.ID(), tableCap))
+				if superTopic != "" {
+					p.SeedSuperTable(superTopic, xrand.SampleIDs(rng, superIDs, r.cfg.Params.Z))
+				}
+			}
+		}
+	case ScenarioPartition:
+		cells := make(map[ids.ProcessID]int)
+		for _, g := range r.targetGroups(ev.Topic) {
+			for _, p := range r.groups[g.Topic] {
+				id := p.ID()
+				cells[id] = int(xrand.HashUniform(r.cfg.Seed+int64(ev.Round), "cell:"+string(id)) * float64(ev.Cells))
+			}
+		}
+		r.net.SetLinkDown(func(from, to ids.ProcessID) bool {
+			cf, okf := cells[from]
+			ct, okt := cells[to]
+			return okf && okt && cf != ct
+		})
+	case ScenarioHeal:
+		r.net.SetLinkDown(nil)
+	case ScenarioLossBurst:
+		r.net.PSucc = ev.PSucc
+	case ScenarioLossRestore:
+		r.net.PSucc = r.cfg.PSucc
+	default:
+		return fmt.Errorf("%w: %d", ErrBadEventKind, int(ev.Kind))
+	}
+	return nil
+}

@@ -187,3 +187,58 @@ func Figure10(alives []float64, runsPerPoint int) (*Figure, error) {
 func Figure11(alives []float64, runsPerPoint int) (*Figure, error) {
 	return reliabilityFigure("fig11", FailPerObserver, alives, runsPerPoint)
 }
+
+// FigureChurn goes beyond the paper: it sweeps the size of a crash
+// wave hitting the publish group two rounds into dissemination and
+// reports each group's delivered fraction. The x-axis is the fraction
+// of processes SURVIVING the wave, so the curve reads like Figs. 10/11
+// (right edge = no churn). Each point runs the paper topology on the
+// sharded kernel; runsPerPoint independent runs are averaged.
+func FigureChurn(survives []float64, runsPerPoint int) (*Figure, error) {
+	if runsPerPoint < 1 {
+		runsPerPoint = 1
+	}
+	var rows []Row
+	nameSet := map[string]bool{}
+	for i, survive := range survives {
+		acc := map[string]float64{}
+		for run := 0; run < runsPerPoint; run++ {
+			seed := int64(1000*i + run + 1)
+			cfg := PaperConfig(1, seed)
+			cfg.FailureMode = FailNone
+			sc := Scenario{
+				Name:   "churn-wave",
+				Rounds: 30, // gossip quiesces in ~O(log S) rounds; 30 is ample
+				Events: []ScenarioEvent{
+					{Round: 0, Kind: ScenarioPublish},
+					{Round: 2, Kind: ScenarioCrashWave, Topic: cfg.PublishTopic, Fraction: 1 - survive},
+				},
+			}
+			res, err := RunScenario(cfg, sc)
+			if err != nil {
+				return nil, err
+			}
+			for t, v := range res.ReliabilityAll {
+				name := groupSeriesName(t)
+				acc[name] += v
+				nameSet[name] = true
+			}
+		}
+		for k := range acc {
+			acc[k] /= float64(runsPerPoint)
+		}
+		rows = append(rows, Row{Alive: survive, Values: acc})
+	}
+	names := make([]string, 0, len(nameSet))
+	for k := range nameSet {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return &Figure{
+		Name:   "churn",
+		XLabel: "fraction surviving the churn wave",
+		YLabel: "fraction of processes receiving",
+		Series: names,
+		Rows:   rows,
+	}, nil
+}

@@ -1,0 +1,230 @@
+package simnet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/xrand"
+)
+
+// chatterNode deterministically gossips: on every message it forwards
+// to a few pseudo-random peers drawn from its own stream, recording
+// everything it receives in order.
+type chatterNode struct {
+	id       ids.ProcessID
+	net      *Network
+	peers    []ids.ProcessID
+	rng      interface{ Intn(int) int }
+	hops     int
+	received []string
+	ticks    int
+}
+
+func (c *chatterNode) ID() ids.ProcessID { return c.id }
+func (c *chatterNode) Tick()             { c.ticks++ }
+func (c *chatterNode) HandleMessage(msg any) {
+	s := msg.(string)
+	c.received = append(c.received, s)
+	if c.hops <= 0 {
+		return
+	}
+	c.hops--
+	for i := 0; i < 3; i++ {
+		to := c.peers[c.rng.Intn(len(c.peers))]
+		c.net.Send(c.id, to, s+">"+string(c.id))
+	}
+}
+
+// buildChatter assembles n chatter nodes with per-node streams.
+func buildChatter(t *testing.T, seed int64, n, workers int) (*Network, []*chatterNode) {
+	t.Helper()
+	net := New(seed)
+	net.Workers = workers
+	net.PSucc = 0.8
+	peers := make([]ids.ProcessID, n)
+	for i := range peers {
+		peers[i] = ids.ProcessID(fmt.Sprintf("n%03d", i))
+	}
+	nodes := make([]*chatterNode, n)
+	for i, id := range peers {
+		nodes[i] = &chatterNode{
+			id:    id,
+			net:   net,
+			peers: peers,
+			rng:   xrand.NewStream(seed, "node:"+string(id)),
+			hops:  4,
+		}
+		if err := net.AddNode(nodes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, nodes
+}
+
+// traceRun drives a gossip storm and returns every node's full
+// delivery log plus the kernel's per-round observable stream.
+func traceRun(t *testing.T, seed int64, n, workers int) (logs map[ids.ProcessID][]string, sends []string) {
+	t.Helper()
+	net, nodes := buildChatter(t, seed, n, workers)
+	net.TickNodes = true
+	net.OnSend = func(env Envelope, dropped bool) {
+		sends = append(sends, fmt.Sprintf("%s->%s#%d:%v:%v", env.From, env.To, env.Seq, env.Msg, dropped))
+	}
+	for i := 0; i < 5; i++ {
+		net.Send(nodes[0].id, nodes[i%n].id, fmt.Sprintf("seed%d", i))
+	}
+	for r := 0; r < 12; r++ {
+		net.Step()
+	}
+	logs = make(map[ids.ProcessID][]string, n)
+	for _, nd := range nodes {
+		logs[nd.id] = nd.received
+	}
+	return logs, sends
+}
+
+// TestParallelDeterminism is the kernel's core contract: worker counts
+// 1, 2 and 8 produce byte-identical delivery logs AND an identical
+// OnSend stream (same envelopes, same order, same drop decisions).
+func TestParallelDeterminism(t *testing.T) {
+	refLogs, refSends := traceRun(t, 99, 37, 1)
+	for _, workers := range []int{2, 8} {
+		logs, sends := traceRun(t, 99, 37, workers)
+		if !reflect.DeepEqual(refLogs, logs) {
+			t.Errorf("workers=%d: delivery logs differ from sequential kernel", workers)
+		}
+		if !reflect.DeepEqual(refSends, sends) {
+			t.Errorf("workers=%d: OnSend stream differs from sequential kernel", workers)
+		}
+	}
+}
+
+// TestParallelDeliversEverything sanity-checks that sharding does not
+// lose or duplicate deliveries relative to the sequential kernel.
+func TestParallelDeliversEverything(t *testing.T) {
+	count := func(workers int) int {
+		net, nodes := buildChatter(t, 7, 20, workers)
+		net.PSucc = 1
+		for i := 0; i < 20; i++ {
+			net.Send("ext", nodes[i].id, "boot")
+		}
+		total := 0
+		for r := 0; r < 10; r++ {
+			total += net.Step()
+		}
+		return total
+	}
+	seq := count(1)
+	if seq == 0 {
+		t.Fatal("sequential run delivered nothing")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := count(workers); got != seq {
+			t.Errorf("workers=%d delivered %d, sequential %d", workers, got, seq)
+		}
+	}
+}
+
+// TestWorkersExceedingNodes clamps gracefully.
+func TestWorkersExceedingNodes(t *testing.T) {
+	net, nodes := buildChatter(t, 3, 2, 64)
+	net.Send(nodes[0].id, nodes[1].id, "x")
+	if got := net.Step(); got != 1 {
+		t.Errorf("delivered %d", got)
+	}
+}
+
+// TestLinkDown verifies the partition primitive: severed links drop,
+// OnSend observes the drop, and healing restores delivery.
+func TestLinkDown(t *testing.T) {
+	net := New(1)
+	a := &chatterNode{id: "a"}
+	b := &chatterNode{id: "b"}
+	for _, nd := range []*chatterNode{a, b} {
+		if err := net.AddNode(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var drops int
+	net.OnSend = func(env Envelope, dropped bool) {
+		if dropped {
+			drops++
+		}
+	}
+	net.SetLinkDown(func(from, to ids.ProcessID) bool { return from == "a" && to == "b" })
+	net.Send("a", "b", "blocked")
+	net.Send("b", "a", "passes")
+	net.Step()
+	if len(b.received) != 0 {
+		t.Error("partitioned link delivered")
+	}
+	if len(a.received) != 1 {
+		t.Error("reverse direction did not deliver")
+	}
+	if drops != 1 {
+		t.Errorf("drops = %d", drops)
+	}
+	net.SetLinkDown(nil)
+	net.Send("a", "b", "healed")
+	net.Step()
+	if len(b.received) != 1 {
+		t.Error("healed link did not deliver")
+	}
+}
+
+// TestOnRoundEnd fires serially once per Step with the round number.
+func TestOnRoundEnd(t *testing.T) {
+	net := New(1)
+	var rounds []int
+	net.OnRoundEnd = func(r int) { rounds = append(rounds, r) }
+	net.Step()
+	net.Step()
+	if !reflect.DeepEqual(rounds, []int{1, 2}) {
+		t.Errorf("rounds = %v", rounds)
+	}
+}
+
+// TestCanonicalMergeOrder: sends buffered during a phase surface to
+// OnSend sorted by (From, To, Seq) regardless of handling order.
+func TestCanonicalMergeOrder(t *testing.T) {
+	net := New(5)
+	net.Workers = 4
+	mk := func(id ids.ProcessID, targets []ids.ProcessID) {
+		nd := &fanNode{id: id, net: net, targets: targets}
+		if err := net.AddNode(nd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("z", []ids.ProcessID{"w", "x"})
+	mk("y", []ids.ProcessID{"z", "w"})
+	mk("x", nil)
+	mk("w", nil)
+	net.Send("ext", "z", "go")
+	net.Send("ext", "y", "go")
+	var order []string
+	net.OnSend = func(env Envelope, dropped bool) {
+		order = append(order, fmt.Sprintf("%s->%s", env.From, env.To))
+	}
+	net.Step()
+	want := []string{"y->w", "y->z", "z->w", "z->x"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("merge order = %v, want %v", order, want)
+	}
+}
+
+// fanNode forwards each message to a fixed target list.
+type fanNode struct {
+	id      ids.ProcessID
+	net     *Network
+	targets []ids.ProcessID
+}
+
+func (f *fanNode) ID() ids.ProcessID { return f.id }
+func (f *fanNode) Tick()             {}
+func (f *fanNode) HandleMessage(msg any) {
+	for _, to := range f.targets {
+		f.net.Send(f.id, to, msg)
+	}
+}

@@ -10,19 +10,55 @@
 //     one observer while appearing alive to another (Fig. 11); the
 //     appearance is fixed per (observer, target) pair for the run.
 //
-// Messages sent in round r are delivered in round r+1. The kernel is
-// single-threaded and fully deterministic given its seed.
+// Messages sent in round r are delivered in round r+1.
+//
+// # Sharded parallel execution
+//
+// The kernel partitions its nodes into P shards (Workers; default
+// GOMAXPROCS) and runs each round's HandleMessage/Tick phase
+// concurrently, one goroutine per shard. Determinism is preserved by
+// construction, not by locks:
+//
+//   - every node draws randomness from its own stream, never from a
+//     shared source, so the interleaving of shards cannot change what
+//     any node observes;
+//   - channel-loss coins are drawn from a per-sender stream owned by
+//     the kernel, in the sender's deterministic send order;
+//   - per-pair failure appearances (SetPairDown) and link filters
+//     (SetLinkDown) must be pure functions — PairDownCoin builds one
+//     from a stateless hash;
+//   - sends buffer into per-sender outboxes during the phase and merge
+//     into the next round's queue in a canonical order, sorted by
+//     (From, To, Seq), after all shards join. OnSend observers fire
+//     serially during the merge, in that same canonical order.
+//
+// Consequently a run's full observable behavior — deliveries, their
+// order, loss decisions, OnSend sequences — is byte-identical for every
+// worker count, including Workers=1 (the sequential kernel).
+//
+// Contract for nodes under parallel execution: HandleMessage and Tick
+// may touch only the node's own state, and Send during a phase must
+// use the handling node's own id as From. Mutating kernel topology
+// (AddNode, Crash, Recover, SetPairDown, SetLinkDown, Workers) is
+// legal only between rounds.
 package simnet
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 
 	"damulticast/internal/ids"
+	"damulticast/internal/xrand"
 )
 
 // Node is a simulated process: a message-driven state machine.
+// Under parallel execution HandleMessage and Tick are invoked from the
+// shard goroutine owning the node; they must not touch other nodes'
+// state or shared mutable structures.
 type Node interface {
 	// ID returns the node's identity.
 	ID() ids.ProcessID
@@ -32,9 +68,11 @@ type Node interface {
 	Tick()
 }
 
-// Envelope is one in-flight message.
+// Envelope is one in-flight message. Seq is the per-sender send
+// counter, part of the canonical (From, To, Seq) merge order.
 type Envelope struct {
 	From, To ids.ProcessID
+	Seq      uint64
 	Msg      any
 }
 
@@ -44,14 +82,36 @@ var (
 	ErrUnknownNode   = errors.New("simnet: unknown node id")
 )
 
+// pendingSend is a buffered send attempt: the loss decision is made at
+// send time (from the sender's deterministic streams) and carried to
+// the serial merge, where OnSend observes it in canonical order.
+type pendingSend struct {
+	env     Envelope
+	dropped bool
+}
+
+// senderCtx is the kernel's per-sender state: the outbox buffered
+// during a parallel phase, the monotonic send counter, and the loss
+// stream. Each ctx is only ever touched by the goroutine currently
+// running its node (or the serial driver), so no locking is needed.
+type senderCtx struct {
+	out  []pendingSend
+	seq  uint64
+	loss *rand.Rand
+}
+
 // Network is the simulation kernel.
 type Network struct {
+	seed  int64
 	rng   *rand.Rand
 	nodes map[ids.ProcessID]Node
-	order []ids.ProcessID // insertion order, for deterministic iteration
+	order []ids.ProcessID       // insertion order, for deterministic iteration
+	index map[ids.ProcessID]int // id -> insertion index (shard assignment)
+	ctx   map[ids.ProcessID]*senderCtx
 
-	queue []Envelope // deliveries for the next round
-	round int
+	queue    []Envelope // deliveries for the next round, canonical order
+	round    int
+	stepping bool // inside a parallel phase: Sends buffer to outboxes
 
 	// PSucc is the per-message channel success probability (1 = lossless).
 	PSucc float64
@@ -59,33 +119,58 @@ type Network struct {
 	// TickNodes controls whether Step ticks every node each round.
 	TickNodes bool
 
+	// Workers is the shard count P. 0 selects GOMAXPROCS; 1 runs the
+	// round phase inline (the sequential kernel). Results are identical
+	// for every value.
+	Workers int
+
 	down map[ids.ProcessID]bool
 
 	// pairDown, when non-nil, implements the weakly consistent model:
 	// pairDown(observer, target) reports whether target appears failed
-	// to observer; such sends are dropped.
+	// to observer; such sends are dropped. Must be a pure function.
 	pairDown func(observer, target ids.ProcessID) bool
 
+	// linkDown, when non-nil, drops sends whose (from, to) link it
+	// reports severed — the partition primitive. Must be a pure
+	// function.
+	linkDown func(from, to ids.ProcessID) bool
+
 	// OnSend, when non-nil, observes every send attempt. dropped
-	// reports whether the channel lost it (loss, dead target, or
-	// per-observer failure appearance). Counting happens here: the
-	// paper's message complexity counts events *sent*.
+	// reports whether the channel lost it (loss, dead target, severed
+	// link, or per-observer failure appearance). Counting happens here:
+	// the paper's message complexity counts events *sent*. During a
+	// parallel phase the callback fires at the serial merge, in
+	// canonical (From, To, Seq) order.
 	OnSend func(env Envelope, dropped bool)
+
+	// OnRoundEnd, when non-nil, runs serially at the very end of every
+	// Step, after all shards joined and outboxes merged. Drivers use it
+	// to flush per-node effect buffers in deterministic order.
+	OnRoundEnd func(round int)
 }
 
 // New creates a lossless network with the given seed.
 func New(seed int64) *Network {
 	return &Network{
+		seed:  seed,
 		rng:   rand.New(rand.NewSource(seed)),
 		nodes: make(map[ids.ProcessID]Node),
+		index: make(map[ids.ProcessID]int),
+		ctx:   make(map[ids.ProcessID]*senderCtx),
 		down:  make(map[ids.ProcessID]bool),
 		PSucc: 1,
 	}
 }
 
-// Rand exposes the network's deterministic random source. Nodes built
-// on the network should draw from it so a run is one random stream.
+// Rand exposes the network's serial deterministic random source, for
+// setup, failure installation and publish-site selection between
+// rounds. Nodes must NOT draw from it — give each node its own stream
+// (xrand.NewStream) so parallel rounds stay deterministic.
 func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Seed returns the seed the network was created with.
+func (n *Network) Seed() int64 { return n.seed }
 
 // Round returns the current round number (0 before the first Step).
 func (n *Network) Round() int { return n.round }
@@ -97,7 +182,9 @@ func (n *Network) AddNode(node Node) error {
 		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
 	}
 	n.nodes[id] = node
+	n.index[id] = len(n.order)
 	n.order = append(n.order, id)
+	n.ctx[id] = &senderCtx{loss: xrand.NewStream(n.seed, "loss:"+string(id))}
 	return nil
 }
 
@@ -144,63 +231,184 @@ func (n *Network) AliveIDs() []ids.ProcessID {
 }
 
 // SetPairDown installs the weakly consistent failure view (Fig. 11
-// model). Pass nil to clear.
+// model). f must be a pure function: it is called concurrently from
+// shard goroutines. Pass nil to clear.
 func (n *Network) SetPairDown(f func(observer, target ids.ProcessID) bool) {
 	n.pairDown = f
 }
 
+// SetLinkDown installs a link filter: sends for which f(from, to)
+// reports true are dropped (network partitions, correlated link
+// failures). f must be a pure function: it is called concurrently from
+// shard goroutines. Pass nil to heal.
+func (n *Network) SetLinkDown(f func(from, to ids.ProcessID) bool) {
+	n.linkDown = f
+}
+
+// senderCtxFor returns the per-sender context, creating one for
+// senders that are not registered nodes (test drivers injecting
+// traffic). Unregistered-sender creation is only legal between rounds.
+func (n *Network) senderCtxFor(from ids.ProcessID) *senderCtx {
+	if c, ok := n.ctx[from]; ok {
+		return c
+	}
+	c := &senderCtx{loss: xrand.NewStream(n.seed, "loss:"+string(from))}
+	n.ctx[from] = c
+	return c
+}
+
 // Send enqueues a message for delivery next round. Loss is decided at
-// send time: the channel may drop it (1-PSucc), the target may be
-// crashed, or the target may appear failed to the sender under the
-// weakly consistent model. OnSend observes the attempt either way.
+// send time: the channel may drop it (1-PSucc, from the sender's loss
+// stream), the target may be crashed, the link may be severed, or the
+// target may appear failed to the sender under the weakly consistent
+// model. OnSend observes the attempt either way.
+//
+// During a round phase, Send buffers into the sender's outbox and the
+// caller must pass the handling node's own id as from. Between rounds,
+// Send resolves immediately into the queue.
 func (n *Network) Send(from, to ids.ProcessID, msg any) {
-	env := Envelope{From: from, To: to, Msg: msg}
+	c := n.senderCtxFor(from)
+	c.seq++
+	env := Envelope{From: from, To: to, Seq: c.seq, Msg: msg}
 	dropped := false
 	switch {
 	case n.down[to]:
 		dropped = true
 	case n.pairDown != nil && n.pairDown(from, to):
 		dropped = true
-	case n.PSucc < 1 && n.rng.Float64() >= n.PSucc:
+	case n.linkDown != nil && n.linkDown(from, to):
 		dropped = true
+	case n.PSucc < 1 && c.loss.Float64() >= n.PSucc:
+		dropped = true
+	}
+	if n.stepping {
+		c.out = append(c.out, pendingSend{env: env, dropped: dropped})
+		return
 	}
 	if n.OnSend != nil {
 		n.OnSend(env, dropped)
 	}
-	if dropped {
-		return
+	if !dropped {
+		n.queue = append(n.queue, env)
 	}
-	n.queue = append(n.queue, env)
 }
 
 // Pending returns the number of messages waiting for the next round.
 func (n *Network) Pending() int { return len(n.queue) }
 
+// workers returns the effective shard count for the current topology.
+func (n *Network) workers() int {
+	p := n.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(n.order) {
+		p = len(n.order)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// shardOf maps a node to its shard by insertion index.
+func shardOf(index, p int) int { return index % p }
+
 // Step runs one synchronous round: deliver everything queued (sends
 // performed during delivery land in the following round), then tick
-// nodes if TickNodes is set. It returns the number of messages
+// nodes if TickNodes is set. The delivery/tick phase runs across
+// Workers shards concurrently; outboxes then merge serially in
+// canonical (From, To, Seq) order. It returns the number of messages
 // delivered.
 func (n *Network) Step() int {
 	n.round++
 	batch := n.queue
 	n.queue = nil
-	delivered := 0
+	p := n.workers()
+
+	// Partition the batch by destination shard, preserving canonical
+	// order within each shard.
+	perShard := make([][]Envelope, p)
 	for _, env := range batch {
-		node, ok := n.nodes[env.To]
-		if !ok || n.down[env.To] {
-			continue
+		idx, ok := n.index[env.To]
+		if !ok {
+			continue // unknown target: silently dropped
 		}
-		node.HandleMessage(env.Msg)
-		delivered++
+		s := shardOf(idx, p)
+		perShard[s] = append(perShard[s], env)
 	}
-	if n.TickNodes {
-		for _, id := range n.order {
-			if !n.down[id] {
-				n.nodes[id].Tick()
+
+	delivered := make([]int, p)
+	n.stepping = true
+	runShard := func(s int) {
+		for _, env := range perShard[s] {
+			if n.down[env.To] {
+				continue
+			}
+			n.nodes[env.To].HandleMessage(env.Msg)
+			delivered[s]++
+		}
+		if n.TickNodes {
+			for i := s; i < len(n.order); i += p {
+				if id := n.order[i]; !n.down[id] {
+					n.nodes[id].Tick()
+				}
 			}
 		}
 	}
-	return delivered
+	if p == 1 {
+		runShard(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for s := 0; s < p; s++ {
+			go func(s int) {
+				defer wg.Done()
+				runShard(s)
+			}(s)
+		}
+		wg.Wait()
+	}
+	n.stepping = false
+
+	// Serial merge: gather outboxes in node order, sort canonically,
+	// fire observers and build the next round's queue.
+	var pend []pendingSend
+	for _, id := range n.order {
+		c := n.ctx[id]
+		if len(c.out) == 0 {
+			continue
+		}
+		pend = append(pend, c.out...)
+		c.out = c.out[:0]
+	}
+	sort.Slice(pend, func(i, j int) bool {
+		a, b := pend[i].env, pend[j].env
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Seq < b.Seq
+	})
+	for _, ps := range pend {
+		if n.OnSend != nil {
+			n.OnSend(ps.env, ps.dropped)
+		}
+		if !ps.dropped {
+			n.queue = append(n.queue, ps.env)
+		}
+	}
+
+	total := 0
+	for _, d := range delivered {
+		total += d
+	}
+	if n.OnRoundEnd != nil {
+		n.OnRoundEnd(n.round)
+	}
+	return total
 }
 
 // Run steps until the network quiesces (no pending messages) or
@@ -218,8 +426,10 @@ func (n *Network) Run(maxRounds int) int {
 
 // PairDownCoin builds a deterministic per-(observer,target) failure
 // appearance: each ordered pair independently appears failed with
-// probability pFail, fixed for the run. It draws all coins from seed
-// up front lazily, caching decisions.
+// probability pFail, fixed for the run. The coin is a pure hash of
+// (seed, observer, target) — stateless, and therefore safe to call
+// concurrently from shard goroutines and independent of evaluation
+// order.
 func PairDownCoin(seed int64, pFail float64) func(observer, target ids.ProcessID) bool {
 	if pFail <= 0 {
 		return func(ids.ProcessID, ids.ProcessID) bool { return false }
@@ -227,16 +437,7 @@ func PairDownCoin(seed int64, pFail float64) func(observer, target ids.ProcessID
 	if pFail >= 1 {
 		return func(ids.ProcessID, ids.ProcessID) bool { return true }
 	}
-	type pair struct{ a, b ids.ProcessID }
-	cache := make(map[pair]bool)
-	rng := rand.New(rand.NewSource(seed))
 	return func(observer, target ids.ProcessID) bool {
-		p := pair{observer, target}
-		if v, ok := cache[p]; ok {
-			return v
-		}
-		v := rng.Float64() < pFail
-		cache[p] = v
-		return v
+		return xrand.HashCoin(seed, string(observer)+"\x00"+string(target), pFail)
 	}
 }

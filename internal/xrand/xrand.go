@@ -14,6 +14,58 @@ import (
 	"damulticast/internal/ids"
 )
 
+// SeedFor derives a child seed from a base seed and a label by hashing
+// both through FNV-1a with a splitmix64-style finalizer. Distinct
+// labels yield statistically independent streams, so a simulation can
+// hand every node its own *rand.Rand — the foundation of the parallel
+// kernel's determinism contract: per-node streams never interleave, so
+// results do not depend on execution order across worker goroutines.
+func SeedFor(base int64, label string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(base) >> (8 * i) & 0xff
+		h *= 1099511628211
+	}
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// NewStream returns a fresh deterministic random stream for the given
+// base seed and label (see SeedFor).
+func NewStream(base int64, label string) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(base, label)))
+}
+
+// HashCoin is a pure Bernoulli trial: it returns true with probability
+// p, decided solely by (seed, label) — no stream state. Repeated calls
+// with the same arguments always agree, and calls are safe from any
+// number of goroutines, which makes it the right coin for per-pair
+// failure appearances and partition cell assignment in the parallel
+// simulation kernel.
+func HashCoin(seed int64, label string, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return HashUniform(seed, label) < p
+}
+
+// HashUniform maps (seed, label) to a uniform float64 in [0, 1),
+// deterministically and statelessly.
+func HashUniform(seed int64, label string) float64 {
+	return float64(uint64(SeedFor(seed, label))>>10) / float64(1<<53)
+}
+
 // Bernoulli returns true with probability p. p <= 0 always returns
 // false; p >= 1 always returns true.
 func Bernoulli(r *rand.Rand, p float64) bool {
@@ -39,9 +91,31 @@ func SampleIDs(r *rand.Rand, pool []ids.ProcessID, k int) []ids.ProcessID {
 		Shuffle(r, out)
 		return out
 	}
-	// Partial Fisher-Yates over a copy of indices: O(len(pool)) setup,
-	// O(k) draws. For the table sizes in this system (tens of entries)
-	// this is both simple and fast.
+	if k*8 < len(pool) {
+		// Sparse sample: virtual Fisher-Yates with a displacement map,
+		// O(k) time and space. Building tables for simulations with
+		// tens of thousands of processes calls this once per process;
+		// the dense path's O(len(pool)) index copy would make setup
+		// quadratic in the population.
+		swapped := make(map[int]int, k)
+		out := make([]ids.ProcessID, 0, k)
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(len(pool)-i)
+			vj, ok := swapped[j]
+			if !ok {
+				vj = j
+			}
+			vi, ok := swapped[i]
+			if !ok {
+				vi = i
+			}
+			swapped[j] = vi
+			out = append(out, pool[vj])
+		}
+		return out
+	}
+	// Dense sample: partial Fisher-Yates over a copy of indices,
+	// O(len(pool)) setup, O(k) draws.
 	idx := make([]int, len(pool))
 	for i := range idx {
 		idx[i] = i
@@ -61,6 +135,33 @@ func SampleIDs(r *rand.Rand, pool []ids.ProcessID, k int) []ids.ProcessID {
 func SampleExcluding(r *rand.Rand, pool []ids.ProcessID, k int, exclude map[ids.ProcessID]struct{}) []ids.ProcessID {
 	if k <= 0 || len(pool) == 0 {
 		return nil
+	}
+	if len(exclude) == 0 {
+		return SampleIDs(r, pool, k)
+	}
+	if (k+len(exclude))*8 < len(pool) {
+		// Sparse: rejection-sample distinct indices, skipping excluded
+		// ids — O(k + |exclude|) expected, no O(len(pool)) copy. The
+		// attempt bound guards pools dominated by duplicates of
+		// excluded ids; on exhaustion we fall through to the exact
+		// filtered path.
+		chosen := make(map[int]struct{}, k)
+		out := make([]ids.ProcessID, 0, k)
+		maxAttempts := 8*(k+len(exclude)) + 32
+		for attempts := 0; len(out) < k && attempts < maxAttempts; attempts++ {
+			j := r.Intn(len(pool))
+			if _, dup := chosen[j]; dup {
+				continue
+			}
+			chosen[j] = struct{}{}
+			if _, skip := exclude[pool[j]]; skip {
+				continue
+			}
+			out = append(out, pool[j])
+		}
+		if len(out) == k {
+			return out
+		}
 	}
 	filtered := make([]ids.ProcessID, 0, len(pool))
 	for _, p := range pool {

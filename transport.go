@@ -33,11 +33,17 @@ func encodeMessage(m *core.Message) ([]byte, error) {
 	return json.Marshal(m)
 }
 
-// decodeMessage parses a frame produced by encodeMessage.
+// decodeMessage parses a frame produced by encodeMessage. Frames that
+// are not valid JSON, or whose message type is missing or unknown, are
+// rejected — a peer speaking garbage must not reach the protocol
+// state machine.
 func decodeMessage(payload []byte) (*core.Message, error) {
 	var m core.Message
 	if err := json.Unmarshal(payload, &m); err != nil {
 		return nil, fmt.Errorf("damulticast: decode: %w", err)
+	}
+	if !m.Type.Known() {
+		return nil, fmt.Errorf("damulticast: decode: unknown message type %d", int(m.Type))
 	}
 	return &m, nil
 }
