@@ -1,0 +1,121 @@
+// Command damcbench converts `go test -bench -benchmem` output into a
+// JSON document, so CI can archive benchmark runs (BENCH_PR2.json and
+// successors) as machine-readable artifacts and diff them across
+// commits.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | damcbench -label after > BENCH.json
+//
+// Standard columns (iterations, ns/op, B/op, allocs/op) become fixed
+// fields; every extra `value unit` pair reported via b.ReportMetric
+// lands in the metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label   string   `json:"label,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "", "label recorded in the output (e.g. before/after, a commit hash)")
+	flag.Parse()
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "damcbench:", err)
+		os.Exit(1)
+	}
+	report.Label = *label
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "damcbench:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans benchmark output, ignoring everything that is not a
+// benchmark result line.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Results: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if res, ok := parseLine(line); ok {
+			report.Results = append(report.Results, res)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseLine parses one `BenchmarkName-P  N  1234 ns/op  [value unit]...`
+// line. Returns ok=false for lines that merely start with "Benchmark"
+// (e.g. a benchmark's own log output).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	// The name is recorded exactly as printed (GOMAXPROCS suffix
+	// included, when present): stripping it cannot be done reliably —
+	// "-2" might be part of the benchmark's own name — and consumers
+	// diffing runs from the same machine see consistent names anyway.
+	res := Result{
+		Name:       fields[0],
+		Iterations: iters,
+		NsPerOp:    ns,
+	}
+	// Remaining fields come in `value unit` pairs.
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+	}
+	return res, true
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: damulticast/internal/simnet
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStepMerge20k 	      20	  33093523 ns/op	 2555147 B/op	       3 allocs/op
+BenchmarkCodecEncode-8   	12345678	        95.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSharded20k 	       3	2028741713 ns/op	         1.000 delivery	    299995 event-msgs	796944448 B/op	 1221081 allocs/op
+BenchmarkBogusLogLine that should be ignored
+PASS
+ok  	damulticast/internal/simnet	26.830s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(report.Results), report.Results)
+	}
+
+	r := report.Results[0]
+	if r.Name != "BenchmarkStepMerge20k" || r.Iterations != 20 ||
+		r.NsPerOp != 33093523 || r.BytesPerOp != 2555147 || r.AllocsPerOp != 3 {
+		t.Errorf("StepMerge20k parsed as %+v", r)
+	}
+
+	if r := report.Results[1]; r.Name != "BenchmarkCodecEncode-8" || r.NsPerOp != 95.1 {
+		t.Errorf("name not recorded verbatim: %+v", r)
+	}
+
+	r = report.Results[2]
+	if r.Metrics["delivery"] != 1.0 || r.Metrics["event-msgs"] != 299995 {
+		t.Errorf("custom metrics parsed as %+v", r.Metrics)
+	}
+	if r.BytesPerOp != 796944448 || r.AllocsPerOp != 1221081 {
+		t.Errorf("benchmem columns after metrics parsed as %+v", r)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo", "BenchmarkFoo 3", "BenchmarkFoo x y ns/op",
+		"BenchmarkFoo 3 12.5 widgets",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"damulticast/internal/sim"
@@ -49,11 +50,27 @@ func run(args []string, stdout io.Writer) error {
 	rounds := fs.Int("rounds", 0, "scenario rounds; 0 selects the default")
 	workers := fs.Int("workers", 0, "kernel shard count; 0 = GOMAXPROCS, 1 = sequential")
 	seed := fs.Int64("seed", 1, "scenario random seed")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *runs < 1 || *points < 1 {
 		return fmt.Errorf("runs and points must be >= 1")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "damcsim: cpuprofile close:", cerr)
+			}
+		}()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	if *scenario != "" {
 		return runScenario(stdout, *scenario, *n, *intensity, *rounds, *seed, *workers)

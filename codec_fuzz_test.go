@@ -40,7 +40,8 @@ func codecSeedMessages() []*core.Message {
 	}
 }
 
-// FuzzMessageCodec asserts two properties over arbitrary byte input:
+// FuzzMessageCodec asserts two properties of the binary codec over
+// arbitrary byte input:
 //
 //  1. decodeMessage never panics, and rejects malformed frames with an
 //     error rather than handing garbage to the protocol;
@@ -48,6 +49,10 @@ func codecSeedMessages() []*core.Message {
 //     message and decoding again yields a deep-equal message
 //     (encode∘decode is a fixpoint), so accepted frames carry
 //     well-defined protocol state.
+//
+// Seeds cover valid binary frames of every message type, truncations
+// and corruptions of them, legacy JSON frames (which the version byte
+// must reject), and structural garbage.
 func FuzzMessageCodec(f *testing.F) {
 	for _, m := range codecSeedMessages() {
 		raw, err := encodeMessage(m)
@@ -55,11 +60,24 @@ func FuzzMessageCodec(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(raw)
+		f.Add(raw[:len(raw)/2])              // truncated mid-message
+		f.Add(append(raw[:0:0], raw[1:]...)) // version byte sheared off
+		mut := append(raw[:0:0], raw...)
+		mut[len(mut)/2] ^= 0xff // flipped bits in the middle
+		f.Add(mut)
+		jsonRaw, err := encodeMessageJSON(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(jsonRaw) // legacy wire format: must be cleanly rejected
 	}
 	f.Add([]byte("{not json"))
 	f.Add([]byte(`{}`))
-	f.Add([]byte(`{"Type":999}`))
-	f.Add([]byte(`{"Type":1,"Event":null}`))
+	f.Add([]byte{codecVersion})
+	f.Add([]byte{codecVersion, 0})
+	f.Add([]byte{codecVersion, 99, 0, 0, 0})
+	f.Add([]byte{0x02, 1, 0, 0, 0})                              // future version
+	f.Add([]byte{codecVersion, 1, 0xff, 0xff, 0xff, 0xff, 0xff}) // runaway varint
 	f.Add([]byte(``))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -104,11 +122,19 @@ func TestMessageCodecRoundTripAllTypes(t *testing.T) {
 }
 
 // TestDecodeMessageRejectsUnknownType: garbage type fields never reach
-// the protocol.
+// the protocol, on either codec.
 func TestDecodeMessageRejectsUnknownType(t *testing.T) {
 	for _, frame := range []string{`{}`, `{"Type":0}`, `{"Type":-3}`, `{"Type":999}`} {
 		if _, err := decodeMessage([]byte(frame)); err == nil {
-			t.Errorf("frame %s accepted", frame)
+			t.Errorf("frame %s accepted by binary decoder", frame)
+		}
+		if _, err := decodeMessageJSON([]byte(frame)); err == nil {
+			t.Errorf("frame %s accepted by JSON decoder", frame)
+		}
+	}
+	for _, frame := range [][]byte{{codecVersion, 0}, {codecVersion, 99}, {codecVersion, 0xb}} {
+		if _, err := decodeMessage(frame); err == nil {
+			t.Errorf("binary frame % x accepted", frame)
 		}
 	}
 }

@@ -1,0 +1,274 @@
+package damulticast
+
+import (
+	"strings"
+	"testing"
+
+	"damulticast/internal/core"
+	"damulticast/internal/ids"
+)
+
+// nullTransport swallows frames: the encode-side microscope. Send does
+// nothing, so any allocation measured through it belongs to the
+// serialization path alone.
+type nullTransport struct{ addr string }
+
+func (t *nullTransport) Addr() string                    { return t.addr }
+func (t *nullTransport) Send(string, []byte) error       { return nil }
+func (t *nullTransport) SetHandler(func(payload []byte)) {}
+func (t *nullTransport) Close() error                    { return nil }
+
+// fanoutFixture builds a node over a null transport plus a
+// representative event message and target list.
+func fanoutFixture(t testing.TB, targets int) (*nodeEnv, []ids.ProcessID, *core.Message) {
+	t.Helper()
+	n, err := NewNode(Config{Topic: ".bench", Transport: &nullTransport{addr: "null"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgts := make([]ids.ProcessID, targets)
+	for i := range tgts {
+		tgts[i] = ids.ProcessID(strings.Repeat("t", 8) + string(rune('a'+i)))
+	}
+	m := &core.Message{
+		Type: core.MsgEvent, From: "publisher", FromTopic: ".bench",
+		Event: &core.Event{
+			ID:      ids.EventID{Origin: "publisher", Seq: 42},
+			Topic:   ".bench",
+			Payload: []byte("benchmark-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		},
+	}
+	return (*nodeEnv)(n), tgts, m
+}
+
+// TestEncodeOnceFanoutAllocs is the allocation regression gate for the
+// encode-once fan-out: broadcasting one event to 8 targets must cost
+// at most 1 allocation on the encode side (pooled buffers amortize to
+// zero), and at least 5x fewer than the per-target JSON path it
+// replaced.
+func TestEncodeOnceFanoutAllocs(t *testing.T) {
+	env, targets, m := fanoutFixture(t, 8)
+
+	env.SendBatch(targets, m) // warm the buffer pool
+	binAllocs := testing.AllocsPerRun(200, func() {
+		env.SendBatch(targets, m)
+	})
+	if binAllocs > 1 {
+		t.Errorf("encode-once fan-out to %d targets: %.1f allocs, want <= 1", len(targets), binAllocs)
+	}
+
+	// The replaced path: one JSON encoding per target.
+	jsonAllocs := testing.AllocsPerRun(200, func() {
+		for range targets {
+			if _, err := encodeMessageJSON(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if floor := max(binAllocs, 1); jsonAllocs < 5*floor {
+		t.Errorf("JSON fan-out = %.1f allocs vs binary %.1f: less than the 5x win the codec exists for", jsonAllocs, binAllocs)
+	}
+	t.Logf("fan-out to %d targets: binary %.1f allocs, per-target JSON %.1f allocs", len(targets), binAllocs, jsonAllocs)
+}
+
+// TestSingleSendAllocs: the non-batched send path also runs on pooled
+// buffers.
+func TestSingleSendAllocs(t *testing.T) {
+	env, targets, m := fanoutFixture(t, 1)
+	env.Send(targets[0], m)
+	if allocs := testing.AllocsPerRun(200, func() { env.Send(targets[0], m) }); allocs > 1 {
+		t.Errorf("single send: %.1f allocs, want <= 1", allocs)
+	}
+}
+
+// TestBinaryRejectsJSONFrame / TestJSONRejectsBinaryFrame pin the
+// compatibility policy: the version byte cleanly separates the codecs,
+// so a version-0 (JSON) peer and a version-1 (binary) peer can never
+// silently misparse each other.
+func TestBinaryRejectsJSONFrame(t *testing.T) {
+	for _, m := range codecSeedMessages() {
+		frame, err := encodeMessageJSON(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeMessage(frame); err == nil {
+			t.Errorf("%s: binary decoder accepted a JSON frame", m.Type)
+		}
+	}
+}
+
+func TestJSONRejectsBinaryFrame(t *testing.T) {
+	for _, m := range codecSeedMessages() {
+		frame, err := encodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeMessageJSON(frame); err == nil {
+			t.Errorf("%s: JSON decoder accepted a binary frame", m.Type)
+		}
+	}
+}
+
+// TestDecodeTruncatedFrames: every proper prefix of a valid frame must
+// be rejected, never panic, never decode.
+func TestDecodeTruncatedFrames(t *testing.T) {
+	for _, m := range codecSeedMessages() {
+		frame, err := encodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := decodeMessage(frame[:cut]); err == nil {
+				t.Fatalf("%s: truncation to %d of %d bytes accepted", m.Type, cut, len(frame))
+			}
+		}
+	}
+}
+
+// TestDecodeTrailingGarbage: extra bytes after a complete message are
+// rejected (frames are exact).
+func TestDecodeTrailingGarbage(t *testing.T) {
+	frame, err := encodeMessage(&core.Message{Type: core.MsgPing, From: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeMessage(append(frame, 0x00)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// TestDecodeOversizedCounts: a corrupt frame claiming more elements or
+// string bytes than it carries must be rejected before any giant
+// allocation happens.
+func TestDecodeOversizedCounts(t *testing.T) {
+	// version=1, type=MsgReqContact, empty From/FromTopic, no event,
+	// empty Origin/OriginTopic, then a search-topic count of 2^40.
+	frame := []byte{codecVersion, byte(core.MsgReqContact), 0, 0, 0, 0, 0,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x20} // uvarint(1<<40)
+	if _, err := decodeMessage(frame); err == nil {
+		t.Error("absurd element count accepted")
+	}
+	// A string field claiming 100 bytes in a 10-byte frame.
+	frame = []byte{codecVersion, byte(core.MsgPing), 100, 'x', 'y', 'z'}
+	if _, err := decodeMessage(frame); err == nil {
+		t.Error("oversized string length accepted")
+	}
+}
+
+// TestDecodeBadVersionAndType: future versions and unknown types are
+// refused outright.
+func TestDecodeBadVersionAndType(t *testing.T) {
+	good, err := encodeMessage(&core.Message{Type: core.MsgPong, From: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, good...)
+	bad[0] = 0x02 // a version this decoder was not built for
+	if _, err := decodeMessage(bad); err == nil {
+		t.Error("future version byte accepted")
+	}
+	for _, typ := range []uint64{0, 11, 99} {
+		frame := append([]byte{codecVersion, byte(typ)}, good[2:]...)
+		if _, err := decodeMessage(frame); err == nil {
+			t.Errorf("unknown type %d accepted", typ)
+		}
+	}
+}
+
+// --- Codec microbenchmarks -------------------------------------------
+
+func codecBenchMessage() *core.Message {
+	return &core.Message{
+		Type: core.MsgEvent, From: "proc-17", FromTopic: ".news.sports",
+		Event: &core.Event{
+			ID:      ids.EventID{Origin: "proc-17", Seq: 123456},
+			Topic:   ".news.sports.football",
+			Payload: []byte("benchmark-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+		},
+	}
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	m := codecBenchMessage()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendMessage(buf[:0], m)
+	}
+	_ = buf
+}
+
+func BenchmarkCodecEncodeJSON(b *testing.B) {
+	m := codecBenchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeMessageJSON(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	frame, err := encodeMessage(codecBenchMessage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeMessage(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodeJSON(b *testing.B) {
+	frame, err := encodeMessageJSON(codecBenchMessage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeMessageJSON(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecFanout8 measures a full 8-target event broadcast on
+// the encode-once path (vs the per-target JSON encode it replaced).
+func BenchmarkCodecFanout8(b *testing.B) {
+	env, targets, m := fanoutFixture(b, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.SendBatch(targets, m)
+	}
+}
+
+func BenchmarkCodecFanout8JSON(b *testing.B) {
+	_, targets, m := fanoutFixture(b, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for range targets {
+			if _, err := encodeMessageJSON(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCodecRoundTrip covers the full wire cycle for a topic-table
+// shuffle — the heaviest control message.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	m := codecSeedMessages()[5] // MsgShuffle with digest + super entries
+	if m.Type != core.MsgShuffle {
+		b.Fatalf("seed order changed: %s", m.Type)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendMessage(buf[:0], m)
+		if _, err := decodeMessage(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -373,12 +373,23 @@ func (n *Node) loop(ctx context.Context) {
 type nodeEnv Node
 
 func (e *nodeEnv) Send(to ids.ProcessID, m *core.Message) {
-	payload, err := encodeMessage(m)
-	if err != nil {
-		return
+	buf := getEncBuf()
+	buf.b = appendMessage(buf.b, m)
+	// Transport errors are best-effort losses by design. Transports
+	// must not retain the payload, so the buffer is safe to reuse.
+	_ = e.cfg.Transport.Send(string(to), buf.b)
+	putEncBuf(buf)
+}
+
+// SendBatch implements core.SendBatcher: the message is serialized
+// exactly once, and the same pooled frame goes out to every target.
+func (e *nodeEnv) SendBatch(targets []ids.ProcessID, m *core.Message) {
+	buf := getEncBuf()
+	buf.b = appendMessage(buf.b, m)
+	for _, to := range targets {
+		_ = e.cfg.Transport.Send(string(to), buf.b)
 	}
-	// Transport errors are best-effort losses by design.
-	_ = e.cfg.Transport.Send(string(to), payload)
+	putEncBuf(buf)
 }
 
 func (e *nodeEnv) Deliver(ev *core.Event) {

@@ -55,38 +55,47 @@ func (p *Process) onEvent(m *Message) {
 // Root-group processes have an empty supertopic table, so step 1 is a
 // no-op for them ("the processes receiving the event only gossip it in
 // their group").
+//
+// All elected targets are collected first (in the exact order the
+// per-target sends used to happen, so random draws and simulator loss
+// coins are consumed identically) and the event then goes out as ONE
+// message via sendToAll: batch-capable envs serialize it a single time
+// for the whole fan-out.
 func (p *Process) disseminate(ev *Event) {
 	r := p.env.Rand()
+	targets := p.batch[:0]
 
 	// (1) Upward dissemination toward the supergroup.
 	if p.superTable.Len() > 0 && xrand.Bernoulli(r, p.pSel()) {
 		pa := p.pA()
 		for _, target := range p.superTable.IDs() {
-			if xrand.Bernoulli(r, pa) {
-				p.sendEvent(target, ev)
+			if xrand.Bernoulli(r, pa) && target != p.id {
+				targets = append(targets, target)
 			}
 		}
 	}
 	// (1b) Same, per declared extra supertopic (§VIII extension).
-	p.disseminateExtras(ev)
+	targets = p.appendExtraTargets(r, targets)
 
 	// (2) Gossip within the group: ln(S)+c distinct targets, never
 	// repeating a target for this event (the paper's Ω set).
 	k := p.fanout()
-	targets := p.topicTable.Sample(r, k)
-	for _, target := range targets {
-		p.sendEvent(target, ev)
+	for _, target := range p.topicTable.Sample(r, k) {
+		if target != p.id {
+			targets = append(targets, target)
+		}
 	}
-}
 
-func (p *Process) sendEvent(to ids.ProcessID, ev *Event) {
-	if to == p.id {
-		return
-	}
-	p.env.Send(to, &Message{
+	// Reentrancy guard: should an Env ever deliver synchronously and
+	// re-enter this process mid-fan-out, the nested disseminate must
+	// allocate its own buffer rather than scribble over the one the
+	// outer send loop is iterating. The grown buffer is kept afterwards.
+	p.batch = nil
+	p.sendToAll(targets, &Message{
 		Type:      MsgEvent,
 		From:      p.id,
 		FromTopic: p.topic,
 		Event:     ev,
 	})
+	p.batch = targets[:0]
 }

@@ -1,7 +1,5 @@
 package core
 
-import "damulticast/internal/ids"
-
 // Graceful departure. The paper's model lets processes "join or leave
 // the system" (§IV-B); crashes are handled by the timeout machinery,
 // but a cooperative leave can clean tables immediately instead of
@@ -22,26 +20,26 @@ func init() {
 }
 
 // Leave announces departure to every known group mate and supergroup
-// contact, then stops the process. Idempotent: a stopped process
-// leaves silently.
+// contact, then stops the process. The identical announcement goes to
+// every target, so it is batched through sendToAll: batch-capable envs
+// serialize it once. Idempotent: a stopped process leaves silently.
 func (p *Process) Leave() {
 	if p.stopped {
 		return
 	}
-	note := func(to []ids.ProcessID) {
-		for _, target := range to {
-			p.env.Send(target, &Message{
-				Type:      MsgLeave,
-				From:      p.id,
-				FromTopic: p.topic,
-			})
-		}
+	targets := p.batch[:0]
+	targets = append(targets, p.topicTable.IDs()...)
+	targets = append(targets, p.superTable.IDs()...)
+	for _, sup := range p.extraOrder {
+		targets = append(targets, p.extras[sup].IDs()...)
 	}
-	note(p.topicTable.IDs())
-	note(p.superTable.IDs())
-	for _, v := range p.extras {
-		note(v.IDs())
-	}
+	p.batch = nil // reentrancy guard; see disseminate
+	p.sendToAll(targets, &Message{
+		Type:      MsgLeave,
+		From:      p.id,
+		FromTopic: p.topic,
+	})
+	p.batch = targets[:0]
 	p.Stop()
 }
 

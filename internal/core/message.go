@@ -40,22 +40,29 @@ const (
 	MsgPong
 )
 
-var msgTypeNames = map[MsgType]string{
-	MsgEvent:         "EVENT",
-	MsgReqContact:    "REQCONTACT",
-	MsgAnsContact:    "ANSCONTACT",
-	MsgNewProcessReq: "NEWPROCESS_REQ",
-	MsgNewProcessAns: "NEWPROCESS_ANS",
-	MsgShuffle:       "SHUFFLE",
-	MsgShuffleReply:  "SHUFFLE_REPLY",
-	MsgPing:          "PING",
-	MsgPong:          "PONG",
+// msgTypeNames is a dense name table indexed by MsgType. Types are
+// contiguous small ints, so array indexing serves the per-message
+// String/Known hot paths without a map lookup. Files declaring later
+// types (leave.go) fill their slot from an init; empty slots mark
+// undefined types.
+var msgTypeNames [16]string
+
+func init() {
+	msgTypeNames[MsgEvent] = "EVENT"
+	msgTypeNames[MsgReqContact] = "REQCONTACT"
+	msgTypeNames[MsgAnsContact] = "ANSCONTACT"
+	msgTypeNames[MsgNewProcessReq] = "NEWPROCESS_REQ"
+	msgTypeNames[MsgNewProcessAns] = "NEWPROCESS_ANS"
+	msgTypeNames[MsgShuffle] = "SHUFFLE"
+	msgTypeNames[MsgShuffleReply] = "SHUFFLE_REPLY"
+	msgTypeNames[MsgPing] = "PING"
+	msgTypeNames[MsgPong] = "PONG"
 }
 
 // String names the message type.
 func (t MsgType) String() string {
-	if s, ok := msgTypeNames[t]; ok {
-		return s
+	if t.Known() {
+		return msgTypeNames[t]
 	}
 	return fmt.Sprintf("msgtype(%d)", int(t))
 }
@@ -63,8 +70,7 @@ func (t MsgType) String() string {
 // Known reports whether t is a defined protocol message type. Codecs
 // use it to reject frames whose type field is missing or garbage.
 func (t MsgType) Known() bool {
-	_, ok := msgTypeNames[t]
-	return ok
+	return t > 0 && int(t) < len(msgTypeNames) && msgTypeNames[t] != ""
 }
 
 // IsEvent reports whether messages of this type carry application

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"slices"
 
 	"damulticast/internal/ids"
 	"damulticast/internal/membership"
@@ -48,6 +50,8 @@ func (p *Process) AddExtraSuperTable(sup topic.Topic, contacts []ids.ProcessID) 
 		v = membership.NewView(p.id, p.params.Z)
 		p.extras[sup] = v
 		p.extraSeen[sup] = make(map[ids.ProcessID]int, p.params.Z)
+		i, _ := slices.BinarySearch(p.extraOrder, sup)
+		p.extraOrder = slices.Insert(p.extraOrder, i, sup)
 	}
 	for _, c := range contacts {
 		if v.Add(c) {
@@ -59,6 +63,10 @@ func (p *Process) AddExtraSuperTable(sup topic.Topic, contacts []ids.ProcessID) 
 
 // RemoveExtraSuperTable drops a declared extra supertopic.
 func (p *Process) RemoveExtraSuperTable(sup topic.Topic) {
+	if _, ok := p.extras[sup]; ok {
+		i, _ := slices.BinarySearch(p.extraOrder, sup)
+		p.extraOrder = slices.Delete(p.extraOrder, i, i+1)
+	}
 	delete(p.extras, sup)
 	delete(p.extraSeen, sup)
 }
@@ -81,30 +89,33 @@ func (p *Process) ExtraSuperTable(sup topic.Topic) []ids.ProcessID {
 	return v.IDs()
 }
 
-// disseminateExtras performs the upward step for every extra
-// supertopic table, mirroring Fig. 7 lines 3-7 independently per
-// table ("neither would hamper the overall performance").
-func (p *Process) disseminateExtras(ev *Event) {
+// appendExtraTargets performs the upward election for every extra
+// supertopic table, mirroring Fig. 7 lines 3-7 independently per table
+// ("neither would hamper the overall performance"), appending elected
+// targets for the caller's batched fan-out.
+func (p *Process) appendExtraTargets(r *rand.Rand, targets []ids.ProcessID) []ids.ProcessID {
 	if len(p.extras) == 0 {
-		return
+		return targets
 	}
-	r := p.env.Rand()
 	pa := p.pA()
-	for _, v := range p.extras {
+	for _, sup := range p.extraOrder {
+		v := p.extras[sup]
 		if v.Len() == 0 || !xrand.Bernoulli(r, p.pSel()) {
 			continue
 		}
 		for _, target := range v.IDs() {
-			if xrand.Bernoulli(r, pa) {
-				p.sendEvent(target, ev)
+			if xrand.Bernoulli(r, pa) && target != p.id {
+				targets = append(targets, target)
 			}
 		}
 	}
+	return targets
 }
 
 // pingExtras extends a liveness wave to the extra tables.
 func (p *Process) pingExtras() {
-	for _, v := range p.extras {
+	for _, sup := range p.extraOrder {
+		v := p.extras[sup]
 		for _, target := range v.IDs() {
 			p.env.Send(target, &Message{
 				Type:      MsgPing,
@@ -128,7 +139,8 @@ func (p *Process) recordExtraPong(from ids.ProcessID) {
 // resolveExtraChecks applies the CHECK logic per extra table: evict
 // the silent, ask the live for fresh members when at or below τ.
 func (p *Process) resolveExtraChecks(waveStart int) {
-	for sup, v := range p.extras {
+	for _, sup := range p.extraOrder {
+		v := p.extras[sup]
 		var live, dead []ids.ProcessID
 		for _, id := range v.IDs() {
 			if seen, ok := p.extraSeen[sup][id]; ok && seen >= waveStart {

@@ -231,3 +231,47 @@ func TestMultiParentClimb(t *testing.T) {
 		}
 	}
 }
+
+// TestExtraTablesDeterministicOrder: dissemination, pings and leave
+// walk the extra supertopic tables in sorted topic order, not map
+// order — the send sequence for a fixed seed must not depend on the
+// order the tables were declared in (byte-identical runs are the
+// simulator's core contract).
+func TestExtraTablesDeterministicOrder(t *testing.T) {
+	build := func(declarationOrder []topic.Topic) *fakeEnv {
+		env := newFakeEnv(7)
+		p := MustNewProcess("self", ".a.b", testParams(), env)
+		p.SeedTopicTable([]ids.ProcessID{"m1", "m2", "m3"})
+		for _, sup := range declarationOrder {
+			if err := p.AddExtraSuperTable(sup, []ids.ProcessID{
+				ids.ProcessID("x-" + string(sup)), ids.ProcessID("y-" + string(sup)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := p.Publish([]byte("e")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Leave()
+		return env
+	}
+
+	ref := build([]topic.Topic{".x", ".y", ".z"})
+	for _, order := range [][]topic.Topic{
+		{".z", ".y", ".x"},
+		{".y", ".z", ".x"},
+	} {
+		got := build(order)
+		if len(got.sent) != len(ref.sent) {
+			t.Fatalf("declaration order %v: %d sends, want %d", order, len(got.sent), len(ref.sent))
+		}
+		for i := range ref.sent {
+			if got.sent[i].to != ref.sent[i].to || got.sent[i].msg.Type != ref.sent[i].msg.Type {
+				t.Fatalf("declaration order %v: send %d = %s/%s, want %s/%s",
+					order, i, got.sent[i].msg.Type, got.sent[i].to, ref.sent[i].msg.Type, ref.sent[i].to)
+			}
+		}
+	}
+}

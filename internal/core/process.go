@@ -38,6 +38,20 @@ type Env interface {
 	Rand() *rand.Rand
 }
 
+// SendBatcher is an optional Env extension for envs that can transmit
+// one message to many targets more cheaply than repeated Send calls —
+// the live runtime serializes the message once and fans the same
+// frame out to every target. The Process routes its event fan-out and
+// leave announcements through it when available.
+//
+// Contract: targets is only valid for the duration of the call (the
+// Process reuses the slice), and m is shared across all targets and
+// possibly retained by simulators, so receivers must treat it as
+// immutable.
+type SendBatcher interface {
+	SendBatch(targets []ids.ProcessID, m *Message)
+}
+
 // Process is one daMulticast process: a member of exactly one topic
 // group (paper §III-A). It is a deterministic message-driven state
 // machine: feed it messages via HandleMessage and time via Tick.
@@ -71,12 +85,22 @@ type Process struct {
 
 	// Multiple-inheritance extension (§VIII): one extra supertopic
 	// table per application-declared additional parent topic. Nil
-	// until AddExtraSuperTable is called.
-	extras    map[topic.Topic]*membership.View
-	extraSeen map[topic.Topic]map[ids.ProcessID]int
+	// until AddExtraSuperTable is called. extraOrder holds the topics
+	// sorted: every RNG-consuming or send-emitting walk over the
+	// tables uses it, so runs stay deterministic regardless of map
+	// iteration order.
+	extras     map[topic.Topic]*membership.View
+	extraSeen  map[topic.Topic]map[ids.ProcessID]int
+	extraOrder []topic.Topic
 
 	seen    *ids.SeenSet
 	nextSeq uint64
+
+	// batcher caches the env's optional SendBatcher implementation
+	// (one type assertion at construction, not one per event).
+	batcher SendBatcher
+	// batch is the reusable target-collection buffer for fan-outs.
+	batch []ids.ProcessID
 
 	findSuper *findSuperState
 
@@ -129,7 +153,24 @@ func NewProcess(id ids.ProcessID, tp topic.Topic, params Params, env Env) (*Proc
 		pingStarted: -1,
 	}
 	p.gossiper = membership.NewGossiper(id, p.topicTable)
+	p.batcher, _ = env.(SendBatcher)
 	return p, nil
+}
+
+// sendToAll transmits one shared message to every target, through the
+// env's batch path when it has one. Callers hand over p.batch (or any
+// scratch slice); the env must not retain it.
+func (p *Process) sendToAll(targets []ids.ProcessID, m *Message) {
+	if len(targets) == 0 {
+		return
+	}
+	if p.batcher != nil {
+		p.batcher.SendBatch(targets, m)
+		return
+	}
+	for _, to := range targets {
+		p.env.Send(to, m)
+	}
 }
 
 // MustNewProcess is NewProcess for tests and fixtures with known-good

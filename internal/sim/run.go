@@ -83,8 +83,18 @@ type nodeEnv struct {
 }
 
 func (e *nodeEnv) Send(to ids.ProcessID, m *core.Message) { e.net.Send(e.id, to, m) }
-func (e *nodeEnv) Deliver(ev *core.Event)                 { e.pending = append(e.pending, ev) }
-func (e *nodeEnv) Rand() *rand.Rand                       { return e.rng }
+
+// SendBatch implements core.SendBatcher. The kernel carries messages
+// by reference, so batching is just the per-target loop — but routing
+// fan-outs through here keeps the sim on the exact code path the live
+// runtime uses, loss coins drawn in the same per-target order.
+func (e *nodeEnv) SendBatch(targets []ids.ProcessID, m *core.Message) {
+	for _, to := range targets {
+		e.net.Send(e.id, to, m)
+	}
+}
+func (e *nodeEnv) Deliver(ev *core.Event) { e.pending = append(e.pending, ev) }
+func (e *nodeEnv) Rand() *rand.Rand       { return e.rng }
 func (e *nodeEnv) Neighborhood(k int) []ids.ProcessID {
 	return xrand.SampleIDs(e.rng, *e.overlay, k)
 }

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"damulticast/internal/ids"
+	"damulticast/internal/xrand"
+)
+
+// runDigest drives a fixed chatter workload — loss, per-observer
+// failure appearances, a severed link, ticking nodes — and folds the
+// kernel's complete observable stream (every OnSend envelope with its
+// drop decision, every round's delivery count, every node's final log)
+// into one FNV-1a digest.
+func runDigest(t *testing.T, workers int) string {
+	t.Helper()
+	const seed, n = 424242, 41
+	net, nodes := buildChatter(t, seed, n, workers)
+	net.TickNodes = true
+	net.SetPairDown(PairDownCoin(seed+1, 0.1))
+	net.SetLinkDown(func(from, to ids.ProcessID) bool { return from == "n003" && to == "n007" })
+
+	h := fnv.New64a()
+	net.OnSend = func(env Envelope, dropped bool) {
+		fmt.Fprintf(h, "s|%s|%s|%d|%v|%v\n", env.From, env.To, env.Seq, env.Msg, dropped)
+	}
+	net.OnRoundEnd = func(round int) {
+		fmt.Fprintf(h, "r|%d|%d\n", round, net.Pending())
+	}
+	for i := 0; i < 7; i++ {
+		net.Send(nodes[i].id, nodes[(i*5)%n].id, fmt.Sprintf("seed%d", i))
+	}
+	for r := 0; r < 10; r++ {
+		fmt.Fprintf(h, "d|%d\n", net.Step())
+	}
+	// Mid-run topology churn (legal between rounds) plus an
+	// unregistered external sender, then more rounds.
+	if err := net.Crash(nodes[4].id); err != nil {
+		t.Fatal(err)
+	}
+	extra := &chatterNode{
+		id: "zz-extra", net: net, rng: xrand.NewStream(seed, "node:zz-extra"),
+		peers: []ids.ProcessID{nodes[0].id, nodes[1].id}, hops: 3,
+	}
+	if err := net.AddNode(extra); err != nil {
+		t.Fatal(err)
+	}
+	net.Send("external", extra.id, "boot")
+	for r := 0; r < 8; r++ {
+		fmt.Fprintf(h, "d|%d\n", net.Step())
+	}
+	for _, nd := range nodes {
+		fmt.Fprintf(h, "l|%s|%v\n", nd.id, nd.received)
+	}
+	fmt.Fprintf(h, "l|%s|%v\n", extra.id, extra.received)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenKernelDigest pins the kernel's exact observable behavior for
+// the workload above, captured from the pre-rewrite kernel (global
+// sort.Slice merge, PR 1). The merge rewrite (per-shard outbox sort +
+// sorted-sender concatenation) must reproduce it bit for bit: any
+// change to delivery order, loss decisions, OnSend sequence or round
+// accounting changes this digest and fails the gate.
+const goldenKernelDigest = "e526a9056055173b"
+
+// TestGoldenKernelDigest is the before/after determinism gate for
+// kernel refactors, for every worker count.
+func TestGoldenKernelDigest(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		if got := runDigest(t, workers); got != goldenKernelDigest {
+			t.Errorf("workers=%d: kernel digest = %s, want %s", workers, got, goldenKernelDigest)
+		}
+	}
+}

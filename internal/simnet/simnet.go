@@ -44,11 +44,13 @@
 package simnet
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"damulticast/internal/ids"
@@ -94,7 +96,9 @@ type pendingSend struct {
 // during a parallel phase, the monotonic send counter, and the loss
 // stream. Each ctx is only ever touched by the goroutine currently
 // running its node (or the serial driver), so no locking is needed.
+// The outbox slice is recycled across rounds ([:0] after each merge).
 type senderCtx struct {
+	id   ids.ProcessID
 	out  []pendingSend
 	seq  uint64
 	loss *rand.Rand
@@ -112,6 +116,21 @@ type Network struct {
 	queue    []Envelope // deliveries for the next round, canonical order
 	round    int
 	stepping bool // inside a parallel phase: Sends buffer to outboxes
+
+	// senders lists every sender context in ascending id order — the
+	// concatenation order of the round merge. sendersDirty marks it
+	// stale after new ctxs appear (only legal between rounds); the next
+	// Step re-sorts it once instead of paying an ordered insert per add.
+	senders      []*senderCtx
+	sendersDirty bool
+
+	// Recycled per-Step scratch (the kernel's rounds are allocation-free
+	// at steady state): the destination-shard partitions, the per-shard
+	// delivery counters, and the spare queue buffer that double-buffers
+	// with queue across rounds.
+	perShard   [][]Envelope
+	delivered  []int
+	queueSpare []Envelope
 
 	// PSucc is the per-message channel success probability (1 = lossless).
 	PSucc float64
@@ -184,8 +203,25 @@ func (n *Network) AddNode(node Node) error {
 	n.nodes[id] = node
 	n.index[id] = len(n.order)
 	n.order = append(n.order, id)
-	n.ctx[id] = &senderCtx{loss: xrand.NewStream(n.seed, "loss:"+string(id))}
+	n.newSenderCtx(id)
 	return nil
+}
+
+// newSenderCtx returns the per-sender state for id, creating and
+// registering it on first sight. Reusing an existing ctx matters for
+// ids that sent before being registered as nodes (senderCtxFor): their
+// Seq counter must keep climbing, never restart — the merge order
+// relies on (From, Seq) uniqueness — and n.senders must list each
+// sender exactly once.
+func (n *Network) newSenderCtx(id ids.ProcessID) *senderCtx {
+	if c, ok := n.ctx[id]; ok {
+		return c
+	}
+	c := &senderCtx{id: id, loss: xrand.NewStream(n.seed, "loss:"+string(id))}
+	n.ctx[id] = c
+	n.senders = append(n.senders, c)
+	n.sendersDirty = true
+	return c
 }
 
 // Node returns the registered node, or nil.
@@ -252,9 +288,7 @@ func (n *Network) senderCtxFor(from ids.ProcessID) *senderCtx {
 	if c, ok := n.ctx[from]; ok {
 		return c
 	}
-	c := &senderCtx{loss: xrand.NewStream(n.seed, "loss:"+string(from))}
-	n.ctx[from] = c
-	return c
+	return n.newSenderCtx(from)
 }
 
 // Send enqueues a message for delivery next round. Loss is decided at
@@ -314,21 +348,50 @@ func (n *Network) workers() int {
 // shardOf maps a node to its shard by insertion index.
 func shardOf(index, p int) int { return index % p }
 
+// compareOutbox orders one sender's buffered sends by (To, Seq) — the
+// canonical order with From fixed. Seq never repeats within a sender,
+// so the order is total (no stability requirement on the sort).
+func compareOutbox(a, b pendingSend) int {
+	if c := strings.Compare(string(a.env.To), string(b.env.To)); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.env.Seq, b.env.Seq)
+}
+
 // Step runs one synchronous round: deliver everything queued (sends
 // performed during delivery land in the following round), then tick
 // nodes if TickNodes is set. The delivery/tick phase runs across
-// Workers shards concurrently; outboxes then merge serially in
-// canonical (From, To, Seq) order. It returns the number of messages
-// delivered.
+// Workers shards concurrently; each shard then sorts its own nodes'
+// outboxes by (To, Seq) while still parallel, and the serial tail
+// merely concatenates senders in ascending-From order — reproducing
+// the exact canonical (From, To, Seq) order of a global sort without
+// one. All round buffers (shard partitions, outboxes, the queue) are
+// recycled, so steady-state rounds allocate nothing. It returns the
+// number of messages delivered.
 func (n *Network) Step() int {
 	n.round++
-	batch := n.queue
-	n.queue = nil
 	p := n.workers()
+	if n.sendersDirty {
+		slices.SortFunc(n.senders, func(a, b *senderCtx) int {
+			return strings.Compare(string(a.id), string(b.id))
+		})
+		n.sendersDirty = false
+	}
+
+	// Double-buffer the delivery queue: this round's batch becomes the
+	// spare that next round's queue is rebuilt into.
+	batch := n.queue
+	n.queue = n.queueSpare[:0]
 
 	// Partition the batch by destination shard, preserving canonical
-	// order within each shard.
-	perShard := make([][]Envelope, p)
+	// order within each shard, into the recycled partition buffers.
+	if cap(n.perShard) < p {
+		n.perShard = make([][]Envelope, p)
+	}
+	perShard := n.perShard[:p]
+	for s := range perShard {
+		perShard[s] = perShard[s][:0]
+	}
 	for _, env := range batch {
 		idx, ok := n.index[env.To]
 		if !ok {
@@ -337,8 +400,18 @@ func (n *Network) Step() int {
 		s := shardOf(idx, p)
 		perShard[s] = append(perShard[s], env)
 	}
+	n.perShard = perShard
+	clear(batch) // drop Msg references: recycled capacity must not pin message graphs
+	n.queueSpare = batch[:0]
 
-	delivered := make([]int, p)
+	if cap(n.delivered) < p {
+		n.delivered = make([]int, p)
+	}
+	delivered := n.delivered[:p]
+	for s := range delivered {
+		delivered[s] = 0
+	}
+
 	n.stepping = true
 	runShard := func(s int) {
 		for _, env := range perShard[s] {
@@ -353,6 +426,15 @@ func (n *Network) Step() int {
 				if id := n.order[i]; !n.down[id] {
 					n.nodes[id].Tick()
 				}
+			}
+		}
+		// Sort this shard's outboxes while the other shards are still
+		// busy: each sender ctx is owned by exactly one shard, so the
+		// per-sender sorts need no coordination and the serial merge
+		// below degenerates to a concatenation.
+		for i := s; i < len(n.order); i += p {
+			if c := n.ctx[n.order[i]]; len(c.out) > 1 {
+				slices.SortFunc(c.out, compareOutbox)
 			}
 		}
 	}
@@ -371,34 +453,31 @@ func (n *Network) Step() int {
 	}
 	n.stepping = false
 
-	// Serial merge: gather outboxes in node order, sort canonically,
-	// fire observers and build the next round's queue.
-	var pend []pendingSend
-	for _, id := range n.order {
-		c := n.ctx[id]
+	// Serial merge: senders in ascending-From order, each outbox
+	// already (To, Seq)-sorted. Observers fire in canonical order; the
+	// queue is appended in place.
+	for _, c := range n.senders {
 		if len(c.out) == 0 {
 			continue
 		}
-		pend = append(pend, c.out...)
+		for i := range c.out {
+			ps := &c.out[i]
+			if n.OnSend != nil {
+				n.OnSend(ps.env, ps.dropped)
+			}
+			if !ps.dropped {
+				n.queue = append(n.queue, ps.env)
+			}
+		}
+		clear(c.out)
 		c.out = c.out[:0]
 	}
-	sort.Slice(pend, func(i, j int) bool {
-		a, b := pend[i].env, pend[j].env
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		return a.Seq < b.Seq
-	})
-	for _, ps := range pend {
-		if n.OnSend != nil {
-			n.OnSend(ps.env, ps.dropped)
-		}
-		if !ps.dropped {
-			n.queue = append(n.queue, ps.env)
-		}
+
+	// Likewise release this round's delivered envelopes from the shard
+	// partitions; the capacity stays for the next round.
+	for s := range perShard {
+		clear(perShard[s])
+		perShard[s] = perShard[s][:0]
 	}
 
 	total := 0

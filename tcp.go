@@ -16,13 +16,20 @@ import (
 // also its process id) and lazily maintains outbound connections to
 // its peers. Frame delivery remains best-effort: connection errors
 // surface as Send errors, which the protocol treats as channel losses.
+//
+// Writes are lock-striped per connection: each outbound peer owns a
+// mutex and a buffered writer, so concurrent sends to different peers
+// never serialize on a transport-wide lock, frames are appended to the
+// connection's buffer without a per-send allocation, and a
+// small-deadline flush (FlushDelay) coalesces bursts of frames — an
+// event fan-out, a shuffle exchange — into one syscall per peer.
 type TCPTransport struct {
 	listener net.Listener
 	addr     string
 
 	mu      sync.Mutex
 	handler func([]byte)
-	conns   map[string]net.Conn   // outbound, keyed by peer address
+	conns   map[string]*tcpConn   // outbound, keyed by peer address
 	inbound map[net.Conn]struct{} // accepted connections being served
 	closed  bool
 	wg      sync.WaitGroup
@@ -31,12 +38,89 @@ type TCPTransport struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds accepted frame sizes (default 1 MiB).
 	MaxFrame uint32
+	// FlushDelay is how long written frames may linger in a
+	// connection's buffer waiting for companions before being flushed
+	// (default 200µs). Negative flushes synchronously on every Send.
+	FlushDelay time.Duration
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
 // ErrFrameTooLarge signals an oversized inbound or outbound frame.
 var ErrFrameTooLarge = errors.New("damulticast: frame exceeds MaxFrame")
+
+// tcpWriteBuf is the per-connection write buffer: large enough to
+// coalesce a whole gossip burst, small enough to be cheap per peer.
+const tcpWriteBuf = 64 << 10
+
+// tcpConn is one cached outbound connection: its own write lock,
+// buffered writer and flush state. The first write or flush error
+// poisons the connection and evicts it from the transport's cache (via
+// evictFn), so dead peers do not pin sockets until the next Send.
+type tcpConn struct {
+	conn    net.Conn
+	evictFn func() // removes this conn from the cache and closes it
+
+	mu           sync.Mutex
+	w            *bufio.Writer
+	timer        *time.Timer // reusable coalescing-flush timer
+	flushPending bool
+	err          error
+}
+
+// writeFrame appends one length-prefixed frame to the connection's
+// buffer and arranges for it to be flushed within flushDelay.
+func (c *tcpConn) writeFrame(payload []byte, flushDelay time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		c.err = err
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		c.err = err
+		return err
+	}
+	if flushDelay < 0 {
+		err := c.w.Flush()
+		c.err = err
+		return err
+	}
+	if !c.flushPending {
+		c.flushPending = true
+		// One timer per connection, reset per flush window: the send
+		// path stays allocation-free under sustained traffic. Reset is
+		// safe because flushPending was false, so the previous firing
+		// has already run (or is harmlessly about to flush early).
+		if c.timer == nil {
+			c.timer = time.AfterFunc(flushDelay, c.flush)
+		} else {
+			c.timer.Reset(flushDelay)
+		}
+	}
+	return nil
+}
+
+// flush drains the write buffer; called from the coalescing timer and
+// from Close. A flush error evicts the connection immediately — the
+// timer path has no caller to report to.
+func (c *tcpConn) flush() {
+	c.mu.Lock()
+	c.flushPending = false
+	if c.err == nil {
+		c.err = c.w.Flush()
+	}
+	failed := c.err != nil
+	c.mu.Unlock()
+	if failed && c.evictFn != nil {
+		c.evictFn()
+	}
+}
 
 // NewTCPTransport listens on listenAddr ("host:port", ":0" picks a
 // free port) and starts accepting inbound peers.
@@ -48,10 +132,11 @@ func NewTCPTransport(listenAddr string) (*TCPTransport, error) {
 	t := &TCPTransport{
 		listener:    l,
 		addr:        l.Addr().String(),
-		conns:       make(map[string]net.Conn),
+		conns:       make(map[string]*tcpConn),
 		inbound:     make(map[net.Conn]struct{}),
 		DialTimeout: 2 * time.Second,
 		MaxFrame:    1 << 20,
+		FlushDelay:  200 * time.Microsecond,
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -132,56 +217,84 @@ func (t *TCPTransport) readFrame(r io.Reader) ([]byte, error) {
 }
 
 // Send frames and transmits payload to addr, dialing or reusing a
-// cached connection. A failed write evicts the cached connection so
-// the next Send redials.
+// cached connection. The payload is copied into the connection's write
+// buffer before Send returns (callers may reuse it immediately); the
+// bytes reach the wire within FlushDelay. A failed write poisons and
+// evicts the cached connection so a later Send redials.
 func (t *TCPTransport) Send(addr string, payload []byte) error {
 	if uint32(len(payload)) > t.MaxFrame {
 		return ErrFrameTooLarge
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return ErrTransportClosed
+	conn, err := t.connFor(addr)
+	if err != nil {
+		return err
 	}
-	conn, ok := t.conns[addr]
-	t.mu.Unlock()
-
-	if !ok {
-		var err error
-		conn, err = net.DialTimeout("tcp", addr, t.DialTimeout)
-		if err != nil {
-			return fmt.Errorf("damulticast: dial %s: %w", addr, err)
-		}
-		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
-			_ = conn.Close()
-			return ErrTransportClosed
-		}
-		if existing, race := t.conns[addr]; race {
-			// Another Send raced us; keep the existing connection.
-			t.mu.Unlock()
-			_ = conn.Close()
-			conn = existing
-		} else {
-			t.conns[addr] = conn
-			t.mu.Unlock()
-		}
-	}
-
-	frame := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
-	if _, err := conn.Write(frame); err != nil {
-		t.mu.Lock()
-		if t.conns[addr] == conn {
-			delete(t.conns, addr)
-		}
-		t.mu.Unlock()
-		_ = conn.Close()
+	if err := conn.writeFrame(payload, t.FlushDelay); err != nil {
+		t.evict(addr, conn)
 		return fmt.Errorf("damulticast: write %s: %w", addr, err)
 	}
 	return nil
+}
+
+// connFor returns the cached connection to addr, dialing one if
+// needed. Only the transport map is guarded by t.mu; frame writes take
+// the per-connection lock.
+func (t *TCPTransport) connFor(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrTransportClosed
+	}
+	if conn, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+
+	raw, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("damulticast: dial %s: %w", addr, err)
+	}
+	conn := &tcpConn{conn: raw, w: bufio.NewWriterSize(raw, tcpWriteBuf)}
+	conn.evictFn = func() { t.evict(addr, conn) }
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = raw.Close()
+		return nil, ErrTransportClosed
+	}
+	if existing, race := t.conns[addr]; race {
+		// Another Send raced us; keep the existing connection.
+		t.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	t.conns[addr] = conn
+	t.mu.Unlock()
+	return conn, nil
+}
+
+// evict drops a failed connection from the cache and closes it.
+func (t *TCPTransport) evict(addr string, conn *tcpConn) {
+	t.mu.Lock()
+	if t.conns[addr] == conn {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+	conn.stopTimer()
+	_ = conn.conn.Close()
+}
+
+// stopTimer disarms a pending coalescing flush so evicted or
+// closed connections do not keep timers (and their write buffers)
+// alive past teardown.
+func (c *tcpConn) stopTimer() {
+	c.mu.Lock()
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.flushPending = false
+	c.mu.Unlock()
 }
 
 // Close stops the listener and all connections.
@@ -193,7 +306,7 @@ func (t *TCPTransport) Close() error {
 	}
 	t.closed = true
 	conns := t.conns
-	t.conns = make(map[string]net.Conn)
+	t.conns = make(map[string]*tcpConn)
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)
@@ -202,7 +315,12 @@ func (t *TCPTransport) Close() error {
 
 	err := t.listener.Close()
 	for _, c := range conns {
-		_ = c.Close()
+		// Drain coalescing buffers before tearing down, under a short
+		// deadline: a stalled peer must not block shutdown.
+		_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		c.flush()
+		c.stopTimer()
+		_ = c.conn.Close()
 	}
 	for _, c := range inbound {
 		_ = c.Close()

@@ -14,11 +14,17 @@ import (
 // from the node's protocol goroutine while the receive path runs on
 // transport goroutines. Delivery is best-effort: Send errors are
 // treated as channel losses by the protocol.
+//
+// The payload passed to Send is only valid for the duration of the
+// call: the sender fans the same pooled buffer out to many peers and
+// reuses it afterwards, so implementations that deliver or transmit
+// asynchronously must copy first.
 type Transport interface {
 	// Addr returns the address other nodes use to reach this
 	// transport; it doubles as the node's default process id.
 	Addr() string
-	// Send transmits payload to the transport at addr.
+	// Send transmits payload to the transport at addr. It must not
+	// retain payload past its return.
 	Send(addr string, payload []byte) error
 	// SetHandler installs the receive callback. Must be called before
 	// any delivery; Node.Start does this.
@@ -27,17 +33,18 @@ type Transport interface {
 	Close() error
 }
 
-// encodeMessage serializes a protocol message as JSON. All message
-// fields are exported plain data, so encoding/json round-trips them.
-func encodeMessage(m *core.Message) ([]byte, error) {
+// encodeMessageJSON serializes a protocol message as JSON — the wire
+// format of format version 0, kept for migration tooling and the
+// cross-decode tests. The live path uses the binary codec (codec.go).
+func encodeMessageJSON(m *core.Message) ([]byte, error) {
 	return json.Marshal(m)
 }
 
-// decodeMessage parses a frame produced by encodeMessage. Frames that
-// are not valid JSON, or whose message type is missing or unknown, are
-// rejected — a peer speaking garbage must not reach the protocol
-// state machine.
-func decodeMessage(payload []byte) (*core.Message, error) {
+// decodeMessageJSON parses a frame produced by encodeMessageJSON.
+// Frames that are not valid JSON — including binary frames, whose
+// leading version byte 0x01 can never open a JSON document — or whose
+// message type is missing or unknown, are rejected.
+func decodeMessageJSON(payload []byte) (*core.Message, error) {
 	var m core.Message
 	if err := json.Unmarshal(payload, &m); err != nil {
 		return nil, fmt.Errorf("damulticast: decode: %w", err)
@@ -104,8 +111,14 @@ func (n *MemNetwork) AddTransport(addr string) (*MemTransport, error) {
 	if _, dup := n.transports[addr]; dup {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateAddr, addr)
 	}
-	t := &MemTransport{net: n, addr: addr}
+	t := &MemTransport{
+		net:   n,
+		addr:  addr,
+		queue: make(chan []byte, memDeliveryQueue),
+		done:  make(chan struct{}),
+	}
 	n.transports[addr] = t
+	go t.deliverLoop()
 	return t, nil
 }
 
@@ -127,17 +140,19 @@ func (n *MemNetwork) deliver(to string, payload []byte) error {
 			return nil // silently lost, like a UDP drop
 		}
 	}
+	// Skip the copy when nothing will consume the frame (endpoint
+	// closed or no handler installed yet) — the old pre-queue fast path.
 	target.mu.RLock()
-	h := target.handler
-	closed := target.closed
+	listening := target.handler != nil && !target.closed
 	target.mu.RUnlock()
-	if closed || h == nil {
+	if !listening {
 		return nil
 	}
-	// Copy the payload: the receiver must never alias sender buffers.
+	// Copy the payload: the receiver must never alias sender buffers
+	// (the sender reuses pooled encode buffers after Send returns).
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
-	go h(cp)
+	target.enqueue(cp)
 	return nil
 }
 
@@ -148,14 +163,57 @@ func (n *MemNetwork) remove(addr string) {
 	n.mu.Unlock()
 }
 
+// memDeliveryQueue bounds each endpoint's inbound frame queue. Frames
+// arriving while the queue is full are dropped, like any other channel
+// loss — the protocol is built for that.
+const memDeliveryQueue = 4096
+
 // MemTransport is one endpoint of a MemNetwork.
+//
+// Inbound frames flow through a bounded queue drained by a single
+// delivery goroutine per endpoint, so a burst of senders costs one
+// goroutine instead of one per frame and every peer observes a stable
+// FIFO delivery order.
 type MemTransport struct {
-	net  *MemNetwork
-	addr string
+	net   *MemNetwork
+	addr  string
+	queue chan []byte
+	done  chan struct{}
 
 	mu      sync.RWMutex
 	handler func([]byte)
 	closed  bool
+}
+
+// enqueue appends one inbound frame, dropping it when the queue is
+// full or the endpoint closed.
+func (t *MemTransport) enqueue(payload []byte) {
+	select {
+	case <-t.done:
+	case t.queue <- payload:
+	default: // queue full: lost, like a UDP drop
+	}
+}
+
+// deliverLoop serially hands queued frames to the handler.
+func (t *MemTransport) deliverLoop() {
+	for {
+		select {
+		case <-t.done:
+			return
+		case payload := <-t.queue:
+			t.mu.RLock()
+			h := t.handler
+			closed := t.closed
+			t.mu.RUnlock()
+			if closed {
+				return
+			}
+			if h != nil {
+				h(payload)
+			}
+		}
+	}
 }
 
 var _ Transport = (*MemTransport)(nil)
@@ -181,7 +239,7 @@ func (t *MemTransport) Send(addr string, payload []byte) error {
 	return t.net.deliver(addr, payload)
 }
 
-// Close unregisters the endpoint.
+// Close unregisters the endpoint and stops its delivery goroutine.
 func (t *MemTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -190,6 +248,7 @@ func (t *MemTransport) Close() error {
 	}
 	t.closed = true
 	t.mu.Unlock()
+	close(t.done)
 	t.net.remove(t.addr)
 	return nil
 }
