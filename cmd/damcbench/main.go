@@ -1,24 +1,41 @@
 // Command damcbench converts `go test -bench -benchmem` output into a
 // JSON document, so CI can archive benchmark runs (BENCH_PR2.json and
 // successors) as machine-readable artifacts and diff them across
-// commits.
+// commits — and gates on them: -compare checks the parsed run against
+// a baseline report and fails on regressions.
 //
 // Usage:
 //
 //	go test -bench . -benchmem ./... | damcbench -label after > BENCH.json
+//	go test -bench . -benchmem ./... | damcbench -compare BENCH_BASELINE.json > BENCH.json
 //
 // Standard columns (iterations, ns/op, B/op, allocs/op) become fixed
 // fields; every extra `value unit` pair reported via b.ReportMetric
 // lands in the metrics map.
+//
+// In -compare mode the new report is still written to stdout, then
+// every benchmark present in both runs is checked: ns/op or allocs/op
+// worse than baseline by more than -threshold (default 0.25, i.e.
+// +25%) is a regression, as is any allocation appearing where the
+// baseline had zero (allocation counts are deterministic). Benchmarks
+// are matched with the trailing -GOMAXPROCS suffix stripped, so a
+// baseline recorded on one machine gates runs on another. Because
+// sub-microsecond timings are dominated by machine constants (cache
+// geometry, turbo states) rather than code, benchmarks whose baseline
+// ns/op is below -nsfloor (default 1µs) are exempt from the ns check —
+// their allocs/op is still gated. Regressions are listed on stderr and
+// the command exits nonzero.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,21 +56,122 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
+// errRegression marks a failed -compare gate (exit 1, message already
+// printed).
+var errRegression = errors.New("benchmark regression vs baseline")
+
 func main() {
-	label := flag.String("label", "", "label recorded in the output (e.g. before/after, a commit hash)")
-	flag.Parse()
-	report, err := parse(os.Stdin)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "damcbench:", err)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "damcbench:", err)
+		}
 		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("damcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "", "label recorded in the output (e.g. before/after, a commit hash)")
+	compare := fs.String("compare", "", "baseline report JSON to gate against; regressions fail the run")
+	threshold := fs.Float64("threshold", 0.25, "relative ns/op and allocs/op slack before a change counts as a regression")
+	nsFloor := fs.Float64("nsfloor", 1000, "baseline ns/op below which the ns check is skipped (timing noise floor; allocs still gated)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("threshold must be >= 0, got %g", *threshold)
+	}
+	if *nsFloor < 0 {
+		return fmt.Errorf("nsfloor must be >= 0, got %g", *nsFloor)
+	}
+	report, err := parse(stdin)
+	if err != nil {
+		return err
 	}
 	report.Label = *label
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
-		fmt.Fprintln(os.Stderr, "damcbench:", err)
-		os.Exit(1)
+		return err
 	}
+	if *compare == "" {
+		return nil
+	}
+	baseline, err := readReport(*compare)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	regs, matched := compareReports(baseline, report, *threshold, *nsFloor)
+	fmt.Fprintf(stderr, "damcbench: compared %d benchmark(s) against %s (threshold +%.0f%%)\n",
+		matched, *compare, *threshold*100)
+	if len(regs) == 0 {
+		fmt.Fprintln(stderr, "damcbench: no regressions")
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(stderr, "damcbench: REGRESSION:", r)
+	}
+	return errRegression
+}
+
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out Report
+	if err := json.NewDecoder(f).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &out, nil
+}
+
+// procSuffix matches the -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo-8").
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// compareKey normalizes a benchmark name for cross-machine matching by
+// stripping the trailing proc-count suffix. A benchmark whose own name
+// ends in "-<digits>" would collide; none do here, and the baseline is
+// checked in alongside the code, so collisions would be caught in
+// review.
+func compareKey(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// compareReports gates cur against base: every benchmark present in
+// both is checked for ns/op and allocs/op regressions beyond
+// threshold; the ns check only applies when the baseline timing is at
+// least nsFloor (below it, cross-machine constants drown real
+// signal). It returns the regression descriptions and how many
+// benchmarks matched.
+func compareReports(base, cur *Report, threshold, nsFloor float64) (regressions []string, matched int) {
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[compareKey(r.Name)] = r
+	}
+	for _, r := range cur.Results {
+		b, ok := baseline[compareKey(r.Name)]
+		if !ok {
+			continue
+		}
+		matched++
+		if b.NsPerOp >= nsFloor && r.NsPerOp > b.NsPerOp*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s ns/op %.4g -> %.4g (+%.1f%%, limit +%.0f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100, threshold*100))
+		}
+		switch {
+		case b.AllocsPerOp == 0 && r.AllocsPerOp > 0:
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocs/op 0 -> %g (baseline was allocation-free)", r.Name, r.AllocsPerOp))
+		case b.AllocsPerOp > 0 && r.AllocsPerOp > b.AllocsPerOp*(1+threshold):
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocs/op %g -> %g (+%.1f%%, limit +%.0f%%)",
+				r.Name, b.AllocsPerOp, r.AllocsPerOp, (r.AllocsPerOp/b.AllocsPerOp-1)*100, threshold*100))
+		}
+	}
+	return regressions, matched
 }
 
 // parse scans benchmark output, ignoring everything that is not a
@@ -94,6 +212,8 @@ func parseLine(line string) (Result, bool) {
 	// included, when present): stripping it cannot be done reliably —
 	// "-2" might be part of the benchmark's own name — and consumers
 	// diffing runs from the same machine see consistent names anyway.
+	// Only -compare normalizes names, where cross-machine matching
+	// outweighs that ambiguity.
 	res := Result{
 		Name:       fields[0],
 		Iterations: iters,

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,5 +57,133 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("line %q accepted", line)
 		}
+	}
+}
+
+func TestCompareKeyStripsProcSuffix(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"BenchmarkFoo-8", "BenchmarkFoo"},
+		{"BenchmarkFoo-128", "BenchmarkFoo"},
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkSharded20k", "BenchmarkSharded20k"},
+		{"BenchmarkSweepWorkers/workers=4-8", "BenchmarkSweepWorkers/workers=4"},
+	}
+	for _, tt := range tests {
+		if got := compareKey(tt.in); got != tt.want {
+			t.Errorf("compareKey(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 4},
+		{Name: "BenchmarkAllocFree", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 10},
+	}}
+
+	// Within threshold (+20% ns, same allocs): clean.
+	cur := &Report{Results: []Result{
+		{Name: "BenchmarkFast-8", NsPerOp: 120, AllocsPerOp: 4},
+		{Name: "BenchmarkAllocFree-8", NsPerOp: 55, AllocsPerOp: 0},
+		{Name: "BenchmarkNew-8", NsPerOp: 1}, // no baseline: ignored
+	}}
+	regs, matched := compareReports(base, cur, 0.25, 0)
+	if matched != 2 {
+		t.Errorf("matched = %d, want 2", matched)
+	}
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+
+	// ns/op blowout, alloc growth, and allocs appearing from zero.
+	cur = &Report{Results: []Result{
+		{Name: "BenchmarkFast-8", NsPerOp: 200, AllocsPerOp: 6},
+		{Name: "BenchmarkAllocFree-8", NsPerOp: 50, AllocsPerOp: 1},
+	}}
+	regs, matched = compareReports(base, cur, 0.25, 0)
+	if matched != 2 {
+		t.Errorf("matched = %d, want 2", matched)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %v, want 3 entries", regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"BenchmarkFast-8 ns/op", "BenchmarkFast-8 allocs/op", "allocation-free"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Below the ns floor the timing check is skipped (machine-constant
+	// noise), but alloc regressions still fire.
+	regs, _ = compareReports(base, cur, 0.25, 1000)
+	joined = strings.Join(regs, "\n")
+	if strings.Contains(joined, "ns/op") {
+		t.Errorf("sub-floor timing gated:\n%s", joined)
+	}
+	for _, want := range []string{"BenchmarkFast-8 allocs/op", "allocation-free"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("alloc regressions lost under ns floor:\n%s", joined)
+		}
+	}
+}
+
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	base := &Report{Results: []Result{{Name: "BenchmarkStepMerge20k", NsPerOp: 33093523, AllocsPerOp: 3}}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sample run matches the baseline exactly: gate passes, and
+	// stdout still carries the new JSON report.
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-label", "x", "-compare", baseline},
+		strings.NewReader(sample), &stdout, &stderr); err != nil {
+		t.Fatalf("clean compare failed: %v\n%s", err, stderr.String())
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v", err)
+	}
+	if rep.Label != "x" || len(rep.Results) != 3 {
+		t.Errorf("emitted report = %+v", rep)
+	}
+	if !strings.Contains(stderr.String(), "no regressions") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	// A much slower baseline turns the same run into a failure.
+	base.Results[0].NsPerOp = 1000
+	data, err = json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-compare", baseline}, strings.NewReader(sample), &stdout, &stderr)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want errRegression", err)
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunCompareMissingBaseline(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"-compare", filepath.Join(t.TempDir(), "nope.json")},
+		strings.NewReader(sample), &stdout, &stderr)
+	if err == nil || errors.Is(err, errRegression) {
+		t.Errorf("err = %v, want read failure", err)
 	}
 }

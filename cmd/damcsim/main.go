@@ -6,27 +6,35 @@
 // Usage:
 //
 //	damcsim -fig 8 [-runs 5] [-points 10] [-out fig8.csv]
-//	damcsim -fig all -runs 3
+//	damcsim -fig all -runs 3 -sweepworkers 8 -report report.json
 //	damcsim -fig churn            # beyond-paper churn-wave sweep
 //	damcsim -scenario churn -n 20000 [-intensity 0.3] [-rounds 24] [-workers 0]
 //
 // Each figure sweeps the fraction of alive processes over the paper's
 // setting (t=3, S={1000,100,10}, b=3, c=5, g=5, a=1, z=3, psucc=0.85)
-// and prints one CSV block per figure. Scenario mode builds one flat
-// group of -n processes and drives a named dynamic schedule (churn,
-// flashcrowd, partition, lossburst) through the parallel kernel,
-// printing a summary. Results are byte-identical for every -workers
-// value.
+// and prints one CSV block per figure. Sweep points fan out across
+// -sweepworkers goroutines on the experiment orchestrator; the CSV
+// bytes are identical for every worker count (per-run seeds derive
+// from the figure/point/run labels, never from scheduling). -report
+// writes a machine-readable JSON run report (per-run seeds, rounds,
+// per-kind message counts, wall/CPU/mutex-wait time) for CI to archive
+// and diff. Scenario mode builds one flat group of -n processes and
+// drives a named dynamic schedule (churn, flashcrowd, partition,
+// lossburst) through the parallel kernel, printing a summary. Results
+// are byte-identical for every -workers value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"damulticast/internal/experiment"
 	"damulticast/internal/sim"
 	"damulticast/internal/topic"
 )
@@ -38,18 +46,29 @@ func main() {
 	}
 }
 
+// figureKeys maps the CLI's -fig values to canonical figure names.
+var figureKeys = map[string]string{
+	"8":     "fig8",
+	"9":     "fig9",
+	"10":    "fig10",
+	"11":    "fig11",
+	"churn": "churn",
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("damcsim", flag.ContinueOnError)
 	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn" or "all"`)
 	runs := fs.Int("runs", 3, "independent runs averaged per point")
 	points := fs.Int("points", 10, "alive-fraction points in (0, 1]")
 	out := fs.String("out", "", "write CSV to this file instead of stdout")
+	sweepWorkers := fs.Int("sweepworkers", 0, "figure-sweep worker pool size; 0 = GOMAXPROCS, 1 = serial (CSV identical for every value)")
+	reportPath := fs.String("report", "", "write a JSON run report (config, seeds, per-kind counts, timing) to this file")
+	seed := fs.Int64("seed", 1, "base random seed (figures: per-run seeds derive from it; scenarios: the run seed)")
 	scenario := fs.String("scenario", "", `run a named scenario instead of figures (one of "churn", "flashcrowd", "partition", "lossburst")`)
 	n := fs.Int("n", 20000, "scenario population (processes)")
 	intensity := fs.Float64("intensity", 0, "scenario knob in [0,1]; 0 selects the scenario default")
 	rounds := fs.Int("rounds", 0, "scenario rounds; 0 selects the default")
 	workers := fs.Int("workers", 0, "kernel shard count; 0 = GOMAXPROCS, 1 = sequential")
-	seed := fs.Int64("seed", 1, "scenario random seed")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,33 +114,47 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 
-	type gen func([]float64, int) (*sim.Figure, error)
-	gens := map[string]gen{
-		"8":     sim.Figure8,
-		"9":     sim.Figure9,
-		"10":    sim.Figure10,
-		"11":    sim.Figure11,
-		"churn": sim.FigureChurn,
-	}
 	order := []string{"8", "9", "10", "11"}
-
 	selected := order
 	if *fig != "all" {
-		if _, ok := gens[*fig]; !ok {
+		if _, ok := figureKeys[*fig]; !ok {
 			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn or all)", *fig)
 		}
 		selected = []string{*fig}
 	}
-	for _, name := range selected {
-		f, err := gens[name](alives, *runs)
+	report := &experiment.Report{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		SweepWorkers: *sweepWorkers,
+	}
+	opts := sim.FigureOpts{
+		RunsPerPoint: *runs,
+		SweepWorkers: *sweepWorkers,
+		BaseSeed:     *seed,
+	}
+	for _, key := range selected {
+		f, figReport, err := sim.GenerateFigure(context.Background(), figureKeys[key], alives, opts)
 		if err != nil {
-			return fmt.Errorf("figure %s: %w", name, err)
+			return fmt.Errorf("figure %s: %w", key, err)
 		}
+		report.Figures = append(report.Figures, *figReport)
 		fmt.Fprintf(w, "# %s: %s vs %s\n", f.Name, f.YLabel, f.XLabel)
 		if _, err := io.WriteString(w, f.CSV()); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("report: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"damulticast/internal/experiment"
 )
 
 func TestRunSingleFigure(t *testing.T) {
@@ -76,6 +78,54 @@ func TestRunChurnFigure(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "# churn:") {
 		t.Errorf("missing churn figure header:\n%s", out.String())
+	}
+}
+
+// TestRunSweepWorkersReproducible checks the CLI-level determinism
+// contract: -sweepworkers must not change a single output byte, and
+// -report must emit a parseable JSON run report.
+func TestRunSweepWorkersReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-size sweep")
+	}
+	dir := t.TempDir()
+	serialCSV := filepath.Join(dir, "serial.csv")
+	parallelCSV := filepath.Join(dir, "parallel.csv")
+	reportPath := filepath.Join(dir, "report.json")
+	var out strings.Builder
+	if err := run([]string{"-fig", "8", "-runs", "2", "-points", "2",
+		"-sweepworkers", "1", "-out", serialCSV}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "8", "-runs", "2", "-points", "2",
+		"-sweepworkers", "8", "-out", parallelCSV, "-report", reportPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := os.ReadFile(serialCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(parallelCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial) != string(parallel) {
+		t.Errorf("-sweepworkers changed the CSV bytes:\n%s\nvs\n%s", serial, parallel)
+	}
+
+	rep, err := experiment.ReadReportFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 1 || rep.Figures[0].Name != "fig8" {
+		t.Fatalf("report figures = %+v", rep.Figures)
+	}
+	figRep := rep.Figures[0]
+	if len(figRep.Runs) != 4 {
+		t.Errorf("report runs = %d, want 4", len(figRep.Runs))
+	}
+	if figRep.Totals["intra"] <= 0 {
+		t.Errorf("report totals = %v", figRep.Totals)
 	}
 }
 

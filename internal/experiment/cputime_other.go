@@ -1,0 +1,7 @@
+//go:build !unix
+
+package experiment
+
+// processCPUNS reports 0 on platforms without rusage; reports then
+// omit cpu_ns.
+func processCPUNS() int64 { return 0 }

@@ -1,0 +1,83 @@
+// Package experiment orchestrates simulation sweeps: it fans the
+// independent runs behind a figure (alive fractions × runs-per-point ×
+// seeds) across a bounded worker pool and captures machine-readable
+// reports (JSON: configuration, per-kind message counts, wall/CPU
+// time, rounds) that cmd/damcsim emits and CI archives and diffs.
+//
+// The package is deliberately generic — it knows nothing about the
+// simulator. internal/sim plumbs its figure sweeps through Map and
+// fills the report types; keeping the dependency one-way lets the
+// orchestrator host any future workload (baseline comparisons,
+// parameter-grid searches) without import cycles.
+//
+// Determinism contract: Map preserves index order in its results and
+// callers derive every run's seed from the job index (xrand.SeedFor),
+// never from worker identity or completion order — so any worker
+// count, 1 included, produces byte-identical figures.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(ctx, i) for every i in [0, n) across at most workers
+// goroutines and returns the n results in index order. workers <= 0
+// selects GOMAXPROCS; the pool never exceeds n. The first error
+// cancels the context passed to the remaining jobs and is returned
+// (wrapped with its job index); a canceled parent context likewise
+// aborts the sweep. Map never leaks goroutines — it returns only
+// after every worker has exited.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, n)
+	var (
+		next     atomic.Int64 // next job index to claim
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || runCtx.Err() != nil {
+					return
+				}
+				v, err := fn(runCtx, i)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("experiment: job %d: %w", i, err)
+						cancel()
+					})
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

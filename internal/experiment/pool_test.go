@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base, tolerating the runtime's own background goroutines settling.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, want <= %d", runtime.NumGoroutine(), base)
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		out, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 3, 64, func(_ context.Context, i int) (struct{}, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency = %d, want <= 3", p)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	base := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := Map(context.Background(), 4, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 5 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "job 5") {
+		t.Errorf("error does not name the failing job: %v", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("cancellation did not stop the sweep: %d jobs started", n)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	go func() {
+		<-release
+		cancel()
+	}()
+	var done atomic.Int64
+	_, err := Map(ctx, 2, 500, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			close(release)
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		done.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := done.Load(); n >= 500 {
+		t.Errorf("cancellation mid-sweep did not stop the pool: %d jobs ran", n)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestMapCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, 4, 10, func(context.Context, int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The claim loop checks ctx before running fn, so nothing runs.
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d jobs ran under a pre-canceled context", n)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) {
+		t.Error("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Errorf("Map(0) = %v, %v", out, err)
+	}
+}
+
+// TestMapNoGoroutineLeaks runs many small sweeps and checks the
+// goroutine count returns to its baseline — the pool must fully drain
+// on every exit path.
+func TestMapNoGoroutineLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 8, 32, func(_ context.Context, i int) (int, error) {
+			if trial%2 == 1 && i == 7 {
+				return 0, fmt.Errorf("trial %d", trial)
+			}
+			return i, nil
+		})
+		if trial%2 == 1 && err == nil {
+			t.Fatalf("trial %d: expected error", trial)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+func TestSampleMonotonic(t *testing.T) {
+	s := BeginSample()
+	busy := 0
+	for i := 0; i < 1_000_000; i++ {
+		busy += i
+	}
+	_ = busy
+	wall, cpu, mwait := s.End()
+	if wall <= 0 {
+		t.Errorf("wall = %d", wall)
+	}
+	if cpu < 0 {
+		t.Errorf("cpu = %d", cpu)
+	}
+	if mwait < 0 {
+		t.Errorf("mutex wait = %d", mwait)
+	}
+}

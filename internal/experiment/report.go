@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RunRecord is one simulation run inside a sweep: which sweep point it
+// belongs to, the seed that fully determines it, and what it measured.
+type RunRecord struct {
+	// Point is the index of the sweep point (x-axis position).
+	Point int `json:"point"`
+	// X is the point's x value (alive or surviving fraction).
+	X float64 `json:"x"`
+	// Run is the run index within the point, in [0, RunsPerPoint).
+	Run int `json:"run"`
+	// Seed is the run's derived seed (xrand.SeedFor of the base seed
+	// and the figure/point/run labels) — rerunning with it alone
+	// reproduces the run bit for bit.
+	Seed int64 `json:"seed"`
+	// Rounds is how many simulation rounds the run executed.
+	Rounds int `json:"rounds"`
+	// WallNS is the run's wall-clock time. Timing naturally varies
+	// between executions; everything else in the record is
+	// deterministic.
+	WallNS int64 `json:"wall_ns"`
+	// Counts are the run's per-kind message counters (intra, inter,
+	// delivered, parasite, control, dropped).
+	Counts map[string]int64 `json:"counts,omitempty"`
+	// Values are the extracted series values this run contributed to
+	// the figure (averaged across runs per point).
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// FigureReport describes one generated figure: its configuration, the
+// aggregate cost of producing it, and every underlying run.
+type FigureReport struct {
+	Name   string `json:"name"`
+	XLabel string `json:"x_label,omitempty"`
+	YLabel string `json:"y_label,omitempty"`
+	// RunsPerPoint, BaseSeed, SweepWorkers and KernelWorkers echo the
+	// sweep configuration. Only timing depends on the worker counts;
+	// the figure bytes depend solely on RunsPerPoint, BaseSeed and the
+	// x values.
+	RunsPerPoint  int   `json:"runs_per_point"`
+	BaseSeed      int64 `json:"base_seed"`
+	SweepWorkers  int   `json:"sweep_workers"`
+	KernelWorkers int   `json:"kernel_workers"`
+	// WallNS/CPUNS measure the whole sweep; MutexWaitNS is the delta
+	// of the Go runtime's cumulative mutex-wait during it (near zero
+	// when the sweep hot path is contention-free).
+	WallNS      int64 `json:"wall_ns"`
+	CPUNS       int64 `json:"cpu_ns,omitempty"`
+	MutexWaitNS int64 `json:"mutex_wait_ns"`
+	// Totals sums every run's per-kind counts.
+	Totals map[string]int64 `json:"totals,omitempty"`
+	Runs   []RunRecord      `json:"runs"`
+}
+
+// Report is the top-level document damcsim -report writes: one entry
+// per generated figure plus the environment the sweep ran in.
+type Report struct {
+	Label        string         `json:"label,omitempty"`
+	GoMaxProcs   int            `json:"gomaxprocs"`
+	SweepWorkers int            `json:"sweep_workers"`
+	Figures      []FigureReport `json:"figures"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var out Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("experiment: parse report: %w", err)
+	}
+	return &out, nil
+}
+
+// ReadReportFile parses the report at path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}

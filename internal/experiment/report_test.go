@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Label:        "test",
+		GoMaxProcs:   8,
+		SweepWorkers: 4,
+		Figures: []FigureReport{{
+			Name:          "fig8",
+			XLabel:        "fraction of alive processes",
+			YLabel:        "events sent within group",
+			RunsPerPoint:  3,
+			BaseSeed:      1,
+			SweepWorkers:  4,
+			KernelWorkers: 1,
+			WallNS:        123456789,
+			CPUNS:         234567890,
+			MutexWaitNS:   0,
+			Totals:        map[string]int64{"intra": 4200, "inter": 37},
+			Runs: []RunRecord{{
+				Point:  0,
+				X:      0.5,
+				Run:    2,
+				Seed:   987654321,
+				Rounds: 14,
+				WallNS: 1111,
+				Counts: map[string]int64{"intra": 1400, "dropped": 12},
+				Values: map[string]float64{"T2": 1337.5},
+			}},
+		}},
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	want := sampleReport()
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	want := sampleReport()
+	path := filepath.Join(t.TempDir(), "report.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("file round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadReportFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// mutexWaitSample is the runtime metric tracking cumulative time
+// goroutines have spent blocked on sync.Mutex/RWMutex — the direct
+// witness for "the sweep hot path has no mutex contention".
+const mutexWaitSample = "/sync/mutex/wait/total:seconds"
+
+// mutexWaitNS reads the cumulative mutex-wait clock, or 0 if the
+// metric is unsupported by this runtime.
+func mutexWaitNS() int64 {
+	s := []metrics.Sample{{Name: mutexWaitSample}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return int64(s[0].Value.Float64() * 1e9)
+}
+
+// Sample captures wall-clock, process CPU and runtime mutex-wait
+// baselines so a sweep can report the deltas it caused.
+type Sample struct {
+	start     time.Time
+	cpuNS     int64
+	mutexWait int64
+}
+
+// BeginSample records the current clocks.
+func BeginSample() Sample {
+	return Sample{start: time.Now(), cpuNS: processCPUNS(), mutexWait: mutexWaitNS()}
+}
+
+// End returns the wall, CPU and mutex-wait nanoseconds elapsed since
+// BeginSample. CPU is 0 on platforms without rusage support; both CPU
+// and mutex-wait are process-wide, so concurrent unrelated work is
+// included.
+func (s Sample) End() (wallNS, cpuNS, mutexNS int64) {
+	wallNS = time.Since(s.start).Nanoseconds()
+	if c := processCPUNS(); c > 0 {
+		cpuNS = c - s.cpuNS
+	}
+	mutexNS = mutexWaitNS() - s.mutexWait
+	return wallNS, cpuNS, mutexNS
+}

@@ -3,15 +3,23 @@
 // counts (Fig. 8), inter-group message counts (Fig. 9) and delivery
 // tallies for reliability (Figs. 10-11).
 //
-// Registry is safe for concurrent use; the live runtime increments from
-// many goroutines while the simulator runs single-threaded.
+// Registry is safe for concurrent use and designed for write-heavy
+// concurrency: increments land on sharded atomic counters (one shard
+// per cache line, picked per goroutine), so goroutines hammering the
+// same counter never serialize on a mutex. Reads (Snapshot, Get, CSV)
+// merge the shards; sorted accessors (Rows, CSV, String) iterate keys
+// in a canonical (Kind, Topic, Dest) order so output is deterministic
+// regardless of increment interleaving or shard assignment.
 package metrics
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"damulticast/internal/topic"
 )
@@ -64,21 +72,122 @@ type Key struct {
 	Dest  topic.Topic
 }
 
-// Registry is a concurrent counter map.
+// compareKeys orders keys canonically by (Kind, Topic, Dest) — the
+// sort every deterministic accessor uses.
+func compareKeys(a, b Key) int {
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(string(a.Topic), string(b.Topic)); c != 0 {
+		return c
+	}
+	return strings.Compare(string(a.Dest), string(b.Dest))
+}
+
+// Row is one counter with its key, as returned by Rows in canonical
+// order.
+type Row struct {
+	Key   Key
+	Value int64
+}
+
+// shardCount is the number of counter shards: the smallest power of
+// two covering GOMAXPROCS at startup, clamped to [8, 128]. Power of
+// two so shard selection is a mask, not a modulo.
+var shardCount = func() int {
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 128 {
+		n *= 2
+	}
+	return n
+}()
+
+// shard holds one stripe of every counter. The slots slice is indexed
+// by the registry's dense key slots and its elements are updated with
+// atomic operations only. The pad keeps neighboring shard headers on
+// distinct cache lines; the slot arrays themselves are separate
+// allocations, so two shards never share a line for their counters.
+type shard struct {
+	slots []int64
+	_     [64 - unsafe.Sizeof([]int64{})%64]byte
+}
+
+// Registry is a concurrent counter map. Increments are lock-free at
+// steady state: the RWMutex is taken in read mode on the hot path
+// (guarding slot-table growth only) and in write mode only when a
+// never-before-seen key appears or the registry is reset.
 type Registry struct {
-	mu     sync.Mutex
-	counts map[Key]int64
+	mu     sync.RWMutex
+	index  map[Key]int // key -> dense slot
+	keys   []Key       // slot -> key
+	shards []shard
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counts: make(map[Key]int64)}
+	return &Registry{
+		index:  make(map[Key]int),
+		shards: make([]shard, shardCount),
+	}
+}
+
+// shardHint picks this goroutine's shard. The address of a stack
+// variable is effectively unique per goroutine and stable across calls
+// (stacks move rarely), so each goroutine sticks to one shard — cache
+// friendly for single-threaded increment loops, spread out for
+// many-goroutine ones — without any runtime hooks. Correctness never
+// depends on the choice: every shard is merged on read.
+func shardHint() int {
+	var b byte
+	// Drop the low bits: frames within one goroutine differ by less
+	// than a few hundred bytes, distinct goroutine stacks by at least
+	// the 2KB minimum stack.
+	return int(uintptr(unsafe.Pointer(&b))>>11) & (shardCount - 1)
 }
 
 // Add increments the counter for key by delta.
 func (r *Registry) Add(key Key, delta int64) {
+	s := shardHint()
+	r.mu.RLock()
+	if slot, ok := r.index[key]; ok {
+		atomic.AddInt64(&r.shards[s].slots[slot], delta)
+		r.mu.RUnlock()
+		return
+	}
+	r.mu.RUnlock()
+	r.addSlow(key, delta, s)
+}
+
+// addSlow registers a new key (growing every shard's slot array) and
+// applies the increment. Growth is safe: fast-path adds hold the read
+// lock for the duration of their atomic add, so no add can target a
+// slice the write-locked copy is replacing.
+func (r *Registry) addSlow(key Key, delta int64, s int) {
 	r.mu.Lock()
-	r.counts[key] += delta
+	slot, ok := r.index[key]
+	if !ok {
+		slot = len(r.keys)
+		r.index[key] = slot
+		r.keys = append(r.keys, key)
+		if slot >= len(r.shards[0].slots) {
+			grown := len(r.shards[0].slots) * 2
+			if grown < 16 {
+				grown = 16
+			}
+			for grown <= slot {
+				grown *= 2
+			}
+			for i := range r.shards {
+				ns := make([]int64, grown)
+				copy(ns, r.shards[i].slots)
+				r.shards[i].slots = ns
+			}
+		}
+	}
+	atomic.AddInt64(&r.shards[s].slots[slot], delta)
 	r.mu.Unlock()
 }
 
@@ -106,11 +215,25 @@ func (r *Registry) IncControl(t topic.Topic) { r.Inc(Key{Kind: Control, Topic: t
 // IncDropped counts one message lost by the channel in group t.
 func (r *Registry) IncDropped(t topic.Topic) { r.Inc(Key{Kind: Dropped, Topic: t}) }
 
+// load sums one slot across all shards. Callers hold r.mu (either
+// mode).
+func (r *Registry) load(slot int) int64 {
+	var total int64
+	for i := range r.shards {
+		total += atomic.LoadInt64(&r.shards[i].slots[slot])
+	}
+	return total
+}
+
 // Get returns the current value for key.
 func (r *Registry) Get(key Key) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counts[key]
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	slot, ok := r.index[key]
+	if !ok {
+		return 0
+	}
+	return r.load(slot)
 }
 
 // Intra returns the intra-group event count for t.
@@ -124,83 +247,94 @@ func (r *Registry) Inter(src, dst topic.Topic) int64 {
 // Delivered returns the delivery count for t.
 func (r *Registry) Delivered(t topic.Topic) int64 { return r.Get(Key{Kind: Delivered, Topic: t}) }
 
-// Parasites returns the total parasite deliveries across all groups.
-func (r *Registry) Parasites() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// sumKinds totals every counter whose kind passes the filter.
+func (r *Registry) sumKinds(match func(Kind) bool) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var total int64
-	for k, v := range r.counts {
-		if k.Kind == Parasite {
-			total += v
+	for slot, k := range r.keys {
+		if match(k.Kind) {
+			total += r.load(slot)
 		}
 	}
 	return total
+}
+
+// Parasites returns the total parasite deliveries across all groups.
+func (r *Registry) Parasites() int64 {
+	return r.sumKinds(func(k Kind) bool { return k == Parasite })
 }
 
 // TotalEvents returns intra + inter event messages across all groups
 // (the paper's total message complexity for one dissemination).
 func (r *Registry) TotalEvents() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var total int64
-	for k, v := range r.counts {
-		if k.Kind == IntraGroup || k.Kind == InterGroup {
-			total += v
-		}
-	}
-	return total
+	return r.sumKinds(func(k Kind) bool { return k == IntraGroup || k == InterGroup })
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters and forgets all keys.
 func (r *Registry) Reset() {
 	r.mu.Lock()
-	r.counts = make(map[Key]int64)
-	r.mu.Unlock()
+	defer r.mu.Unlock()
+	r.index = make(map[Key]int)
+	r.keys = r.keys[:0]
+	for i := range r.shards {
+		for j := range r.shards[i].slots {
+			r.shards[i].slots[j] = 0
+		}
+	}
 }
 
 // Snapshot returns a copy of all counters.
 func (r *Registry) Snapshot() map[Key]int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[Key]int64, len(r.counts))
-	for k, v := range r.counts {
-		out[k] = v
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[Key]int64, len(r.keys))
+	for slot, k := range r.keys {
+		out[k] = r.load(slot)
 	}
+	return out
+}
+
+// Rows returns every counter in canonical (Kind, Topic, Dest) order —
+// the deterministic iteration the CSV and String renderings use.
+func (r *Registry) Rows() []Row {
+	r.mu.RLock()
+	out := make([]Row, 0, len(r.keys))
+	for slot, k := range r.keys {
+		out = append(out, Row{Key: k, Value: r.load(slot)})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return compareKeys(out[i].Key, out[j].Key) < 0 })
 	return out
 }
 
 // Merge adds every counter of other into r.
 func (r *Registry) Merge(other *Registry) {
-	snap := other.Snapshot()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for k, v := range snap {
-		r.counts[k] += v
+	for _, row := range other.Rows() {
+		r.Add(row.Key, row.Value)
 	}
+}
+
+// CSV renders the registry as "kind,topic,dest,count" lines (header
+// included) in canonical key order — byte-identical for equal counter
+// contents, however the increments were interleaved.
+func (r *Registry) CSV() string {
+	var b strings.Builder
+	b.WriteString("kind,topic,dest,count\n")
+	for _, row := range r.Rows() {
+		fmt.Fprintf(&b, "%s,%s,%s,%d\n", row.Key.Kind, row.Key.Topic, row.Key.Dest, row.Value)
+	}
+	return b.String()
 }
 
 // String renders the registry sorted by key for deterministic logs.
 func (r *Registry) String() string {
-	snap := r.Snapshot()
-	keys := make([]Key, 0, len(snap))
-	for k := range snap {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Kind != keys[j].Kind {
-			return keys[i].Kind < keys[j].Kind
-		}
-		if keys[i].Topic != keys[j].Topic {
-			return keys[i].Topic < keys[j].Topic
-		}
-		return keys[i].Dest < keys[j].Dest
-	})
 	var b strings.Builder
-	for _, k := range keys {
-		if k.Dest != "" {
-			fmt.Fprintf(&b, "%s[%s->%s]=%d\n", k.Kind, k.Topic, k.Dest, snap[k])
+	for _, row := range r.Rows() {
+		if row.Key.Dest != "" {
+			fmt.Fprintf(&b, "%s[%s->%s]=%d\n", row.Key.Kind, row.Key.Topic, row.Key.Dest, row.Value)
 		} else {
-			fmt.Fprintf(&b, "%s[%s]=%d\n", k.Kind, k.Topic, snap[k])
+			fmt.Fprintf(&b, "%s[%s]=%d\n", row.Key.Kind, row.Key.Topic, row.Value)
 		}
 	}
 	return b.String()

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -117,26 +118,114 @@ func TestRegistryString(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrency hammers the sharded counters from 32
+// goroutines (run under -race in CI): every increment must land
+// exactly once regardless of shard assignment, including increments
+// racing with first-sight key registration and mid-flight reads.
 func TestRegistryConcurrency(t *testing.T) {
 	r := NewRegistry()
+	ta := topic.MustParse(".a")
 	var wg sync.WaitGroup
-	const workers, each = 8, 1000
+	const workers, each = 32, 1000
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// A fresh per-goroutine key mid-run exercises the slow
+			// path's slot growth concurrently with fast-path adds.
+			own := topic.MustParse(fmt.Sprintf(".a.g%d", w))
 			for i := 0; i < each; i++ {
 				r.IncIntra(topic.Root)
-				r.IncInter(topic.MustParse(".a"), topic.Root)
+				r.IncInter(ta, topic.Root)
+				r.IncDelivered(own)
+				if i%100 == 0 {
+					_ = r.TotalEvents()
+					_ = r.Snapshot()
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if got := r.Intra(topic.Root); got != workers*each {
 		t.Errorf("Intra = %d, want %d", got, workers*each)
 	}
-	if got := r.Inter(topic.MustParse(".a"), topic.Root); got != workers*each {
+	if got := r.Inter(ta, topic.Root); got != workers*each {
 		t.Errorf("Inter = %d, want %d", got, workers*each)
+	}
+	for w := 0; w < workers; w++ {
+		own := topic.MustParse(fmt.Sprintf(".a.g%d", w))
+		if got := r.Delivered(own); got != each {
+			t.Errorf("Delivered(%s) = %d, want %d", own, got, each)
+		}
+	}
+	if got := r.TotalEvents(); got != 2*workers*each {
+		t.Errorf("TotalEvents = %d, want %d", got, 2*workers*each)
+	}
+}
+
+// TestRegistryDeterministicOutput asserts that Rows and CSV are
+// byte-identical for equal counter contents, independent of insertion
+// order and of which goroutines (hence shards) did the incrementing.
+func TestRegistryDeterministicOutput(t *testing.T) {
+	keys := []Key{
+		{Kind: Dropped, Topic: topic.MustParse(".b")},
+		{Kind: IntraGroup, Topic: topic.MustParse(".a")},
+		{Kind: InterGroup, Topic: topic.MustParse(".a.b"), Dest: topic.MustParse(".a")},
+		{Kind: IntraGroup, Topic: topic.MustParse(".a.b")},
+		{Kind: Delivered, Topic: topic.Root},
+	}
+
+	// Serial, reverse insertion order.
+	a := NewRegistry()
+	for i := len(keys) - 1; i >= 0; i-- {
+		a.Add(keys[i], int64(i+1))
+	}
+
+	// Concurrent, one goroutine per key, forward order.
+	b := NewRegistry()
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(k Key, v int64) {
+			defer wg.Done()
+			for j := int64(0); j < v; j++ {
+				b.Inc(k)
+			}
+		}(k, int64(i+1))
+	}
+	wg.Wait()
+
+	if a.CSV() != b.CSV() {
+		t.Errorf("CSV not deterministic:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+	if a.String() != b.String() {
+		t.Errorf("String not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	rows := a.Rows()
+	if len(rows) != len(keys) {
+		t.Fatalf("Rows len = %d, want %d", len(rows), len(keys))
+	}
+	for i := 1; i < len(rows); i++ {
+		if compareKeys(rows[i-1].Key, rows[i].Key) >= 0 {
+			t.Errorf("Rows not strictly sorted at %d: %+v >= %+v", i, rows[i-1].Key, rows[i].Key)
+		}
+	}
+	if !strings.HasPrefix(a.CSV(), "kind,topic,dest,count\n") {
+		t.Errorf("CSV header: %q", strings.SplitN(a.CSV(), "\n", 2)[0])
+	}
+}
+
+func TestRegistryRowsAfterReset(t *testing.T) {
+	r := NewRegistry()
+	r.IncIntra(topic.Root)
+	r.Reset()
+	if rows := r.Rows(); len(rows) != 0 {
+		t.Errorf("Rows after Reset = %v", rows)
+	}
+	// Keys registered before a Reset must count from zero again.
+	r.IncIntra(topic.Root)
+	if got := r.Intra(topic.Root); got != 1 {
+		t.Errorf("Intra after Reset+Inc = %d", got)
 	}
 }
 
@@ -146,4 +235,19 @@ func BenchmarkRegistryInc(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.IncIntra(topic.Root)
 	}
+}
+
+// BenchmarkRegistryIncParallel measures contended increments on one
+// hot key from all procs — the sweep-orchestrator hot path. With the
+// sharded atomic registry this scales without mutex contention (the
+// read lock is uncontended; see the sweep benchmark's mutex-wait
+// metric).
+func BenchmarkRegistryIncParallel(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.IncIntra(topic.Root)
+		}
+	})
 }

@@ -51,6 +51,10 @@ type Result struct {
 	Parasites int64
 	// TotalEvents is the total number of event messages sent.
 	TotalEvents int64
+	// KindTotals sums every metrics counter by kind name (intra,
+	// inter, delivered, parasite, control, dropped) across all groups
+	// — the per-kind counts experiment run reports record.
+	KindTotals map[string]int64
 	// Rounds is how many rounds ran before quiescence.
 	Rounds int
 }
@@ -374,9 +378,19 @@ func (r *Runner) collect(evs []ids.EventID, rounds int) *Result {
 		ReliabilityAll:     make(map[topic.Topic]float64),
 		AllAliveReached:    make(map[topic.Topic]bool),
 		FirstDeliveryRound: make(map[topic.Topic]int, len(r.firstRound)),
-		Parasites:          r.reg.Parasites(),
-		TotalEvents:        r.reg.TotalEvents(),
+		KindTotals:         make(map[string]int64),
 		Rounds:             rounds,
+	}
+	// One merged pass over the sharded registry feeds all three
+	// aggregate fields.
+	for _, row := range r.reg.Rows() {
+		res.KindTotals[row.Key.Kind.String()] += row.Value
+		switch row.Key.Kind {
+		case metrics.Parasite:
+			res.Parasites += row.Value
+		case metrics.IntraGroup, metrics.InterGroup:
+			res.TotalEvents += row.Value
+		}
 	}
 	for gt, round := range r.firstRound {
 		res.FirstDeliveryRound[gt] = round

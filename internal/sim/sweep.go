@@ -1,11 +1,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
+	"damulticast/internal/experiment"
 	"damulticast/internal/topic"
+	"damulticast/internal/xrand"
 )
 
 // Row is one x-axis point of a figure: an alive fraction plus named
@@ -64,181 +69,272 @@ func groupSeriesName(t topic.Topic) string {
 	}
 }
 
-// averageRuns runs cfgFor runsPerPoint times per alive fraction and
-// averages extract's named values.
-func averageRuns(
-	alives []float64,
-	runsPerPoint int,
-	cfgFor func(alive float64, seed int64) Config,
-	extract func(*Result) map[string]float64,
-) ([]Row, []string, error) {
-	if runsPerPoint < 1 {
-		runsPerPoint = 1
-	}
-	var rows []Row
-	nameSet := map[string]bool{}
-	for i, alive := range alives {
-		acc := map[string]float64{}
-		for run := 0; run < runsPerPoint; run++ {
-			seed := int64(1000*i + run + 1)
-			res, err := Run(cfgFor(alive, seed))
-			if err != nil {
-				return nil, nil, err
+// figureSpec declares one figure sweep: how to run a single point and
+// which named series values to extract from its Result.
+type figureSpec struct {
+	name   string
+	xlabel string
+	ylabel string
+	// runPoint executes one independent run at x-axis value x with the
+	// given seed, on kernelWorkers simnet shards (0 = GOMAXPROCS).
+	runPoint func(x float64, seed int64, kernelWorkers int) (*Result, error)
+	// extract pulls the figure's named series values from one Result.
+	extract func(*Result) map[string]float64
+}
+
+// paperSpec builds the spec shared by Figs. 8-11: the paper topology
+// with a per-figure failure mode and extractor.
+func paperSpec(name, ylabel string, mode FailureMode, extract func(*Result) map[string]float64) figureSpec {
+	return figureSpec{
+		name:   name,
+		xlabel: "fraction of alive processes",
+		ylabel: ylabel,
+		runPoint: func(x float64, seed int64, kernelWorkers int) (*Result, error) {
+			cfg := PaperConfig(x, seed)
+			if mode != 0 {
+				cfg.FailureMode = mode
 			}
-			for k, v := range extract(res) {
-				acc[k] += v
-				nameSet[k] = true
-			}
-		}
-		for k := range acc {
-			acc[k] /= float64(runsPerPoint)
-		}
-		rows = append(rows, Row{Alive: alive, Values: acc})
+			cfg.Workers = kernelWorkers
+			return Run(cfg)
+		},
+		extract: extract,
 	}
-	names := make([]string, 0, len(nameSet))
-	for k := range nameSet {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return rows, names, nil
 }
 
-// Figure8 regenerates "Number of events sent in each group" vs. alive
-// fraction (stillborn failures).
-func Figure8(alives []float64, runsPerPoint int) (*Figure, error) {
-	rows, names, err := averageRuns(alives, runsPerPoint, PaperConfig,
-		func(res *Result) map[string]float64 {
-			out := map[string]float64{}
-			for t, v := range res.Intra {
-				out[groupSeriesName(t)] = float64(v)
-			}
-			return out
-		})
-	if err != nil {
-		return nil, err
+func extractIntra(res *Result) map[string]float64 {
+	out := map[string]float64{}
+	for t, v := range res.Intra {
+		out[groupSeriesName(t)] = float64(v)
 	}
-	return &Figure{
-		Name:   "fig8",
-		XLabel: "fraction of alive processes",
-		YLabel: "events sent within group",
-		Series: names,
-		Rows:   rows,
-	}, nil
+	return out
 }
 
-// Figure9 regenerates "Number of intergroup events" vs. alive fraction
-// (stillborn failures): series T2->T1 and T1->T0.
-func Figure9(alives []float64, runsPerPoint int) (*Figure, error) {
-	rows, names, err := averageRuns(alives, runsPerPoint, PaperConfig,
-		func(res *Result) map[string]float64 {
-			out := map[string]float64{}
-			for link, v := range res.Inter {
-				name := fmt.Sprintf("%s->%s", groupSeriesName(link[0]), groupSeriesName(link[1]))
-				out[name] = float64(v)
-			}
-			return out
-		})
-	if err != nil {
-		return nil, err
+func extractInter(res *Result) map[string]float64 {
+	out := map[string]float64{}
+	for link, v := range res.Inter {
+		name := fmt.Sprintf("%s->%s", groupSeriesName(link[0]), groupSeriesName(link[1]))
+		out[name] = float64(v)
 	}
-	return &Figure{
-		Name:   "fig9",
-		XLabel: "fraction of alive processes",
-		YLabel: "intergroup events",
-		Series: names,
-		Rows:   rows,
-	}, nil
+	return out
 }
 
-// reliabilityFigure is shared by Figures 10 and 11.
-func reliabilityFigure(name string, mode FailureMode, alives []float64, runsPerPoint int) (*Figure, error) {
-	cfgFor := func(alive float64, seed int64) Config {
-		cfg := PaperConfig(alive, seed)
-		cfg.FailureMode = mode
-		return cfg
+func extractReliabilityAll(res *Result) map[string]float64 {
+	out := map[string]float64{}
+	for t, v := range res.ReliabilityAll {
+		out[groupSeriesName(t)] = v
 	}
-	rows, names, err := averageRuns(alives, runsPerPoint, cfgFor,
-		func(res *Result) map[string]float64 {
-			out := map[string]float64{}
-			for t, v := range res.ReliabilityAll {
-				out[groupSeriesName(t)] = v
-			}
-			return out
-		})
-	if err != nil {
-		return nil, err
-	}
-	return &Figure{
-		Name:   name,
-		XLabel: "fraction of alive processes",
-		YLabel: "fraction of processes receiving",
-		Series: names,
-		Rows:   rows,
-	}, nil
+	return out
 }
 
-// Figure10 regenerates reliability under stillborn failures.
-func Figure10(alives []float64, runsPerPoint int) (*Figure, error) {
-	return reliabilityFigure("fig10", FailStillborn, alives, runsPerPoint)
-}
-
-// Figure11 regenerates reliability under per-observer (weakly
-// consistent) failures.
-func Figure11(alives []float64, runsPerPoint int) (*Figure, error) {
-	return reliabilityFigure("fig11", FailPerObserver, alives, runsPerPoint)
-}
-
-// FigureChurn goes beyond the paper: it sweeps the size of a crash
-// wave hitting the publish group two rounds into dissemination and
-// reports each group's delivered fraction. The x-axis is the fraction
-// of processes SURVIVING the wave, so the curve reads like Figs. 10/11
-// (right edge = no churn). Each point runs the paper topology on the
-// sharded kernel; runsPerPoint independent runs are averaged.
-func FigureChurn(survives []float64, runsPerPoint int) (*Figure, error) {
-	if runsPerPoint < 1 {
-		runsPerPoint = 1
-	}
-	var rows []Row
-	nameSet := map[string]bool{}
-	for i, survive := range survives {
-		acc := map[string]float64{}
-		for run := 0; run < runsPerPoint; run++ {
-			seed := int64(1000*i + run + 1)
+// churnSpec is the beyond-paper churn-wave sweep: x is the fraction of
+// the publish group SURVIVING a crash wave two rounds into
+// dissemination, so the curve reads like Figs. 10/11 (right edge = no
+// churn).
+func churnSpec() figureSpec {
+	return figureSpec{
+		name:   "churn",
+		xlabel: "fraction surviving the churn wave",
+		ylabel: "fraction of processes receiving",
+		runPoint: func(x float64, seed int64, kernelWorkers int) (*Result, error) {
 			cfg := PaperConfig(1, seed)
 			cfg.FailureMode = FailNone
+			cfg.Workers = kernelWorkers
 			sc := Scenario{
 				Name:   "churn-wave",
 				Rounds: 30, // gossip quiesces in ~O(log S) rounds; 30 is ample
 				Events: []ScenarioEvent{
 					{Round: 0, Kind: ScenarioPublish},
-					{Round: 2, Kind: ScenarioCrashWave, Topic: cfg.PublishTopic, Fraction: 1 - survive},
+					{Round: 2, Kind: ScenarioCrashWave, Topic: cfg.PublishTopic, Fraction: 1 - x},
 				},
 			}
-			res, err := RunScenario(cfg, sc)
+			return RunScenario(cfg, sc)
+		},
+		extract: extractReliabilityAll,
+	}
+}
+
+// figureSpecs maps canonical figure names to their sweep specs.
+func figureSpecs() map[string]figureSpec {
+	return map[string]figureSpec{
+		"fig8":  paperSpec("fig8", "events sent within group", 0, extractIntra),
+		"fig9":  paperSpec("fig9", "intergroup events", 0, extractInter),
+		"fig10": paperSpec("fig10", "fraction of processes receiving", FailStillborn, extractReliabilityAll),
+		"fig11": paperSpec("fig11", "fraction of processes receiving", FailPerObserver, extractReliabilityAll),
+		"churn": churnSpec(),
+	}
+}
+
+// FigureNames lists the figure names GenerateFigure accepts, sorted.
+func FigureNames() []string {
+	specs := figureSpecs()
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FigureOpts parameterizes a figure sweep.
+type FigureOpts struct {
+	// RunsPerPoint is how many independent runs are averaged per
+	// x-axis point (minimum 1).
+	RunsPerPoint int
+	// SweepWorkers bounds the orchestrator's worker pool fanning runs
+	// out: 0 = GOMAXPROCS, 1 = serial. Any value yields byte-identical
+	// figure CSVs — seeds derive from (BaseSeed, figure, point, run),
+	// never from scheduling.
+	SweepWorkers int
+	// KernelWorkers is the simnet shard count per run. 0 auto-selects:
+	// GOMAXPROCS when the sweep itself is serial, 1 when sweep workers
+	// already saturate the cores (run-level parallelism beats
+	// round-level for many small runs).
+	KernelWorkers int
+	// BaseSeed roots the per-run seed derivation; 0 means 1.
+	BaseSeed int64
+}
+
+// GenerateFigure sweeps the named figure over the given x values on
+// the experiment orchestrator and returns the figure plus a
+// machine-readable report of every underlying run. Known names are
+// listed by FigureNames. The figure bytes depend only on (name, xs,
+// RunsPerPoint, BaseSeed); worker counts change wall clock alone.
+func GenerateFigure(ctx context.Context, name string, xs []float64, opts FigureOpts) (*Figure, *experiment.FigureReport, error) {
+	spec, ok := figureSpecs()[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: unknown figure %q (want %v)", name, FigureNames())
+	}
+	runs := opts.RunsPerPoint
+	if runs < 1 {
+		runs = 1
+	}
+	baseSeed := opts.BaseSeed
+	if baseSeed == 0 {
+		baseSeed = 1
+	}
+	sweepWorkers := opts.SweepWorkers
+	if sweepWorkers <= 0 {
+		sweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	kernelWorkers := opts.KernelWorkers
+	if kernelWorkers == 0 && sweepWorkers > 1 {
+		kernelWorkers = 1
+	}
+
+	sample := experiment.BeginSample()
+	n := len(xs) * runs
+	recs, err := experiment.Map(ctx, sweepWorkers, n,
+		func(_ context.Context, j int) (experiment.RunRecord, error) {
+			pi, run := j/runs, j%runs
+			seed := xrand.SeedFor(baseSeed, fmt.Sprintf("fig:%s:point:%d:run:%d", spec.name, pi, run))
+			start := time.Now()
+			res, err := spec.runPoint(xs[pi], seed, kernelWorkers)
 			if err != nil {
-				return nil, err
+				return experiment.RunRecord{}, err
 			}
-			for t, v := range res.ReliabilityAll {
-				name := groupSeriesName(t)
-				acc[name] += v
-				nameSet[name] = true
+			return experiment.RunRecord{
+				Point:  pi,
+				X:      xs[pi],
+				Run:    run,
+				Seed:   seed,
+				Rounds: res.Rounds,
+				WallNS: time.Since(start).Nanoseconds(),
+				Counts: res.KindTotals,
+				Values: spec.extract(res),
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, fmt.Errorf("figure %s: %w", name, err)
+	}
+
+	// Assemble rows serially in index order: averaging consumes the
+	// records point-major exactly as the serial sweep produced them,
+	// so floating-point accumulation order — and hence the CSV bytes —
+	// cannot depend on the worker count.
+	rows := make([]Row, 0, len(xs))
+	nameSet := map[string]bool{}
+	totals := map[string]int64{}
+	for pi, x := range xs {
+		acc := map[string]float64{}
+		for run := 0; run < runs; run++ {
+			rec := recs[pi*runs+run]
+			for k, v := range rec.Values {
+				acc[k] += v
+				nameSet[k] = true
+			}
+			for k, v := range rec.Counts {
+				totals[k] += v
 			}
 		}
 		for k := range acc {
-			acc[k] /= float64(runsPerPoint)
+			acc[k] /= float64(runs)
 		}
-		rows = append(rows, Row{Alive: survive, Values: acc})
+		rows = append(rows, Row{Alive: x, Values: acc})
 	}
 	names := make([]string, 0, len(nameSet))
 	for k := range nameSet {
 		names = append(names, k)
 	}
 	sort.Strings(names)
+
+	wall, cpu, mwait := sample.End()
+	report := &experiment.FigureReport{
+		Name:          spec.name,
+		XLabel:        spec.xlabel,
+		YLabel:        spec.ylabel,
+		RunsPerPoint:  runs,
+		BaseSeed:      baseSeed,
+		SweepWorkers:  sweepWorkers,
+		KernelWorkers: kernelWorkers,
+		WallNS:        wall,
+		CPUNS:         cpu,
+		MutexWaitNS:   mwait,
+		Totals:        totals,
+		Runs:          recs,
+	}
 	return &Figure{
-		Name:   "churn",
-		XLabel: "fraction surviving the churn wave",
-		YLabel: "fraction of processes receiving",
+		Name:   spec.name,
+		XLabel: spec.xlabel,
+		YLabel: spec.ylabel,
 		Series: names,
 		Rows:   rows,
-	}, nil
+	}, report, nil
+}
+
+// legacyFigure preserves the original serial-sweep entry points on top
+// of the orchestrator.
+func legacyFigure(name string, xs []float64, runsPerPoint int) (*Figure, error) {
+	fig, _, err := GenerateFigure(context.Background(), name, xs,
+		FigureOpts{RunsPerPoint: runsPerPoint, SweepWorkers: 1})
+	return fig, err
+}
+
+// Figure8 regenerates "Number of events sent in each group" vs. alive
+// fraction (stillborn failures).
+func Figure8(alives []float64, runsPerPoint int) (*Figure, error) {
+	return legacyFigure("fig8", alives, runsPerPoint)
+}
+
+// Figure9 regenerates "Number of intergroup events" vs. alive fraction
+// (stillborn failures): series T2->T1 and T1->T0.
+func Figure9(alives []float64, runsPerPoint int) (*Figure, error) {
+	return legacyFigure("fig9", alives, runsPerPoint)
+}
+
+// Figure10 regenerates reliability under stillborn failures.
+func Figure10(alives []float64, runsPerPoint int) (*Figure, error) {
+	return legacyFigure("fig10", alives, runsPerPoint)
+}
+
+// Figure11 regenerates reliability under per-observer (weakly
+// consistent) failures.
+func Figure11(alives []float64, runsPerPoint int) (*Figure, error) {
+	return legacyFigure("fig11", alives, runsPerPoint)
+}
+
+// FigureChurn goes beyond the paper: it sweeps the size of a crash
+// wave hitting the publish group two rounds into dissemination and
+// reports each group's delivered fraction (see churnSpec).
+func FigureChurn(survives []float64, runsPerPoint int) (*Figure, error) {
+	return legacyFigure("churn", survives, runsPerPoint)
 }
