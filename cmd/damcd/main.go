@@ -65,6 +65,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.Float64Var(&params.G, "g", params.G, "self-election numerator g (pSel = g/S)")
 	fs.Float64Var(&params.A, "a", params.A, "upward-send numerator a (pA = a/z)")
 	fs.IntVar(&params.Z, "z", params.Z, "supertopic table size z")
+	fs.IntVar(&params.RecoverPeriod, "recover", params.RecoverPeriod,
+		"anti-entropy recovery wave period in ticks (0 disables recovery)")
+	fs.IntVar(&params.RecoverFanout, "recover-fanout", params.RecoverFanout,
+		"group mates contacted per recovery wave")
+	fs.IntVar(&params.RecoverStoreCap, "recover-store", params.RecoverStoreCap,
+		"recovery event-store capacity (events)")
+	fs.IntVar(&params.RecoverMaxAge, "recover-age", params.RecoverMaxAge,
+		"recovery store age bound in ticks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

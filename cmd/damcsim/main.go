@@ -8,11 +8,15 @@
 //	damcsim -fig 8 [-runs 5] [-points 10] [-out fig8.csv]
 //	damcsim -fig all -runs 3 -sweepworkers 8 -report report.json
 //	damcsim -fig churn            # beyond-paper churn-wave sweep
+//	damcsim -fig recovery         # anti-entropy recovery on/off vs loss
 //	damcsim -scenario churn -n 20000 [-intensity 0.3] [-rounds 24] [-workers 0]
+//	damcsim -scenario lossburst -recoverperiod 2   # scenarios with recovery on
 //
-// Each figure sweeps the fraction of alive processes over the paper's
-// setting (t=3, S={1000,100,10}, b=3, c=5, g=5, a=1, z=3, psucc=0.85)
-// and prints one CSV block per figure. Sweep points fan out across
+// Each paper figure sweeps the fraction of alive processes over the
+// paper's setting (t=3, S={1000,100,10}, b=3, c=5, g=5, a=1, z=3,
+// psucc=0.85) and prints one CSV block per figure; -fig all also
+// appends the churn sweep (x = fraction surviving a crash wave) and
+// the recovery sweep (x = channel success probability). Sweep points fan out across
 // -sweepworkers goroutines on the experiment orchestrator; the CSV
 // bytes are identical for every worker count (per-run seeds derive
 // from the figure/point/run labels, never from scheduling). -report
@@ -48,11 +52,12 @@ func main() {
 
 // figureKeys maps the CLI's -fig values to canonical figure names.
 var figureKeys = map[string]string{
-	"8":     "fig8",
-	"9":     "fig9",
-	"10":    "fig10",
-	"11":    "fig11",
-	"churn": "churn",
+	"8":        "fig8",
+	"9":        "fig9",
+	"10":       "fig10",
+	"11":       "fig11",
+	"churn":    "churn",
+	"recovery": "recovery",
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -69,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	intensity := fs.Float64("intensity", 0, "scenario knob in [0,1]; 0 selects the scenario default")
 	rounds := fs.Int("rounds", 0, "scenario rounds; 0 selects the default")
 	workers := fs.Int("workers", 0, "kernel shard count; 0 = GOMAXPROCS, 1 = sequential")
+	recoverPeriod := fs.Int("recoverperiod", 0, "scenario mode: enable anti-entropy recovery with this wave period in rounds (0 = off)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 	if *scenario != "" {
-		return runScenario(stdout, *scenario, *n, *intensity, *rounds, *seed, *workers)
+		return runScenario(stdout, *scenario, *n, *intensity, *rounds, *seed, *workers, *recoverPeriod)
 	}
 
 	alives := make([]float64, 0, *points)
@@ -114,11 +120,14 @@ func run(args []string, stdout io.Writer) error {
 		w = f
 	}
 
-	order := []string{"8", "9", "10", "11"}
+	// "all" really means all: the paper figures plus the beyond-paper
+	// churn and recovery sweeps (their x-axes read as "fraction
+	// surviving" and "channel success probability" respectively).
+	order := []string{"8", "9", "10", "11", "churn", "recovery"}
 	selected := order
 	if *fig != "all" {
 		if _, ok := figureKeys[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn or all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn, recovery or all)", *fig)
 		}
 		selected = []string{*fig}
 	}
@@ -161,10 +170,13 @@ func run(args []string, stdout io.Writer) error {
 
 // runScenario builds and drives one named scenario on the sharded
 // kernel and prints a human-readable summary.
-func runScenario(w io.Writer, name string, n int, intensity float64, rounds int, seed int64, workers int) error {
+func runScenario(w io.Writer, name string, n int, intensity float64, rounds int, seed int64, workers, recoverPeriod int) error {
 	cfg, sc, err := sim.BuiltinScenario(name, n, intensity, rounds, seed, workers)
 	if err != nil {
 		return err
+	}
+	if recoverPeriod > 0 {
+		cfg.Params.RecoverPeriod = recoverPeriod
 	}
 	start := time.Now()
 	res, err := sim.RunScenario(cfg, sc)
@@ -180,6 +192,10 @@ func runScenario(w io.Writer, name string, n int, intensity float64, rounds int,
 	fmt.Fprintf(w, "  delivered:     %.4f of alive (%.4f of all)\n", res.Reliability[root], res.ReliabilityAll[root])
 	if r, ok := res.FirstDeliveryRound[root]; ok {
 		fmt.Fprintf(w, "  first delivery: round %d\n", r)
+	}
+	if recoverPeriod > 0 {
+		fmt.Fprintf(w, "  recovered:     %d events via anti-entropy (%d recovery msgs)\n",
+			res.KindTotals["recovered"], res.KindTotals["recover_msg"])
 	}
 	fmt.Fprintf(w, "  wall time:     %s\n", elapsed.Round(time.Millisecond))
 	return nil

@@ -12,19 +12,20 @@ import (
 	"damulticast/internal/topic"
 )
 
-// Binary wire codec, format version 1.
+// Binary wire codec, format version 2.
 //
-// Every frame starts with a version byte (0x01) followed by the
+// Every frame starts with a version byte (0x02) followed by the
 // message type as an unsigned varint and the envelope fields in a
 // fixed order:
 //
 //	frame    := version(1 byte) type(uvarint) body
 //	body     := from fromTopic event origin originTopic searchTopics
 //	            ttl reqID contacts contactsTopic digest superEntries
-//	            superTopic
+//	            superTopic digestIDs events
 //	from, fromTopic, origin, originTopic,
 //	contactsTopic, superTopic              := string
-//	event    := 0x00 | 0x01 string(origin) uvarint(seq) string(topic)
+//	event    := 0x00 | 0x01 eventBody
+//	eventBody:= string(origin) uvarint(seq) string(topic)
 //	            bytes(payload)
 //	searchTopics, contacts                 := uvarint(count) string*
 //	ttl      := varint (zigzag)
@@ -32,6 +33,8 @@ import (
 //	digest   := string(from) entries
 //	superEntries, entries                  := uvarint(count)
 //	            (string(id) varint(age))*
+//	digestIDs:= uvarint(count) (string(origin) uvarint(seq))*
+//	events   := uvarint(count) eventBody*
 //	string   := uvarint(len) raw bytes
 //	bytes    := uvarint(len) raw bytes
 //
@@ -43,12 +46,14 @@ import (
 // garbage must never reach the protocol state machine.
 //
 // Compatibility policy: the version byte is the whole negotiation.
-// Version 1 frames begin with 0x01; the legacy JSON codec's frames
-// begin with '{' (0x7b), so each codec rejects the other's output
-// outright (see decodeMessageJSON and the cross-decode tests). Any
-// incompatible layout change must bump codecVersion, and decoders only
-// ever accept versions they were built to understand.
-const codecVersion = 0x01
+// Version 2 frames begin with 0x02; version-1 frames (which lacked the
+// digestIDs/events tail of the anti-entropy recovery messages) began
+// with 0x01 and are rejected outright, as are the legacy JSON codec's
+// frames, which begin with '{' (0x7b) — see decodeMessageJSON and the
+// cross-decode tests. Any incompatible layout change must bump
+// codecVersion, and decoders only ever accept versions they were built
+// to understand.
+const codecVersion = 0x02
 
 // maxPooledEncodeBuf bounds buffers returned to the encode pool;
 // occasional giant frames must not pin memory forever.
@@ -84,11 +89,7 @@ func appendMessage(dst []byte, m *core.Message) []byte {
 	dst = appendWireString(dst, string(m.FromTopic))
 	if ev := m.Event; ev != nil {
 		dst = append(dst, 1)
-		dst = appendWireString(dst, string(ev.ID.Origin))
-		dst = binary.AppendUvarint(dst, ev.ID.Seq)
-		dst = appendWireString(dst, string(ev.Topic))
-		dst = binary.AppendUvarint(dst, uint64(len(ev.Payload)))
-		dst = append(dst, ev.Payload...)
+		dst = appendEventBody(dst, ev)
 	} else {
 		dst = append(dst, 0)
 	}
@@ -109,7 +110,27 @@ func appendMessage(dst []byte, m *core.Message) []byte {
 	dst = appendEntries(dst, m.Digest.Entries)
 	dst = appendEntries(dst, m.SuperEntries)
 	dst = appendWireString(dst, string(m.SuperTopic))
+	dst = binary.AppendUvarint(dst, uint64(len(m.DigestIDs)))
+	for _, id := range m.DigestIDs {
+		dst = appendWireString(dst, string(id.Origin))
+		dst = binary.AppendUvarint(dst, id.Seq)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Events)))
+	for _, ev := range m.Events {
+		dst = appendEventBody(dst, ev)
+	}
 	return dst
+}
+
+// appendEventBody appends one event's wire form (origin, seq, topic,
+// payload) — shared by the single-event field and the recovery bulk
+// list.
+func appendEventBody(dst []byte, ev *core.Event) []byte {
+	dst = appendWireString(dst, string(ev.ID.Origin))
+	dst = binary.AppendUvarint(dst, ev.ID.Seq)
+	dst = appendWireString(dst, string(ev.Topic))
+	dst = binary.AppendUvarint(dst, uint64(len(ev.Payload)))
+	return append(dst, ev.Payload...)
 }
 
 func appendWireString(dst []byte, s string) []byte {
@@ -239,6 +260,16 @@ func (d *decoder) bytes() []byte {
 	return out
 }
 
+// eventBody reads one event's wire form (see appendEventBody).
+func (d *decoder) eventBody() *core.Event {
+	ev := &core.Event{}
+	ev.ID.Origin = ids.ProcessID(d.str())
+	ev.ID.Seq = d.uvarint()
+	ev.Topic = topic.Topic(d.str())
+	ev.Payload = d.bytes()
+	return ev
+}
+
 func (d *decoder) entries() []membership.Entry {
 	n := d.count(2) // id length byte + age byte minimum
 	if d.err != nil || n == 0 {
@@ -271,12 +302,7 @@ func decodeMessage(payload []byte) (*core.Message, error) {
 	switch flag := d.byte(); {
 	case d.err != nil:
 	case flag == 1:
-		ev := &core.Event{}
-		ev.ID.Origin = ids.ProcessID(d.str())
-		ev.ID.Seq = d.uvarint()
-		ev.Topic = topic.Topic(d.str())
-		ev.Payload = d.bytes()
-		m.Event = ev
+		m.Event = d.eventBody()
 	case flag != 0:
 		d.fail("bad event flag %d", flag)
 	}
@@ -301,6 +327,19 @@ func decodeMessage(payload []byte) (*core.Message, error) {
 	m.Digest.Entries = d.entries()
 	m.SuperEntries = d.entries()
 	m.SuperTopic = topic.Topic(d.str())
+	if n := d.count(2); d.err == nil && n > 0 { // origin length byte + seq byte minimum
+		m.DigestIDs = make([]ids.EventID, n)
+		for i := range m.DigestIDs {
+			m.DigestIDs[i].Origin = ids.ProcessID(d.str())
+			m.DigestIDs[i].Seq = d.uvarint()
+		}
+	}
+	if n := d.count(4); d.err == nil && n > 0 { // origin+topic+payload length bytes + seq byte
+		m.Events = make([]*core.Event, n)
+		for i := range m.Events {
+			m.Events[i] = d.eventBody()
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}

@@ -155,22 +155,45 @@ func TestDecodeOversizedCounts(t *testing.T) {
 	}
 }
 
-// TestDecodeBadVersionAndType: future versions and unknown types are
-// refused outright.
+// TestDecodeBadVersionAndType: other versions (the retired version 1
+// as well as future ones) and unknown types are refused outright.
 func TestDecodeBadVersionAndType(t *testing.T) {
 	good, err := encodeMessage(&core.Message{Type: core.MsgPong, From: "p"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := append([]byte{}, good...)
-	bad[0] = 0x02 // a version this decoder was not built for
-	if _, err := decodeMessage(bad); err == nil {
-		t.Error("future version byte accepted")
+	for _, version := range []byte{0x01, 0x03} {
+		bad := append([]byte{}, good...)
+		bad[0] = version
+		if _, err := decodeMessage(bad); err == nil {
+			t.Errorf("version byte %#x accepted", version)
+		}
 	}
-	for _, typ := range []uint64{0, 11, 99} {
+	for _, typ := range []uint64{0, 14, 99} {
 		frame := append([]byte{codecVersion, byte(typ)}, good[2:]...)
 		if _, err := decodeMessage(frame); err == nil {
 			t.Errorf("unknown type %d accepted", typ)
+		}
+	}
+}
+
+// TestDecodeRejectsVersion1Frames pins the cross-version policy for
+// the recovery message types: a version-1 layout (no digestIDs/events
+// tail) under any type, recovery types included, must be rejected by
+// the version byte alone — a v1 peer and a v2 peer can never silently
+// misparse each other.
+func TestDecodeRejectsVersion1Frames(t *testing.T) {
+	for _, m := range codecSeedMessages() {
+		frame, err := encodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A v1 frame is the v2 frame minus the two trailing zero-count
+		// fields, under version byte 0x01.
+		v1 := append([]byte{}, frame[:len(frame)-2]...)
+		v1[0] = 0x01
+		if _, err := decodeMessage(v1); err == nil {
+			t.Errorf("%s: version-1 frame accepted", m.Type)
 		}
 	}
 }

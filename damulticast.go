@@ -138,6 +138,13 @@ type Node struct {
 
 	mu      sync.Mutex
 	dropped int64 // deliveries dropped because the app fell behind
+
+	// Receive-path loss counters (see onRaw): frames the decoder
+	// rejected, and decoded messages discarded because the inbox was
+	// full. Atomics, because the transport's receive goroutines bump
+	// them while callers read.
+	malformedFrames atomic.Int64
+	overflowFrames  atomic.Int64
 }
 
 type publishReq struct {
@@ -260,6 +267,47 @@ func (n *Node) DroppedDeliveries() int64 {
 	return n.dropped
 }
 
+// DroppedFrames reports how many inbound frames were discarded before
+// reaching the protocol: malformed frames the decoder rejected plus
+// decoded messages dropped because the inbox overflowed. Both are
+// best-effort losses by design, but counting them makes live-node loss
+// diagnosable instead of silent.
+func (n *Node) DroppedFrames() int64 {
+	return n.malformedFrames.Load() + n.overflowFrames.Load()
+}
+
+// MalformedFrames reports the decoder-rejected share of DroppedFrames.
+func (n *Node) MalformedFrames() int64 { return n.malformedFrames.Load() }
+
+// RecoveryStats returns the anti-entropy recovery counters (all zero
+// unless Params.RecoverPeriod enables the recovery subsystem). Safe
+// for concurrent use.
+func (n *Node) RecoveryStats() core.RecoveryStats { return n.proc.RecoveryStats() }
+
+// NodeStats is a point-in-time snapshot of the node's loss and
+// recovery counters.
+type NodeStats struct {
+	// DroppedDeliveries counts events discarded because the application
+	// fell behind the Events channel.
+	DroppedDeliveries int64
+	// MalformedFrames counts inbound frames the wire decoder rejected.
+	MalformedFrames int64
+	// OverflowFrames counts decoded messages dropped on inbox overflow.
+	OverflowFrames int64
+	// Recovery holds the anti-entropy recovery counters.
+	Recovery core.RecoveryStats
+}
+
+// Stats snapshots every node counter in one call.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		DroppedDeliveries: n.DroppedDeliveries(),
+		MalformedFrames:   n.malformedFrames.Load(),
+		OverflowFrames:    n.overflowFrames.Load(),
+		Recovery:          n.proc.RecoveryStats(),
+	}
+}
+
 // Start launches the node's protocol loop. The node stops when ctx is
 // cancelled or Stop is called.
 func (n *Node) Start(ctx context.Context) error {
@@ -300,8 +348,25 @@ func (n *Node) Publish(payload []byte) (string, error) {
 	case <-n.done:
 		return "", ErrNotRunning
 	}
-	res := <-req.reply
-	return res.id, res.err
+	// Never wait on the reply without a shutdown escape. Today a
+	// successful pubCh send implies the loop committed to servicing it
+	// (the channel is unbuffered and the case body always replies), but
+	// that liveness rests on invariants one refactor away from breaking
+	// — a buffered pubCh, an early return in the loop body — so the
+	// wait is guarded by n.done rather than by convention.
+	select {
+	case res := <-req.reply:
+		return res.id, res.err
+	case <-n.done:
+		// The reply is buffered, so a service that raced the shutdown
+		// may still have landed; prefer it over reporting failure.
+		select {
+		case res := <-req.reply:
+			return res.id, res.err
+		default:
+			return "", ErrNotRunning
+		}
+	}
 }
 
 // Leave announces a graceful departure to every known peer (they purge
@@ -315,7 +380,12 @@ func (n *Node) Leave() error {
 	ack := make(chan struct{})
 	select {
 	case n.leaveCh <- ack:
-		<-ack
+		// Same rationale as Publish's reply wait: never block on the
+		// ack without a shutdown escape.
+		select {
+		case <-ack:
+		case <-n.done:
+		}
 	case <-n.done:
 		return ErrNotRunning
 	}
@@ -323,15 +393,18 @@ func (n *Node) Leave() error {
 }
 
 // onRaw is the transport receive callback: decode and enqueue,
-// dropping when the inbox overflows (channels are best-effort).
+// dropping when the inbox overflows (channels are best-effort). Drops
+// are counted, never silent: see DroppedFrames.
 func (n *Node) onRaw(payload []byte) {
 	m, err := decodeMessage(payload)
 	if err != nil {
-		return // malformed frames are dropped silently
+		n.malformedFrames.Add(1)
+		return
 	}
 	select {
 	case n.inbox <- m:
 	default:
+		n.overflowFrames.Add(1)
 	}
 }
 

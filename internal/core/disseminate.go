@@ -25,6 +25,7 @@ func (p *Process) Publish(payload []byte) (*Event, error) {
 	// The publisher has trivially "seen" its own event; it must not
 	// re-disseminate it if gossip echoes it back.
 	p.seen.Add(ev.ID)
+	p.rememberEvent(ev)
 	p.disseminate(ev)
 	return ev, nil
 }
@@ -33,15 +34,23 @@ func (p *Process) Publish(payload []byte) (*Event, error) {
 // forwarded (DISSEMINATE) and delivered to the application; duplicates
 // are dropped silently.
 func (p *Process) onEvent(m *Message) {
-	ev := m.Event
-	if ev == nil {
-		return
+	if m.Event != nil {
+		p.receiveEvent(m.Event)
 	}
+}
+
+// receiveEvent is the shared first-time reception path for gossiped
+// and recovered events: record it in the seen window and the recovery
+// store, forward it (DISSEMINATE) and deliver it to the application.
+// It reports whether the event was new.
+func (p *Process) receiveEvent(ev *Event) bool {
 	if !p.seen.Add(ev.ID) {
-		return // already received
+		return false // already received
 	}
+	p.rememberEvent(ev)
 	p.disseminate(ev)
 	p.env.Deliver(ev.Clone())
+	return true
 }
 
 // disseminate implements DISSEMINATE (Fig. 7):

@@ -130,6 +130,13 @@ type Message struct {
 	// processes interested in SuperTopic.
 	SuperEntries []membership.Entry
 	SuperTopic   topic.Topic
+
+	// MsgDigest: recently-seen event ids (the anti-entropy digest).
+	// MsgEventReq: event ids the sender asks the receiver to resend.
+	DigestIDs []ids.EventID
+	// MsgDigestAns: full events the receiver of a digest (or of an
+	// event request) pushes back. Shared and immutable, like Event.
+	Events []*Event
 }
 
 // String renders a compact human-readable form for logs and tests.
@@ -141,6 +148,10 @@ func (m *Message) String() string {
 		return fmt.Sprintf("REQCONTACT(origin=%s search=%v ttl=%d)", m.Origin, m.SearchTopics, m.TTL)
 	case MsgAnsContact:
 		return fmt.Sprintf("ANSCONTACT(%v of %s) from %s", m.Contacts, m.ContactsTopic, m.From)
+	case MsgDigest, MsgEventReq:
+		return fmt.Sprintf("%s(%d ids) from %s", m.Type, len(m.DigestIDs), m.From)
+	case MsgDigestAns:
+		return fmt.Sprintf("DIGEST_ANS(%d events) from %s", len(m.Events), m.From)
 	default:
 		return fmt.Sprintf("%s from %s", m.Type, m.From)
 	}

@@ -73,6 +73,26 @@ type Params struct {
 	// NeighborhoodFanout is how many bootstrap neighbors each
 	// REQCONTACT wave contacts.
 	NeighborhoodFanout int
+
+	// RecoverPeriod is the number of ticks between anti-entropy
+	// recovery waves (digest gossip; see recover.go). 0 — the default —
+	// disables recovery entirely: the protocol is then exactly the
+	// paper's best-effort daMulticast, with no extra random draws.
+	RecoverPeriod int
+
+	// RecoverFanout is how many random group mates each recovery wave
+	// sends a digest to.
+	RecoverFanout int
+
+	// RecoverStoreCap bounds the per-process recovery event store
+	// (events, not bytes) — the memory ceiling of the subsystem,
+	// analogous to SeenCap for the duplicate window.
+	RecoverStoreCap int
+
+	// RecoverMaxAge is the store age bound: events first seen more than
+	// this many ticks ago are GC'd at the next wave and can no longer
+	// be served to peers.
+	RecoverMaxAge int
 }
 
 // DefaultParams returns the paper's simulation setting (§VII-A):
@@ -94,16 +114,21 @@ func DefaultParams() Params {
 		FindSuperPeriod:    3,
 		ReqContactTTL:      8,
 		NeighborhoodFanout: 4,
+		RecoverPeriod:      0, // recovery is opt-in
+		RecoverFanout:      2,
+		RecoverStoreCap:    512,
+		RecoverMaxAge:      20,
 	}
 }
 
 // Validation errors.
 var (
-	ErrBadZ   = errors.New("core: Z must be >= 1")
-	ErrBadA   = errors.New("core: A must be in [0, Z]")
-	ErrBadG   = errors.New("core: G must be >= 0")
-	ErrBadB   = errors.New("core: B must be >= 0")
-	ErrBadTau = errors.New("core: Tau must be in [0, Z]")
+	ErrBadZ       = errors.New("core: Z must be >= 1")
+	ErrBadA       = errors.New("core: A must be in [0, Z]")
+	ErrBadG       = errors.New("core: G must be >= 0")
+	ErrBadB       = errors.New("core: B must be >= 0")
+	ErrBadTau     = errors.New("core: Tau must be in [0, Z]")
+	ErrBadRecover = errors.New("core: recovery knobs must be positive when RecoverPeriod > 0")
 )
 
 // Validate checks the constraints stated in the paper: 1 ≤ a ≤ z,
@@ -124,6 +149,10 @@ func (p Params) Validate() error {
 	}
 	if p.Tau < 0 || p.Tau > p.Z {
 		return fmt.Errorf("%w (got %d with Z=%d)", ErrBadTau, p.Tau, p.Z)
+	}
+	if p.RecoverPeriod > 0 && (p.RecoverFanout < 1 || p.RecoverStoreCap < 1 || p.RecoverMaxAge < 1) {
+		return fmt.Errorf("%w (fanout=%d storecap=%d maxage=%d)",
+			ErrBadRecover, p.RecoverFanout, p.RecoverStoreCap, p.RecoverMaxAge)
 	}
 	return nil
 }
@@ -146,6 +175,18 @@ func (p Params) withDefaults() Params {
 	}
 	if p.NeighborhoodFanout == 0 {
 		p.NeighborhoodFanout = d.NeighborhoodFanout
+	}
+	// RecoverPeriod deliberately keeps its zero value (recovery off);
+	// only the dependent knobs default, so enabling recovery is a
+	// one-field change.
+	if p.RecoverFanout == 0 {
+		p.RecoverFanout = d.RecoverFanout
+	}
+	if p.RecoverStoreCap == 0 {
+		p.RecoverStoreCap = d.RecoverStoreCap
+	}
+	if p.RecoverMaxAge == 0 {
+		p.RecoverMaxAge = d.RecoverMaxAge
 	}
 	return p
 }

@@ -96,6 +96,14 @@ type Process struct {
 	seen    *ids.SeenSet
 	nextSeq uint64
 
+	// Anti-entropy recovery state (recover.go): the bounded store of
+	// recently seen events served to peers, the tick of the last
+	// recovery wave, and the subsystem's counters. store is nil when
+	// RecoverPeriod is 0 (recovery disabled).
+	store        *eventStore
+	lastRecover  int
+	recoverStats recoveryCounters
+
 	// batcher caches the env's optional SendBatcher implementation
 	// (one type assertion at construction, not one per event).
 	batcher SendBatcher
@@ -154,6 +162,9 @@ func NewProcess(id ids.ProcessID, tp topic.Topic, params Params, env Env) (*Proc
 	}
 	p.gossiper = membership.NewGossiper(id, p.topicTable)
 	p.batcher, _ = env.(SendBatcher)
+	if p.recoveryEnabled() {
+		p.store = newEventStore(params.RecoverStoreCap)
+	}
 	return p, nil
 }
 
@@ -323,6 +334,12 @@ func (p *Process) HandleMessage(m *Message) {
 		p.onPong(m)
 	case MsgLeave:
 		p.onLeave(m)
+	case MsgDigest:
+		p.onDigest(m)
+	case MsgDigestAns:
+		p.onDigestAns(m)
+	case MsgEventReq:
+		p.onEventReq(m)
 	}
 }
 
@@ -341,6 +358,10 @@ func (p *Process) Tick() {
 	if mp := p.params.MaintainPeriod; mp > 0 && p.tick-p.lastMaintain >= mp {
 		p.lastMaintain = p.tick
 		p.keepTableUpdated()
+	}
+	if rp := p.params.RecoverPeriod; rp > 0 && p.tick-p.lastRecover >= rp {
+		p.lastRecover = p.tick
+		p.doRecover()
 	}
 	if p.findSuper != nil {
 		p.findSuperTick()

@@ -1,0 +1,394 @@
+package core
+
+// Pull-based anti-entropy event recovery. daMulticast is deliberately
+// best-effort: an event gossiped to ln(S)+c members is simply lost when
+// the channel drops the wrong messages or a churn wave removes the
+// holders (that loss is exactly what the paper's reliability figures
+// measure). The recovery subsystem layered here opens that tradeoff as
+// a knob instead of a constant: each process keeps a bounded store of
+// recently seen events and periodically gossips a compact digest of
+// their ids to a few random group mates; the receivers answer with the
+// events the requester missed (and pull, in turn, the ids the digest
+// proves they are missing themselves). Recovered events re-enter the
+// normal dissemination path, so one successful exchange re-ignites the
+// epidemic for everyone.
+//
+// The exchange uses three wire messages:
+//
+//	MsgDigest    A -> B   ids of the events A holds (possibly none)
+//	MsgDigestAns B -> A   full events B holds that A's digest lacked
+//	MsgEventReq  B -> A   ids A listed that B has never seen; A answers
+//	                      with a MsgDigestAns carrying them
+//
+// so the common recovery path (a process that missed an event pulls it
+// from a holder) is a two-message round trip, and the reverse direction
+// (the digest receiver notices ITS gap) costs one extra hop. All three
+// stay within one topic group, like the gossip they repair: FromTopic
+// must match the receiver's topic.
+//
+// Determinism: the only randomness is the digest target sampling, drawn
+// from the process's own Env stream exactly like dissemination fanout;
+// the store iterates in insertion order; digest and request slices are
+// walked in wire order. Under the parallel simulation kernel a run with
+// recovery enabled is therefore byte-identical for any worker count.
+// With RecoverPeriod = 0 (the default) no recovery code draws from any
+// stream, so pre-recovery golden digests and figure CSVs are unchanged.
+
+import (
+	"sync/atomic"
+
+	"damulticast/internal/ids"
+)
+
+// Recovery message types, continuing the enum space of message.go and
+// leave.go.
+const (
+	// MsgDigest carries the sender's recently-seen event ids.
+	MsgDigest MsgType = MsgLeave + 1
+	// MsgDigestAns carries full events the peer was missing.
+	MsgDigestAns MsgType = MsgLeave + 2
+	// MsgEventReq asks the peer for the listed event ids.
+	MsgEventReq MsgType = MsgLeave + 3
+)
+
+func init() {
+	msgTypeNames[MsgDigest] = "DIGEST"
+	msgTypeNames[MsgDigestAns] = "DIGEST_ANS"
+	msgTypeNames[MsgEventReq] = "EVENT_REQ"
+}
+
+// IsRecovery reports whether t belongs to the anti-entropy recovery
+// exchange (drivers count these separately from event and control
+// traffic).
+func (t MsgType) IsRecovery() bool {
+	return t == MsgDigest || t == MsgDigestAns || t == MsgEventReq
+}
+
+// maxRecoverBatch bounds the events of one MsgDigestAns and the ids of
+// one MsgEventReq, and maxRecoverBatchBytes bounds the answer's
+// payload bytes, so a single exchange can never produce a frame
+// proportional to a whole store — or one that exceeds a live
+// transport's frame limit (TCPTransport.MaxFrame defaults to 1 MiB; an
+// oversized answer would be dropped whole, and rebuilt and re-dropped
+// every wave). Whatever a bounded answer leaves out is advertised
+// again by later digests once the delivered part is stored, so
+// recovery advances incrementally across waves.
+const (
+	maxRecoverBatch      = 64
+	maxRecoverBatchBytes = 256 << 10
+)
+
+// maxRecoverDigest bounds the event ids of one MsgDigest for the same
+// reason: a digest must fit a transport frame no matter how large
+// RecoverStoreCap is configured (4096 ids with address-sized origins
+// is ~100 KiB, comfortably under TCPTransport's 1 MiB default). When
+// the store holds more, the newest ids are advertised — the oldest are
+// closest to aging out anyway, and the re-store-on-duplicate rule
+// keeps re-pushed elders advertised on later waves.
+const maxRecoverDigest = 4096
+
+// eventWireSize approximates an event's encoded size for the batch
+// byte budget (payload plus id/topic strings and varint overhead).
+func eventWireSize(ev *Event) int {
+	return len(ev.Payload) + len(ev.ID.Origin) + len(ev.Topic) + 16
+}
+
+// admitEvent applies the shared answer budget — the count cap plus the
+// byte budget with an admit-at-least-one exception — returning the
+// grown batch, the running byte total, and whether ev was admitted
+// (callers stop at the first refusal).
+func admitEvent(dst []*Event, ev *Event, bytes int) ([]*Event, int, bool) {
+	if len(dst) >= maxRecoverBatch {
+		return dst, bytes, false
+	}
+	sz := eventWireSize(ev)
+	if len(dst) > 0 && bytes+sz > maxRecoverBatchBytes {
+		return dst, bytes, false
+	}
+	return append(dst, ev), bytes + sz, true
+}
+
+// RecoveryStats counts the recovery subsystem's work. Fields are
+// cumulative since process creation.
+type RecoveryStats struct {
+	// Recovered is the number of first-time events obtained through the
+	// recovery exchange rather than plain gossip.
+	Recovered uint64
+	// Requested is the number of event ids this process explicitly
+	// asked peers for (MsgEventReq entries sent).
+	Requested uint64
+	// GCd is the number of store entries evicted by age or capacity.
+	GCd uint64
+}
+
+// recoveryCounters is the internal, atomically-updated form of
+// RecoveryStats: the owning goroutine increments, any goroutine may
+// snapshot (the live Node reads stats from outside the protocol loop).
+type recoveryCounters struct {
+	recovered atomic.Uint64
+	requested atomic.Uint64
+	gcd       atomic.Uint64
+}
+
+// RecoveryStats returns a snapshot of the recovery counters. Safe to
+// call from any goroutine.
+func (p *Process) RecoveryStats() RecoveryStats {
+	return RecoveryStats{
+		Recovered: p.recoverStats.recovered.Load(),
+		Requested: p.recoverStats.requested.Load(),
+		GCd:       p.recoverStats.gcd.Load(),
+	}
+}
+
+// EventStoreLen returns the number of events currently held for
+// recovery (0 when recovery is disabled). Exposed for memory-bound
+// tests and introspection.
+func (p *Process) EventStoreLen() int {
+	if p.store == nil {
+		return 0
+	}
+	return p.store.Len()
+}
+
+// recoveryEnabled reports whether the recovery task is configured on.
+func (p *Process) recoveryEnabled() bool { return p.params.RecoverPeriod > 0 }
+
+// storedRef is one FIFO/age bookkeeping entry of the event store.
+type storedRef struct {
+	id   ids.EventID
+	tick int
+}
+
+// eventStore is a bounded, insertion-ordered store of recently seen
+// events: a map for O(1) lookup plus a FIFO queue carrying the tick
+// each event was first seen at, for capacity eviction and age-based GC
+// (the same compaction scheme as ids.SeenSet). Memory is bounded by
+// cap events regardless of traffic. Not goroutine-safe; the owning
+// Process drives it.
+type eventStore struct {
+	cap   int
+	byID  map[ids.EventID]*Event
+	queue []storedRef
+	head  int
+}
+
+func newEventStore(capacity int) *eventStore {
+	return &eventStore{cap: capacity, byID: make(map[ids.EventID]*Event)}
+}
+
+// Len returns the number of events held.
+func (s *eventStore) Len() int { return len(s.byID) }
+
+// Cap returns the configured capacity.
+func (s *eventStore) Cap() int { return s.cap }
+
+// Add inserts ev at the given tick, evicting the oldest entry when the
+// store is full. Duplicate ids are ignored (callers add only on first
+// sight). It returns the number of entries evicted (0 or 1).
+func (s *eventStore) Add(ev *Event, tick int) int {
+	if _, dup := s.byID[ev.ID]; dup {
+		return 0
+	}
+	evicted := 0
+	if len(s.byID) >= s.cap {
+		s.popHead()
+		evicted = 1
+	}
+	s.byID[ev.ID] = ev
+	s.queue = append(s.queue, storedRef{id: ev.ID, tick: tick})
+	return evicted
+}
+
+// Get returns the stored event for id, if held.
+func (s *eventStore) Get(id ids.EventID) (*Event, bool) {
+	ev, ok := s.byID[id]
+	return ev, ok
+}
+
+// popHead drops the oldest entry.
+func (s *eventStore) popHead() {
+	old := s.queue[s.head]
+	delete(s.byID, old.id)
+	s.head++
+	if s.head > s.cap {
+		s.queue = append(s.queue[:0], s.queue[s.head:]...)
+		s.head = 0
+	}
+}
+
+// GC evicts every entry older than maxAge ticks and returns how many
+// went. The queue is tick-ordered (ticks only grow), so eviction stops
+// at the first young entry.
+func (s *eventStore) GC(now, maxAge int) int {
+	n := 0
+	for s.head < len(s.queue) && now-s.queue[s.head].tick > maxAge {
+		s.popHead()
+		n++
+	}
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	return n
+}
+
+// AppendIDs appends up to max held event ids to dst in insertion
+// order (the digest payload). When the store holds more, the newest
+// max are taken.
+func (s *eventStore) AppendIDs(dst []ids.EventID, max int) []ids.EventID {
+	start := s.head
+	if live := len(s.queue) - s.head; live > max {
+		start = len(s.queue) - max
+	}
+	for _, ref := range s.queue[start:] {
+		dst = append(dst, ref.id)
+	}
+	return dst
+}
+
+// AppendMissing appends held events whose id is not in have, in
+// insertion order, under the shared answer budget (admitEvent): at
+// most maxRecoverBatch events and maxRecoverBatchBytes of estimated
+// wire size, always admitting at least one event so answers make
+// progress even when a single event approaches the budget.
+func (s *eventStore) AppendMissing(dst []*Event, have map[ids.EventID]struct{}) []*Event {
+	bytes := 0
+	ok := true
+	for _, ref := range s.queue[s.head:] {
+		if _, skip := have[ref.id]; skip {
+			continue
+		}
+		if dst, bytes, ok = admitEvent(dst, s.byID[ref.id], bytes); !ok {
+			break
+		}
+	}
+	return dst
+}
+
+// rememberEvent stores a first-seen event for later recovery exchanges
+// (no-op with recovery disabled).
+func (p *Process) rememberEvent(ev *Event) {
+	if p.store == nil {
+		return
+	}
+	if evicted := p.store.Add(ev, p.tick); evicted > 0 {
+		p.recoverStats.gcd.Add(uint64(evicted))
+	}
+}
+
+// doRecover runs one RECOVER wave: age out stale store entries, then
+// gossip the digest of held event ids to RecoverFanout random group
+// mates. An empty digest is still sent — it is precisely how a process
+// that missed everything invites a peer to push the backlog.
+func (p *Process) doRecover() {
+	if gone := p.store.GC(p.tick, p.params.RecoverMaxAge); gone > 0 {
+		p.recoverStats.gcd.Add(uint64(gone))
+	}
+	targets := p.batch[:0]
+	for _, target := range p.topicTable.Sample(p.env.Rand(), p.params.RecoverFanout) {
+		if target != p.id {
+			targets = append(targets, target)
+		}
+	}
+	if len(targets) == 0 {
+		p.batch = targets[:0]
+		return
+	}
+	// Fresh digest slice per wave: receivers (and the simulator) may
+	// retain the message, so the buffer cannot be recycled.
+	digest := p.store.AppendIDs(make([]ids.EventID, 0, min(p.store.Len(), maxRecoverDigest)), maxRecoverDigest)
+	p.batch = nil // reentrancy guard; see disseminate
+	p.sendToAll(targets, &Message{
+		Type:      MsgDigest,
+		From:      p.id,
+		FromTopic: p.topic,
+		DigestIDs: digest,
+	})
+	p.batch = targets[:0]
+}
+
+// onDigest answers a peer's digest: push the stored events the digest
+// lacked, and request the listed ids we have never seen ourselves.
+func (p *Process) onDigest(m *Message) {
+	if m.FromTopic != p.topic || p.store == nil {
+		return // recovery never crosses groups nor runs when disabled
+	}
+	have := make(map[ids.EventID]struct{}, len(m.DigestIDs))
+	var wants []ids.EventID
+	for _, id := range m.DigestIDs {
+		have[id] = struct{}{}
+		if !p.seen.Seen(id) && len(wants) < maxRecoverBatch {
+			wants = append(wants, id)
+		}
+	}
+	if missing := p.store.AppendMissing(nil, have); len(missing) > 0 {
+		p.env.Send(m.From, &Message{
+			Type:      MsgDigestAns,
+			From:      p.id,
+			FromTopic: p.topic,
+			Events:    missing,
+		})
+	}
+	if len(wants) > 0 {
+		p.recoverStats.requested.Add(uint64(len(wants)))
+		p.env.Send(m.From, &Message{
+			Type:      MsgEventReq,
+			From:      p.id,
+			FromTopic: p.topic,
+			DigestIDs: wants,
+		})
+	}
+}
+
+// onDigestAns folds recovered events back into the normal reception
+// path: first-time events are stored, re-disseminated (re-igniting the
+// epidemic) and delivered; duplicates that raced in via gossip are
+// dropped by the seen-set like any other duplicate. Duplicates are
+// still re-stored: a seen event whose store entry was evicted would
+// otherwise be absent from every future digest, and peers would keep
+// re-pushing its full payload wave after wave — re-storing it makes
+// the next digest advertise it and shuts that loop after one answer.
+func (p *Process) onDigestAns(m *Message) {
+	if m.FromTopic != p.topic {
+		return
+	}
+	for _, ev := range m.Events {
+		if ev == nil {
+			continue
+		}
+		if p.receiveEvent(ev) {
+			p.recoverStats.recovered.Add(1)
+		} else {
+			p.rememberEvent(ev)
+		}
+	}
+}
+
+// onEventReq serves an explicit pull: answer with whatever requested
+// events the store still holds, as one MsgDigestAns.
+func (p *Process) onEventReq(m *Message) {
+	if m.FromTopic != p.topic || p.store == nil {
+		return
+	}
+	var out []*Event
+	bytes := 0
+	admitted := true
+	for _, id := range m.DigestIDs {
+		ev, held := p.store.Get(id)
+		if !held {
+			continue
+		}
+		if out, bytes, admitted = admitEvent(out, ev, bytes); !admitted {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	p.env.Send(m.From, &Message{
+		Type:      MsgDigestAns,
+		From:      p.id,
+		FromTopic: p.topic,
+		Events:    out,
+	})
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"damulticast/internal/ids"
+)
+
+// recoverParams returns params with every periodic task disabled
+// except anti-entropy recovery, so ticks produce recovery traffic
+// alone.
+func recoverParams() Params {
+	return Params{
+		B: 3, C: 1, G: 5, A: 1, Z: 3,
+		GroupSizeHint:   4,
+		RecoverPeriod:   2,
+		RecoverFanout:   1,
+		RecoverStoreCap: 8,
+		RecoverMaxAge:   100,
+	}
+}
+
+func TestEventStoreBounds(t *testing.T) {
+	s := newEventStore(3)
+	for i := uint64(0); i < 10; i++ {
+		ev := &Event{ID: ids.EventID{Origin: "p", Seq: i}, Topic: ".t"}
+		s.Add(ev, int(i))
+		if s.Len() > 3 {
+			t.Fatalf("store grew to %d entries past cap 3", s.Len())
+		}
+	}
+	// FIFO: only the three newest survive.
+	for i := uint64(0); i < 7; i++ {
+		if _, ok := s.Get(ids.EventID{Origin: "p", Seq: i}); ok {
+			t.Errorf("event %d not evicted", i)
+		}
+	}
+	ids9 := s.AppendIDs(nil, maxRecoverDigest)
+	if len(ids9) != 3 || ids9[0].Seq != 7 || ids9[2].Seq != 9 {
+		t.Errorf("AppendIDs = %v, want seqs 7..9 in insertion order", ids9)
+	}
+	// A digest cap smaller than the store keeps only the newest ids.
+	if capped := s.AppendIDs(nil, 2); len(capped) != 2 || capped[0].Seq != 8 || capped[1].Seq != 9 {
+		t.Errorf("AppendIDs capped = %v, want seqs 8..9", capped)
+	}
+	// Duplicate adds are ignored.
+	if s.Add(&Event{ID: ids.EventID{Origin: "p", Seq: 9}}, 99); s.Len() != 3 {
+		t.Errorf("duplicate add changed Len to %d", s.Len())
+	}
+}
+
+func TestEventStoreGCByAge(t *testing.T) {
+	s := newEventStore(10)
+	for i := uint64(0); i < 4; i++ {
+		s.Add(&Event{ID: ids.EventID{Origin: "p", Seq: i}}, int(i))
+	}
+	// At tick 7 with maxAge 4, entries from ticks 0-2 are stale.
+	if gone := s.GC(7, 4); gone != 3 {
+		t.Errorf("GC evicted %d, want 3", gone)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after GC, want 1", s.Len())
+	}
+	if _, ok := s.Get(ids.EventID{Origin: "p", Seq: 3}); !ok {
+		t.Error("young entry GC'd")
+	}
+	if gone := s.GC(100, 4); gone != 1 || s.Len() != 0 {
+		t.Errorf("final GC = %d (len %d), want 1 (0)", gone, s.Len())
+	}
+}
+
+// TestEventStoreQueueCompaction drives enough traffic through a tiny
+// store that the FIFO queue must compact; the backing slice stays
+// bounded by ~2x cap rather than growing with total throughput.
+func TestEventStoreQueueCompaction(t *testing.T) {
+	s := newEventStore(4)
+	for i := uint64(0); i < 1000; i++ {
+		s.Add(&Event{ID: ids.EventID{Origin: "p", Seq: i}}, int(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := len(s.queue) - s.head; got != 4 {
+		t.Errorf("live queue window = %d, want 4", got)
+	}
+	if cap(s.queue) > 64 {
+		t.Errorf("queue backing array grew to %d for a cap-4 store", cap(s.queue))
+	}
+}
+
+// TestRecoverDigestExchange walks one full anti-entropy exchange by
+// hand: A holds an event B missed; B holds one A missed. A's digest to
+// B must trigger both the direct push (B -> A: DigestAns) and the
+// reverse pull (B -> A: EventReq, answered with a DigestAns).
+func TestRecoverDigestExchange(t *testing.T) {
+	params := recoverParams()
+	envA, envB := newFakeEnv(1), newFakeEnv(2)
+	A := MustNewProcess("A", ".t", params, envA)
+	B := MustNewProcess("B", ".t", params, envB)
+	A.SeedTopicTable([]ids.ProcessID{"B"})
+	B.SeedTopicTable([]ids.ProcessID{"A"})
+
+	evA, err := A.Publish([]byte("from-A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := B.Publish([]byte("from-B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA.reset()
+	envB.reset()
+
+	// Two ticks reach RecoverPeriod: A gossips its digest.
+	A.Tick()
+	A.Tick()
+	digests := envA.sentOfType(MsgDigest)
+	if len(digests) != 1 || digests[0].to != "B" {
+		t.Fatalf("recovery wave sent %d digests (%v), want 1 to B", len(digests), digests)
+	}
+	if got := digests[0].msg.DigestIDs; len(got) != 1 || got[0] != evA.ID {
+		t.Fatalf("digest ids = %v, want [%v]", got, evA.ID)
+	}
+
+	// B answers: push evB (A's digest lacks it), pull evA (unseen).
+	B.HandleMessage(digests[0].msg)
+	ans := envB.sentOfType(MsgDigestAns)
+	if len(ans) != 1 || ans[0].to != "A" || len(ans[0].msg.Events) != 1 || ans[0].msg.Events[0].ID != evB.ID {
+		t.Fatalf("digest answer = %+v, want one push of %v to A", ans, evB.ID)
+	}
+	reqs := envB.sentOfType(MsgEventReq)
+	if len(reqs) != 1 || reqs[0].to != "A" || len(reqs[0].msg.DigestIDs) != 1 || reqs[0].msg.DigestIDs[0] != evA.ID {
+		t.Fatalf("event request = %+v, want one pull of %v from A", reqs, evA.ID)
+	}
+	if st := B.RecoveryStats(); st.Requested != 1 {
+		t.Errorf("B requested = %d, want 1", st.Requested)
+	}
+
+	// A serves the pull; B's push recovers evB at A.
+	envA.reset()
+	A.HandleMessage(reqs[0].msg)
+	served := envA.sentOfType(MsgDigestAns)
+	if len(served) != 1 || len(served[0].msg.Events) != 1 || served[0].msg.Events[0].ID != evA.ID {
+		t.Fatalf("served answer = %+v, want %v", served, evA.ID)
+	}
+	A.HandleMessage(ans[0].msg)
+	if len(envA.delivered) != 1 || envA.delivered[0].ID != evB.ID {
+		t.Fatalf("A delivered %v, want [%v]", envA.delivered, evB.ID)
+	}
+	if st := A.RecoveryStats(); st.Recovered != 1 {
+		t.Errorf("A recovered = %d, want 1", st.Recovered)
+	}
+
+	// B folds the served answer in: delivery, stats, re-dissemination.
+	envB.reset()
+	B.HandleMessage(served[0].msg)
+	if len(envB.delivered) != 1 || envB.delivered[0].ID != evA.ID {
+		t.Fatalf("B delivered %v, want [%v]", envB.delivered, evA.ID)
+	}
+	if st := B.RecoveryStats(); st.Recovered != 1 {
+		t.Errorf("B recovered = %d, want 1", st.Recovered)
+	}
+	if gossip := envB.sentOfType(MsgEvent); len(gossip) == 0 {
+		t.Error("recovered event was not re-disseminated")
+	}
+
+	// Replayed answers are duplicates: no double delivery.
+	envB.reset()
+	B.HandleMessage(served[0].msg)
+	if len(envB.delivered) != 0 {
+		t.Errorf("duplicate recovery delivered again: %v", envB.delivered)
+	}
+}
+
+// TestRecoverRestoresEvictedStoreEntry: a pushed duplicate of an event
+// that is seen but no longer stored must be re-stored, so the next
+// digest advertises it and peers stop re-pushing its payload every
+// wave.
+func TestRecoverRestoresEvictedStoreEntry(t *testing.T) {
+	params := recoverParams()
+	params.RecoverStoreCap = 1
+	env := newFakeEnv(6)
+	p := MustNewProcess("A", ".t", params, env)
+	ev1, err := p.Publish([]byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish([]byte("two")); err != nil {
+		t.Fatal(err) // cap 1: evicts ev1's store entry, ev1 stays seen
+	}
+	if _, held := p.store.Get(ev1.ID); held {
+		t.Fatal("ev1 still stored; eviction setup broken")
+	}
+	p.HandleMessage(&Message{
+		Type: MsgDigestAns, From: "B", FromTopic: ".t",
+		Events: []*Event{ev1},
+	})
+	if _, held := p.store.Get(ev1.ID); !held {
+		t.Error("pushed duplicate of a seen event was not re-stored")
+	}
+	// Publish does not self-deliver, and the duplicate push must not
+	// deliver either.
+	if len(env.delivered) != 0 {
+		t.Errorf("duplicate push re-delivered: %d deliveries", len(env.delivered))
+	}
+	if st := p.RecoveryStats(); st.Recovered != 0 {
+		t.Errorf("duplicate push counted as recovered: %+v", st)
+	}
+}
+
+// TestRecoverIgnoresOtherGroups: recovery messages never cross topic
+// groups, matching the gossip they repair.
+func TestRecoverIgnoresOtherGroups(t *testing.T) {
+	params := recoverParams()
+	env := newFakeEnv(3)
+	p := MustNewProcess("A", ".t", params, env)
+	if _, err := p.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	env.reset()
+	p.HandleMessage(&Message{Type: MsgDigest, From: "evil", FromTopic: ".other"})
+	p.HandleMessage(&Message{Type: MsgEventReq, From: "evil", FromTopic: ".other",
+		DigestIDs: []ids.EventID{{Origin: "A", Seq: 1}}})
+	if len(env.sent) != 0 {
+		t.Errorf("cross-group recovery answered: %v", env.sent)
+	}
+}
+
+// TestRecoverDisabledIsInert: with RecoverPeriod 0 (the default) no
+// store exists, ticks send nothing, and inbound recovery traffic is
+// dropped without effect.
+func TestRecoverDisabledIsInert(t *testing.T) {
+	params := recoverParams()
+	params.RecoverPeriod = 0
+	env := newFakeEnv(4)
+	p := MustNewProcess("A", ".t", params, env)
+	p.SeedTopicTable([]ids.ProcessID{"B"})
+	if _, err := p.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if p.EventStoreLen() != 0 {
+		t.Errorf("disabled recovery stored %d events", p.EventStoreLen())
+	}
+	env.reset()
+	for i := 0; i < 10; i++ {
+		p.Tick()
+	}
+	for _, s := range env.sent {
+		if s.msg.Type.IsRecovery() {
+			t.Fatalf("disabled recovery sent %v", s.msg)
+		}
+	}
+	p.HandleMessage(&Message{Type: MsgDigest, From: "B", FromTopic: ".t"})
+	p.HandleMessage(&Message{Type: MsgEventReq, From: "B", FromTopic: ".t",
+		DigestIDs: []ids.EventID{{Origin: "A", Seq: 1}}})
+	if got := env.sentOfType(MsgDigestAns); len(got) != 0 {
+		t.Errorf("disabled recovery served %v", got)
+	}
+	if st := p.RecoveryStats(); st != (RecoveryStats{}) {
+		t.Errorf("disabled recovery has stats %+v", st)
+	}
+}
+
+// TestRecoverStoreMemoryBound: sustained publishing never grows the
+// store past its cap, and age GC drains it completely, with every
+// eviction counted.
+func TestRecoverStoreMemoryBound(t *testing.T) {
+	params := recoverParams()
+	params.RecoverPeriod = 1
+	params.RecoverStoreCap = 4
+	params.RecoverMaxAge = 3
+	env := newFakeEnv(5)
+	p := MustNewProcess("A", ".t", params, env)
+	const published = 50
+	for i := 0; i < published; i++ {
+		if _, err := p.Publish([]byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if p.EventStoreLen() > params.RecoverStoreCap {
+			t.Fatalf("store holds %d > cap %d", p.EventStoreLen(), params.RecoverStoreCap)
+		}
+	}
+	if st := p.RecoveryStats(); st.GCd != published-uint64(params.RecoverStoreCap) {
+		t.Errorf("capacity evictions = %d, want %d", st.GCd, published-params.RecoverStoreCap)
+	}
+	// Age everything out (empty topic table: waves only GC).
+	for i := 0; i < params.RecoverMaxAge+2; i++ {
+		p.Tick()
+	}
+	if p.EventStoreLen() != 0 {
+		t.Errorf("store holds %d events after aging out", p.EventStoreLen())
+	}
+	if st := p.RecoveryStats(); st.GCd != published {
+		t.Errorf("total evictions = %d, want %d", st.GCd, published)
+	}
+}

@@ -44,6 +44,18 @@ const (
 	Control
 	// Dropped counts messages lost by the unreliable channel.
 	Dropped
+	// RecoverMsg counts anti-entropy recovery wire messages (digests,
+	// digest answers, event requests) — the subsystem's traffic
+	// overhead.
+	RecoverMsg
+	// Recovered counts first-time deliveries obtained through the
+	// recovery exchange rather than plain gossip.
+	Recovered
+	// RecoverReq counts event ids explicitly requested from peers.
+	RecoverReq
+	// RecoverGC counts recovery-store entries evicted by age or
+	// capacity.
+	RecoverGC
 )
 
 var kindNames = map[Kind]string{
@@ -53,6 +65,10 @@ var kindNames = map[Kind]string{
 	Parasite:   "parasite",
 	Control:    "control",
 	Dropped:    "dropped",
+	RecoverMsg: "recover_msg",
+	Recovered:  "recovered",
+	RecoverReq: "recover_req",
+	RecoverGC:  "recover_gc",
 }
 
 // String names the kind.
@@ -214,6 +230,18 @@ func (r *Registry) IncControl(t topic.Topic) { r.Inc(Key{Kind: Control, Topic: t
 
 // IncDropped counts one message lost by the channel in group t.
 func (r *Registry) IncDropped(t topic.Topic) { r.Inc(Key{Kind: Dropped, Topic: t}) }
+
+// IncRecoverMsg counts one recovery wire message sent from group t.
+func (r *Registry) IncRecoverMsg(t topic.Topic) { r.Inc(Key{Kind: RecoverMsg, Topic: t}) }
+
+// AddRecovered adds n recovery-path deliveries in group t.
+func (r *Registry) AddRecovered(t topic.Topic, n int64) { r.Add(Key{Kind: Recovered, Topic: t}, n) }
+
+// AddRecoverReq adds n explicitly requested event ids in group t.
+func (r *Registry) AddRecoverReq(t topic.Topic, n int64) { r.Add(Key{Kind: RecoverReq, Topic: t}, n) }
+
+// AddRecoverGC adds n recovery-store evictions in group t.
+func (r *Registry) AddRecoverGC(t topic.Topic, n int64) { r.Add(Key{Kind: RecoverGC, Topic: t}, n) }
 
 // load sums one slot across all shards. Callers hold r.mu (either
 // mode).

@@ -20,6 +20,10 @@ func TestKindString(t *testing.T) {
 		{Parasite, "parasite"},
 		{Control, "control"},
 		{Dropped, "dropped"},
+		{RecoverMsg, "recover_msg"},
+		{Recovered, "recovered"},
+		{RecoverReq, "recover_req"},
+		{RecoverGC, "recover_gc"},
 		{Kind(99), "kind(99)"},
 	}
 	for _, tt := range tests {
@@ -250,4 +254,23 @@ func BenchmarkRegistryIncParallel(b *testing.B) {
 			r.IncIntra(topic.Root)
 		}
 	})
+}
+
+func TestRecoveryCounters(t *testing.T) {
+	r := NewRegistry()
+	r.IncRecoverMsg(".t")
+	r.IncRecoverMsg(".t")
+	r.AddRecovered(".t", 3)
+	r.AddRecoverReq(".t", 5)
+	r.AddRecoverGC(".t", 7)
+	for _, tt := range []struct {
+		kind Kind
+		want int64
+	}{
+		{RecoverMsg, 2}, {Recovered, 3}, {RecoverReq, 5}, {RecoverGC, 7},
+	} {
+		if got := r.Get(Key{Kind: tt.kind, Topic: ".t"}); got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.kind, got, tt.want)
+		}
+	}
 }

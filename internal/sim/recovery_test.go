@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"damulticast/internal/topic"
+)
+
+// recoveryConfig builds a flat root group of n processes with
+// anti-entropy recovery enabled (period 2, nothing ages out during the
+// run) and every other periodic task off.
+func recoveryConfig(n int, seed int64, enabled bool) Config {
+	cfg := flatConfig(n, seed, 1)
+	cfg.PSucc = 1
+	if enabled {
+		cfg.Params.RecoverPeriod = 2
+		cfg.Params.RecoverMaxAge = 1000
+	}
+	return cfg
+}
+
+// TestRecoveryHealsPartition: a group is split before the publication,
+// so one cell never sees the event in flight; best-effort gossip has
+// quiesced by the time the partition heals, and only the anti-entropy
+// layer can carry the event across afterwards.
+func TestRecoveryHealsPartition(t *testing.T) {
+	sc := Scenario{
+		Name:   "partition-then-heal",
+		Rounds: 30,
+		Events: []ScenarioEvent{
+			{Round: 0, Kind: ScenarioPartition, Cells: 2},
+			{Round: 1, Kind: ScenarioPublish},
+			{Round: 8, Kind: ScenarioHeal},
+		},
+	}
+	const seed = 7
+	base, err := RunScenario(recoveryConfig(80, seed, false), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RunScenario(recoveryConfig(80, seed, true), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := topic.Root
+	if base.ReliabilityAll[root] >= 1 {
+		t.Fatalf("best-effort run delivered %.3f across a partition: the miss this test needs never happened",
+			base.ReliabilityAll[root])
+	}
+	if rec.ReliabilityAll[root] < 1 {
+		t.Errorf("recovery run delivered %.3f, want 1.0 after heal (base %.3f)",
+			rec.ReliabilityAll[root], base.ReliabilityAll[root])
+	}
+	if rec.KindTotals["recovered"] == 0 {
+		t.Error("no deliveries attributed to recovery")
+	}
+	if rec.KindTotals["recover_msg"] == 0 {
+		t.Error("no recovery wire traffic counted")
+	}
+}
+
+// TestRecoveryHealsLossBurst: the publication happens inside a deep
+// correlated loss burst (SetLinkDown's probabilistic sibling), so the
+// epidemic dies subcritically; after the channel recovers, only
+// anti-entropy retransmission completes the delivery.
+func TestRecoveryHealsLossBurst(t *testing.T) {
+	sc := Scenario{
+		Name:   "loss-burst",
+		Rounds: 30,
+		Events: []ScenarioEvent{
+			{Round: 0, Kind: ScenarioLossBurst, PSucc: 0.03},
+			{Round: 1, Kind: ScenarioPublish},
+			{Round: 6, Kind: ScenarioLossRestore},
+		},
+	}
+	const seed = 11
+	base, err := RunScenario(recoveryConfig(100, seed, false), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RunScenario(recoveryConfig(100, seed, true), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := topic.Root
+	if base.ReliabilityAll[root] >= 1 {
+		t.Fatalf("best-effort run survived the burst with %.3f: pick a deeper burst or another seed",
+			base.ReliabilityAll[root])
+	}
+	if rec.ReliabilityAll[root] < 1 {
+		t.Errorf("recovery run delivered %.3f, want 1.0 after the burst (base %.3f)",
+			rec.ReliabilityAll[root], base.ReliabilityAll[root])
+	}
+}
+
+// TestRecoveryWorkerCountInvariance: a recovery-enabled scenario is
+// part of the kernel determinism contract — identical Results for any
+// shard count, because all recovery randomness draws from per-process
+// streams.
+func TestRecoveryWorkerCountInvariance(t *testing.T) {
+	sc := Scenario{
+		Name:   "invariance",
+		Rounds: 16,
+		Events: []ScenarioEvent{
+			{Round: 0, Kind: ScenarioLossBurst, PSucc: 0.3},
+			{Round: 1, Kind: ScenarioPublish},
+			{Round: 5, Kind: ScenarioLossRestore},
+			{Round: 6, Kind: ScenarioPublish},
+		},
+	}
+	var base *Result
+	for _, workers := range []int{1, 2, 8} {
+		cfg := recoveryConfig(120, 3, true)
+		cfg.Workers = workers
+		res, err := RunScenario(cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("workers=%d: recovery scenario result differs from workers=1", workers)
+		}
+	}
+}
+
+// TestRecoveryStoreBoundedInSim: under many publications with a tiny
+// store cap, no process's store ever exceeds the bound (checked after
+// the run; the core-level test checks it mid-flight).
+func TestRecoveryStoreBoundedInSim(t *testing.T) {
+	cfg := recoveryConfig(40, 5, true)
+	cfg.Params.RecoverStoreCap = 4
+	sc := Scenario{Name: "flood", Rounds: 24}
+	for r := 0; r < 12; r++ {
+		sc.Events = append(sc.Events, ScenarioEvent{Round: r, Kind: ScenarioPublish})
+	}
+	runner, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range runner.Group(topic.Root) {
+		if n := p.EventStoreLen(); n > 4 {
+			t.Fatalf("process %s holds %d stored events > cap 4", p.ID(), n)
+		}
+	}
+	if res.KindTotals["recover_gc"] == 0 {
+		t.Error("flood never evicted a store entry")
+	}
+}
+
+// TestRecoveryFigureDominatesBaseline is the figure-level acceptance
+// gate: at every loss point of the "recovery" sweep the
+// recovery-enabled delivery ratio is at least the best-effort
+// baseline's, and the lossless edge delivers everything in both modes.
+func TestRecoveryFigureDominatesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper-topology sweep")
+	}
+	xs := []float64{0.2, 0.5, 0.8, 1.0}
+	fig, _, err := GenerateFigure(context.Background(), "recovery", xs,
+		FigureOpts{RunsPerPoint: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig.Series, []string{"base", "recovery"}) {
+		t.Fatalf("series = %v", fig.Series)
+	}
+	for _, row := range fig.Rows {
+		base, rec := row.Values["base"], row.Values["recovery"]
+		if rec < base {
+			t.Errorf("psucc=%.2f: recovery %.4f < baseline %.4f", row.Alive, rec, base)
+		}
+	}
+	last := fig.Rows[len(fig.Rows)-1]
+	if last.Values["base"] < 1 || last.Values["recovery"] < 1 {
+		t.Errorf("lossless point should deliver 1.0/1.0, got %.4f/%.4f",
+			last.Values["base"], last.Values["recovery"])
+	}
+}
+
+// TestRecoveryParamsValidation: enabling recovery with broken knobs is
+// rejected by config validation before a runner is built.
+func TestRecoveryParamsValidation(t *testing.T) {
+	cfg := recoveryConfig(10, 1, true)
+	cfg.Params.RecoverFanout = -1
+	if _, err := NewRunner(cfg); err == nil {
+		t.Error("negative recovery fanout accepted")
+	}
+}

@@ -119,6 +119,10 @@ type Runner struct {
 	// firstRound[group] is the earliest round any member delivered.
 	firstRound map[topic.Topic]int
 	pubCount   uint64
+	// harvested guards the one-shot fold of per-process recovery
+	// counters into the registry (collect may run more than once on a
+	// Runner tests poke at).
+	harvested bool
 }
 
 // NewRunner builds the network per cfg: groups of processes with
@@ -146,7 +150,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 
 	// Periodic protocol tasks only matter when the config enables
 	// them; the paper's figure runs use static tables.
-	r.net.TickNodes = cfg.Params.ShufflePeriod > 0 || cfg.Params.MaintainPeriod > 0
+	r.net.TickNodes = cfg.Params.ShufflePeriod > 0 || cfg.Params.MaintainPeriod > 0 ||
+		cfg.Params.RecoverPeriod > 0
 
 	// Create processes.
 	for _, g := range cfg.Groups {
@@ -261,13 +266,16 @@ func (r *Runner) onSend(env simnet.Envelope, dropped bool) {
 		return
 	}
 	src, dst := r.topicOf[env.From], r.topicOf[env.To]
-	if m.Type == core.MsgEvent {
+	switch {
+	case m.Type == core.MsgEvent:
 		if src == dst {
 			r.reg.IncIntra(src)
 		} else {
 			r.reg.IncInter(src, dst)
 		}
-	} else {
+	case m.Type.IsRecovery():
+		r.reg.IncRecoverMsg(src)
+	default:
 		r.reg.IncControl(src)
 	}
 	if dropped {
@@ -367,7 +375,36 @@ func (r *Runner) Run() (*Result, error) {
 	return r.collect(evs, totalRounds), nil
 }
 
+// harvestRecoveryStats folds the per-process recovery counters into
+// the registry (once, at collection time) so they surface in Rows,
+// KindTotals and run reports like every other counter.
+func (r *Runner) harvestRecoveryStats() {
+	if r.cfg.Params.RecoverPeriod <= 0 || r.harvested {
+		return
+	}
+	r.harvested = true
+	for _, g := range r.cfg.Groups {
+		var recovered, requested, gcd int64
+		for _, p := range r.groups[g.Topic] {
+			st := p.RecoveryStats()
+			recovered += int64(st.Recovered)
+			requested += int64(st.Requested)
+			gcd += int64(st.GCd)
+		}
+		if recovered > 0 {
+			r.reg.AddRecovered(g.Topic, recovered)
+		}
+		if requested > 0 {
+			r.reg.AddRecoverReq(g.Topic, requested)
+		}
+		if gcd > 0 {
+			r.reg.AddRecoverGC(g.Topic, gcd)
+		}
+	}
+}
+
 func (r *Runner) collect(evs []ids.EventID, rounds int) *Result {
+	r.harvestRecoveryStats()
 	res := &Result{
 		Intra:              make(map[topic.Topic]int64),
 		Inter:              make(map[[2]topic.Topic]int64),

@@ -69,17 +69,31 @@ func groupSeriesName(t topic.Topic) string {
 	}
 }
 
+// pointResult is what one sweep job contributes to a figure: the named
+// series values at its x-axis point, plus bookkeeping for the run
+// report.
+type pointResult struct {
+	values map[string]float64
+	counts map[string]int64
+	rounds int
+}
+
 // figureSpec declares one figure sweep: how to run a single point and
-// which named series values to extract from its Result.
+// produce its named series values.
 type figureSpec struct {
 	name   string
 	xlabel string
 	ylabel string
-	// runPoint executes one independent run at x-axis value x with the
-	// given seed, on kernelWorkers simnet shards (0 = GOMAXPROCS).
-	runPoint func(x float64, seed int64, kernelWorkers int) (*Result, error)
-	// extract pulls the figure's named series values from one Result.
-	extract func(*Result) map[string]float64
+	// runPoint executes one independent run (or, for comparison
+	// figures like "recovery", a deterministic bundle of sub-runs) at
+	// x-axis value x with the given seed, on kernelWorkers simnet
+	// shards (0 = GOMAXPROCS).
+	runPoint func(x float64, seed int64, kernelWorkers int) (pointResult, error)
+}
+
+// resultPoint adapts a full simulation Result to a pointResult.
+func resultPoint(res *Result, extract func(*Result) map[string]float64) pointResult {
+	return pointResult{values: extract(res), counts: res.KindTotals, rounds: res.Rounds}
 }
 
 // paperSpec builds the spec shared by Figs. 8-11: the paper topology
@@ -89,15 +103,18 @@ func paperSpec(name, ylabel string, mode FailureMode, extract func(*Result) map[
 		name:   name,
 		xlabel: "fraction of alive processes",
 		ylabel: ylabel,
-		runPoint: func(x float64, seed int64, kernelWorkers int) (*Result, error) {
+		runPoint: func(x float64, seed int64, kernelWorkers int) (pointResult, error) {
 			cfg := PaperConfig(x, seed)
 			if mode != 0 {
 				cfg.FailureMode = mode
 			}
 			cfg.Workers = kernelWorkers
-			return Run(cfg)
+			res, err := Run(cfg)
+			if err != nil {
+				return pointResult{}, err
+			}
+			return resultPoint(res, extract), nil
 		},
-		extract: extract,
 	}
 }
 
@@ -135,7 +152,7 @@ func churnSpec() figureSpec {
 		name:   "churn",
 		xlabel: "fraction surviving the churn wave",
 		ylabel: "fraction of processes receiving",
-		runPoint: func(x float64, seed int64, kernelWorkers int) (*Result, error) {
+		runPoint: func(x float64, seed int64, kernelWorkers int) (pointResult, error) {
 			cfg := PaperConfig(1, seed)
 			cfg.FailureMode = FailNone
 			cfg.Workers = kernelWorkers
@@ -147,20 +164,99 @@ func churnSpec() figureSpec {
 					{Round: 2, Kind: ScenarioCrashWave, Topic: cfg.PublishTopic, Fraction: 1 - x},
 				},
 			}
-			return RunScenario(cfg, sc)
+			res, err := RunScenario(cfg, sc)
+			if err != nil {
+				return pointResult{}, err
+			}
+			return resultPoint(res, extractReliabilityAll), nil
 		},
-		extract: extractReliabilityAll,
+	}
+}
+
+// recoveryRounds and recoveryPeriod pin the "recovery" figure's
+// schedule: enough rounds for ~20 anti-entropy waves after the single
+// publication at round 0.
+const (
+	recoveryRounds = 48
+	recoveryPeriod = 2
+)
+
+// recoveryRun executes one lossy dissemination of the paper topology,
+// with the anti-entropy recovery subsystem on or off.
+func recoveryRun(psucc float64, seed int64, kernelWorkers int, recovery bool) (*Result, error) {
+	cfg := PaperConfig(1, seed)
+	cfg.FailureMode = FailNone
+	cfg.PSucc = psucc
+	cfg.Workers = kernelWorkers
+	if recovery {
+		cfg.Params.RecoverPeriod = recoveryPeriod
+		cfg.Params.RecoverMaxAge = recoveryRounds + 1 // nothing ages out mid-figure
+	}
+	sc := Scenario{
+		Name:   "recovery",
+		Rounds: recoveryRounds,
+		Events: []ScenarioEvent{{Round: 0, Kind: ScenarioPublish}},
+	}
+	return RunScenario(cfg, sc)
+}
+
+// recoverySpec is the anti-entropy figure: delivery ratio of the
+// publish group under channel loss, best-effort baseline vs recovery
+// enabled. x is the channel success probability psucc (loss rate =
+// 1-x), so the right edge is the lossless network, like the other
+// figures. Both sub-runs share the point's seed, which aligns the
+// rounds before the first recovery wave and pairs away most of the
+// outbreak variance; after that wave the recovery run's extra draws
+// and sends shift the per-process and loss streams, so the two
+// epidemics diverge and dominance of the "recovery" series is an
+// empirical property of the paired design (recovery keeps re-offering
+// every held event until it lands), enforced at pinned seeds by
+// TestRecoveryFigureDominatesBaseline — not a per-draw guarantee.
+func recoverySpec() figureSpec {
+	return figureSpec{
+		name:   "recovery",
+		xlabel: "channel success probability (1 - loss rate)",
+		ylabel: "fraction of processes receiving",
+		runPoint: func(x float64, seed int64, kernelWorkers int) (pointResult, error) {
+			base, err := recoveryRun(x, seed, kernelWorkers, false)
+			if err != nil {
+				return pointResult{}, err
+			}
+			rec, err := recoveryRun(x, seed, kernelWorkers, true)
+			if err != nil {
+				return pointResult{}, err
+			}
+			_, _, t2 := PaperTopics()
+			// Per-kind counts keep both sub-runs apart so reports
+			// expose the recovery overhead next to the baseline.
+			counts := make(map[string]int64, len(base.KindTotals)+len(rec.KindTotals))
+			for k, v := range base.KindTotals {
+				counts["base:"+k] += v
+			}
+			for k, v := range rec.KindTotals {
+				counts["recovery:"+k] += v
+			}
+			return pointResult{
+				values: map[string]float64{
+					"base":     base.ReliabilityAll[t2],
+					"recovery": rec.ReliabilityAll[t2],
+				},
+				counts: counts,
+				rounds: base.Rounds + rec.Rounds,
+			}, nil
+		},
 	}
 }
 
 // figureSpecs maps canonical figure names to their sweep specs.
 func figureSpecs() map[string]figureSpec {
 	return map[string]figureSpec{
-		"fig8":  paperSpec("fig8", "events sent within group", 0, extractIntra),
-		"fig9":  paperSpec("fig9", "intergroup events", 0, extractInter),
-		"fig10": paperSpec("fig10", "fraction of processes receiving", FailStillborn, extractReliabilityAll),
-		"fig11": paperSpec("fig11", "fraction of processes receiving", FailPerObserver, extractReliabilityAll),
-		"churn": churnSpec(),
+		"fig8":     paperSpec("fig8", "events sent within group", 0, extractIntra),
+		"fig9":     paperSpec("fig9", "intergroup events", 0, extractInter),
+		"fig10":    paperSpec("fig10", "fraction of processes receiving", FailStillborn, extractReliabilityAll),
+		"fig11":    paperSpec("fig11", "fraction of processes receiving", FailPerObserver, extractReliabilityAll),
+		"churn":    churnSpec(),
+		"recovery": recoverySpec(),
 	}
 }
 
@@ -237,10 +333,10 @@ func GenerateFigure(ctx context.Context, name string, xs []float64, opts FigureO
 				X:      xs[pi],
 				Run:    run,
 				Seed:   seed,
-				Rounds: res.Rounds,
+				Rounds: res.rounds,
 				WallNS: time.Since(start).Nanoseconds(),
-				Counts: res.KindTotals,
-				Values: spec.extract(res),
+				Counts: res.counts,
+				Values: res.values,
 			}, nil
 		})
 	if err != nil {

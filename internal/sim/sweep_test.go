@@ -16,7 +16,7 @@ import (
 // never from scheduling.
 func TestSweepWorkerCountInvariance(t *testing.T) {
 	xs := []float64{0.5, 1.0}
-	for _, name := range []string{"fig8", "churn"} {
+	for _, name := range []string{"fig8", "churn", "recovery"} {
 		var base *Figure
 		var baseCSV string
 		for _, workers := range []int{1, 2, 8} {

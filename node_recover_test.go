@@ -1,0 +1,215 @@
+package damulticast
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"damulticast/internal/core"
+)
+
+// TestRacePublishDuringStop is the liveness gate for Publish and
+// Leave racing Stop: every publisher must return promptly — with a
+// published id, ErrNotRunning, or core.ErrStopped — no matter how the
+// shutdown interleaves. The reply/ack waits are guarded by n.done
+// (see Publish); this hammer keeps that guarantee from regressing if
+// the loop's channel discipline ever changes.
+func TestRacePublishDuringStop(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		net := NewMemNetwork()
+		n, err := NewNode(Config{
+			ID:           "solo",
+			Topic:        ".x",
+			Transport:    net.NewTransport("solo"),
+			Params:       liveParams(),
+			TickInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := n.Publish([]byte("spin")); err != nil {
+						// ErrNotRunning when the node stopped first;
+						// core.ErrStopped when the loop serviced the
+						// publish after Leave stopped the process.
+						if !errors.Is(err, ErrNotRunning) && !errors.Is(err, core.ErrStopped) {
+							t.Errorf("publish error = %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		// A concurrent Leave exercises the same shutdown race on the
+		// ack channel.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = n.Leave()
+		}()
+		time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+		if err := n.Stop(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait() // deadlocks here without the done-channel escape
+	}
+}
+
+// TestDroppedFramesCounted feeds the receive path garbage and floods
+// the inbox of a stopped loop: both loss classes must be counted and
+// surfaced by DroppedFrames/Stats instead of vanishing silently.
+func TestDroppedFramesCounted(t *testing.T) {
+	net := NewMemNetwork()
+	n, err := NewNode(Config{ID: "sink", Topic: ".x", Transport: net.NewTransport("sink")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Malformed frames: truncated binary, legacy JSON, plain garbage.
+	valid, err := encodeMessage(&core.Message{Type: core.MsgPing, From: "peer", FromTopic: ".x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range [][]byte{
+		[]byte("complete garbage"),
+		[]byte(`{"Type":1}`),
+		valid[:len(valid)/2],
+		{},
+	} {
+		n.onRaw(frame)
+	}
+	if got := n.MalformedFrames(); got != 4 {
+		t.Errorf("MalformedFrames = %d, want 4", got)
+	}
+
+	// Overflow: the node is not started, so nothing drains the inbox;
+	// filling it past capacity must count overflow drops.
+	overflow := cap(n.inbox) + 7
+	for i := 0; i < overflow; i++ {
+		n.onRaw(valid)
+	}
+	stats := n.Stats()
+	if stats.OverflowFrames != 7 {
+		t.Errorf("OverflowFrames = %d, want 7", stats.OverflowFrames)
+	}
+	if stats.MalformedFrames != 4 {
+		t.Errorf("Stats().MalformedFrames = %d, want 4", stats.MalformedFrames)
+	}
+	if got, want := n.DroppedFrames(), int64(4+7); got != want {
+		t.Errorf("DroppedFrames = %d, want %d", got, want)
+	}
+}
+
+// TestGarbageFramesOverTransport covers the same counter end-to-end: a
+// peer speaking garbage over the shared fabric is counted, not
+// crashed on, and the node keeps working.
+func TestGarbageFramesOverTransport(t *testing.T) {
+	net := NewMemNetwork()
+	n, err := NewNode(Config{
+		ID:           "victim",
+		Topic:        ".x",
+		Transport:    net.NewTransport("victim"),
+		Params:       liveParams(),
+		TickInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Stop() })
+
+	attacker := net.NewTransport("attacker")
+	for i := 0; i < 5; i++ {
+		if err := attacker.Send("victim", []byte("\x7fnot a frame")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.MalformedFrames() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("malformed frames = %d, want 5", n.MalformedFrames())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := n.Publish([]byte("still alive")); err != nil {
+		t.Errorf("node unusable after garbage: %v", err)
+	}
+}
+
+// TestLiveRecoveryPullsMissedEvent: a node that joins after a
+// publication pulls the missed event from a group mate's store via the
+// anti-entropy exchange — delivery of an event that was never sent to
+// it.
+func TestLiveRecoveryPullsMissedEvent(t *testing.T) {
+	params := liveParams()
+	params.RecoverPeriod = 1
+	params.RecoverMaxAge = 100000 // the store must outlive test scheduling
+	net := NewMemNetwork()
+	ctx := context.Background()
+
+	holder, err := NewNode(Config{
+		ID:           "holder",
+		Topic:        ".room",
+		Transport:    net.NewTransport("holder"),
+		Params:       params,
+		TickInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = holder.Stop() })
+
+	// Publish while the late joiner does not exist yet: this event can
+	// only ever reach it through recovery.
+	missedID, err := holder.Publish([]byte("you missed this"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	late, err := NewNode(Config{
+		ID:            "late",
+		Topic:         ".room",
+		Transport:     net.NewTransport("late"),
+		Params:        params,
+		GroupContacts: []string{"holder"},
+		TickInterval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = late.Stop() })
+
+	select {
+	case ev := <-late.Events():
+		if ev.ID != missedID {
+			t.Fatalf("late node got %s, want %s", ev.ID, missedID)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("late node never recovered the missed event")
+	}
+	// The event may arrive via either recovery path: pushed directly in
+	// answer to the late node's empty digest (no request drawn), or
+	// pulled after the holder's digest exposed the gap (one request).
+	if st := late.RecoveryStats(); st.Recovered != 1 {
+		t.Errorf("late recovery stats = %+v, want exactly 1 recovered", st)
+	}
+}

@@ -53,6 +53,12 @@ var ErrFrameTooLarge = errors.New("damulticast: frame exceeds MaxFrame")
 // coalesce a whole gossip burst, small enough to be cheap per peer.
 const tcpWriteBuf = 64 << 10
 
+// frameTooLarge is the outbound size guard, compared in int64 space: a
+// payload over 4 GiB would wrap a uint32 cast, slip past a same-width
+// comparison and write a corrupt length prefix the receiver would
+// misframe on.
+func frameTooLarge(n int64, max uint32) bool { return n > int64(max) }
+
 // tcpConn is one cached outbound connection: its own write lock,
 // buffered writer and flush state. The first write or flush error
 // poisons the connection and evicts it from the transport's cache (via
@@ -222,7 +228,7 @@ func (t *TCPTransport) readFrame(r io.Reader) ([]byte, error) {
 // bytes reach the wire within FlushDelay. A failed write poisons and
 // evicts the cached connection so a later Send redials.
 func (t *TCPTransport) Send(addr string, payload []byte) error {
-	if uint32(len(payload)) > t.MaxFrame {
+	if frameTooLarge(int64(len(payload)), t.MaxFrame) {
 		return ErrFrameTooLarge
 	}
 	conn, err := t.connFor(addr)

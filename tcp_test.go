@@ -151,3 +151,52 @@ func TestTCPNodesEndToEnd(t *testing.T) {
 		t.Fatal("event never crossed TCP")
 	}
 }
+
+// TestFrameTooLargeGuard pins the MaxFrame comparison to int64 space.
+// The old guard compared uint32(len(payload)) > MaxFrame, so a payload
+// of 4 GiB + n wrapped to n, slipped past the check and wrote a length
+// prefix of n — the receiver would then misframe the stream. Payload
+// lengths are faked (nobody allocates 4 GiB in a unit test); the guard
+// is a pure function of the length.
+func TestFrameTooLargeGuard(t *testing.T) {
+	const maxFrame = 1 << 20
+	tests := []struct {
+		n    int64
+		want bool
+	}{
+		{0, false},
+		{maxFrame, false},
+		{maxFrame + 1, true},
+		{1<<32 - 1, true}, // max uint32
+		{1 << 32, true},   // wraps a uint32 cast to 0
+		{1<<32 + 5, true}, // wraps a uint32 cast to 5 — the old bypass
+	}
+	for _, tt := range tests {
+		if got := frameTooLarge(tt.n, maxFrame); got != tt.want {
+			t.Errorf("frameTooLarge(%d, %d) = %v, want %v", tt.n, maxFrame, got, tt.want)
+		}
+		// Demonstrate the wrap the old comparison suffered: every case
+		// the fixed guard rejects must also exceed MaxFrame in uint64
+		// space, even when its uint32 truncation does not.
+		if tt.want && uint64(tt.n) <= maxFrame {
+			t.Errorf("test case %d does not exceed MaxFrame", tt.n)
+		}
+	}
+}
+
+// TestTCPSendRejectsOversizedFrame: the live Send path refuses frames
+// over MaxFrame with ErrFrameTooLarge before touching any connection.
+func TestTCPSendRejectsOversizedFrame(t *testing.T) {
+	tr, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	tr.MaxFrame = 16
+	if err := tr.Send(tr.Addr(), make([]byte, 17)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized send error = %v, want ErrFrameTooLarge", err)
+	}
+	if err := tr.Send(tr.Addr(), make([]byte, 16)); err != nil {
+		t.Errorf("exact-size send failed: %v", err)
+	}
+}
