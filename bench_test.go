@@ -365,36 +365,30 @@ func BenchmarkLivePublish(b *testing.B) {
 	params := damulticast.DefaultParams()
 	params.ShufflePeriod = 0
 	params.MaintainPeriod = 0
-	mk := func(id string, contacts []string) *damulticast.Node {
-		n, err := damulticast.NewNode(damulticast.Config{
-			ID:            id,
-			Topic:         ".bench",
-			Transport:     net.NewTransport(id),
-			Params:        params,
-			GroupContacts: contacts,
-			TickInterval:  time.Hour, // no background ticks during bench
-		})
+	ctx := context.Background()
+	mk := func(id string, contacts []string) *damulticast.Subscription {
+		hub, err := damulticast.NewHub(net.NewTransport(id),
+			damulticast.WithParams(params),
+			damulticast.WithTickInterval(time.Hour), // no background ticks during bench
+		)
 		if err != nil {
 			b.Fatal(err)
 		}
-		return n
+		b.Cleanup(func() { _ = hub.Stop() })
+		sub, err := hub.Join(ctx, ".bench", damulticast.WithGroupContacts(contacts...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sub
 	}
 	pub := mk("pub", []string{"sub"})
-	sub := mk("sub", []string{"pub"})
-	ctx := context.Background()
-	if err := pub.Start(ctx); err != nil {
-		b.Fatal(err)
-	}
-	if err := sub.Start(ctx); err != nil {
-		b.Fatal(err)
-	}
-	defer func() { _ = pub.Stop(); _ = sub.Stop() }()
+	mk("sub", []string{"pub"})
 
 	payload := []byte("benchmark-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := pub.Publish(payload); err != nil {
+		if _, err := pub.Publish(ctx, payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -406,23 +400,21 @@ func BenchmarkMessageCodec(b *testing.B) {
 	// via a private hook in the package test below (kept here as a
 	// publish round for black-box measurement).
 	net := damulticast.NewMemNetwork()
-	tr := net.NewTransport("codec")
-	n, err := damulticast.NewNode(damulticast.Config{
-		Topic:        ".x",
-		Transport:    tr,
-		TickInterval: time.Hour,
-	})
+	ctx := context.Background()
+	hub, err := damulticast.NewHub(net.NewTransport("codec"),
+		damulticast.WithTickInterval(time.Hour))
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := n.Start(context.Background()); err != nil {
+	defer func() { _ = hub.Stop() }()
+	sub, err := hub.Join(ctx, ".x")
+	if err != nil {
 		b.Fatal(err)
 	}
-	defer func() { _ = n.Stop() }()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.Publish([]byte("x")); err != nil {
+		if _, err := sub.Publish(ctx, []byte("x")); err != nil {
 			b.Fatal(err)
 		}
 	}

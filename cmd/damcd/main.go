@@ -1,17 +1,27 @@
-// Command damcd runs a live daMulticast node over TCP: it subscribes
-// to one topic, prints every delivered event to stdout, and publishes
-// each line read from stdin as an event of its topic.
+// Command damcd runs a live daMulticast hub over TCP: one listen
+// socket multiplexing any number of topic subscriptions. It prints
+// every delivered event to stdout and publishes each line read from
+// stdin as an event of its first topic.
 //
 // Usage:
 //
 //	damcd -listen :7001 -topic .news
-//	damcd -listen :7002 -topic .news.sports \
+//	damcd -listen :7002 -topics .news,.market.nyse -seeds 127.0.0.1:7001
+//	damcd -listen :7003 -topic .news.sports \
 //	      -super-topic .news -super 127.0.0.1:7001 \
-//	      -peers 127.0.0.1:7003,127.0.0.1:7004
+//	      -peers 127.0.0.1:7004,127.0.0.1:7005
 //
 // A small cluster can be assembled by hand: start the supergroup
 // first, then point subgroup nodes at it with -super (or let them find
-// it via -seeds and the FIND_SUPER_CONTACT search).
+// it via -seeds and the FIND_SUPER_CONTACT search). With -topics the
+// hub joins every listed topic over the same socket; -peers and
+// -super/-super-topic apply to the first topic, -seeds to all of them.
+//
+// With -metricsaddr the hub's counters are served in the Prometheus
+// text format:
+//
+//	damcd -listen :7001 -topic .news -metricsaddr 127.0.0.1:9100
+//	curl http://127.0.0.1:9100/metrics
 package main
 
 import (
@@ -20,9 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -52,14 +64,16 @@ func splitList(s string) []string {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("damcd", flag.ContinueOnError)
-	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address (also the node id)")
+	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address (also the hub id)")
 	tp := fs.String("topic", "", "topic of interest, e.g. .news.sports")
-	peers := fs.String("peers", "", "comma-separated group-mate addresses")
-	super := fs.String("super", "", "comma-separated supergroup addresses")
+	topics := fs.String("topics", "", "comma-separated topics to join over the one socket (first is the publish topic)")
+	peers := fs.String("peers", "", "comma-separated group-mate addresses (first topic)")
+	super := fs.String("super", "", "comma-separated supergroup addresses (first topic)")
 	superTopic := fs.String("super-topic", "", "topic of the -super contacts")
-	seeds := fs.String("seeds", "", "comma-separated bootstrap seed addresses")
+	seeds := fs.String("seeds", "", "comma-separated bootstrap seed addresses (all topics)")
 	tick := fs.Duration("tick", 250*time.Millisecond, "protocol tick interval")
 	once := fs.Bool("once", false, "exit after stdin is exhausted (for scripting)")
+	metricsAddr := fs.String("metricsaddr", "", "serve Prometheus metrics on this address at /metrics (empty disables)")
 	params := damulticast.DefaultParams()
 	fs.Float64Var(&params.C, "c", params.C, "gossip fanout constant c (fanout = ln S + c)")
 	fs.Float64Var(&params.G, "g", params.G, "self-election numerator g (pSel = g/S)")
@@ -76,45 +90,85 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *tp == "" {
-		return fmt.Errorf("-topic is required")
+	joinTopics := splitList(*topics)
+	if *tp != "" {
+		joinTopics = append([]string{*tp}, joinTopics...)
+	}
+	if len(joinTopics) == 0 {
+		return fmt.Errorf("-topic or -topics is required")
 	}
 
 	tr, err := damulticast.NewTCPTransport(*listen)
 	if err != nil {
 		return err
 	}
-	node, err := damulticast.NewNode(damulticast.Config{
-		Topic:         *tp,
-		Transport:     tr,
-		Params:        params,
-		GroupContacts: splitList(*peers),
-		SuperContacts: splitList(*super),
-		SuperTopic:    *superTopic,
-		Seeds:         splitList(*seeds),
-		TickInterval:  *tick,
-	})
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// Registered before the hub's Stop so it runs after it (defers are
+	// LIFO): Stop closes every Events channel, which ends the printer
+	// goroutines this waits for.
+	var printers sync.WaitGroup
+	defer printers.Wait()
+
+	hub, err := damulticast.NewHub(tr,
+		damulticast.WithParams(params),
+		damulticast.WithTickInterval(*tick),
+		damulticast.WithContext(ctx),
+	)
 	if err != nil {
 		_ = tr.Close()
 		return err
 	}
+	defer func() { _ = hub.Stop() }()
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
-	if err := node.Start(ctx); err != nil {
-		return err
-	}
-	defer func() { _ = node.Stop() }()
-	fmt.Fprintf(stdout, "damcd: node %s subscribed to %s\n", node.ID(), node.Topic())
-
-	// Delivery printer.
-	go func() {
-		for ev := range node.Events() {
-			fmt.Fprintf(stdout, "[%s] %s: %s\n", ev.Topic, ev.ID, ev.Payload)
+	// The first topic gets the explicit contacts; every topic gets the
+	// bootstrap seeds.
+	var subs []*damulticast.Subscription
+	for i, topicStr := range joinTopics {
+		opts := []damulticast.JoinOption{damulticast.WithSeeds(splitList(*seeds)...)}
+		if i == 0 {
+			if p := splitList(*peers); len(p) > 0 {
+				opts = append(opts, damulticast.WithGroupContacts(p...))
+			}
+			if s := splitList(*super); len(s) > 0 {
+				opts = append(opts, damulticast.WithSuperContacts(*superTopic, s...))
+			}
 		}
-	}()
+		sub, err := hub.Join(ctx, topicStr, opts...)
+		if err != nil {
+			return fmt.Errorf("join %s: %w", topicStr, err)
+		}
+		subs = append(subs, sub)
+		fmt.Fprintf(stdout, "damcd: hub %s subscribed to %s\n", hub.ID(), sub.Topic())
+	}
 
-	// Publish stdin lines.
+	// Optional Prometheus endpoint.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = hub.WriteMetrics(w)
+		})
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() { _ = srv.ListenAndServe() }()
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(stdout, "damcd: metrics on http://%s/metrics\n", *metricsAddr)
+	}
+
+	// Delivery printers, one per subscription.
+	for _, sub := range subs {
+		printers.Add(1)
+		go func(sub *damulticast.Subscription) {
+			defer printers.Done()
+			for ev := range sub.Events() {
+				fmt.Fprintf(stdout, "[%s] %s: %s\n", ev.Topic, ev.ID, ev.Payload)
+			}
+		}(sub)
+	}
+
+	// Publish stdin lines on the first topic.
+	pub := subs[0]
 	lines := make(chan string)
 	go func() {
 		defer close(lines)
@@ -140,7 +194,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if line == "" {
 				continue
 			}
-			id, err := node.Publish([]byte(line))
+			id, err := pub.Publish(ctx, []byte(line))
 			if err != nil {
 				return fmt.Errorf("publish: %w", err)
 			}

@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"net"
+	"net/http"
 	"reflect"
 	"strings"
 	"sync"
@@ -36,6 +37,83 @@ func TestRunRequiresTopic(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, strings.NewReader(""), &out); err == nil {
 		t.Error("missing -topic accepted")
+	}
+}
+
+// TestRunMultiTopicAndMetrics: one damcd hub joins two topics over one
+// socket (-topics), a publisher in the second topic's subgroup pushes
+// an event up to it, and the -metricsaddr endpoint serves the
+// Prometheus dump with both subscriptions labeled.
+func TestRunMultiTopicAndMetrics(t *testing.T) {
+	hubAddr := freePort(t)
+	pubAddr := freePort(t)
+	metricsAddr := freePort(t)
+
+	hubOut := &syncWriter{}
+	hubIn, hubInW := io.Pipe()
+	hubDone := make(chan error, 1)
+	go func() {
+		hubDone <- run([]string{
+			"-listen", hubAddr,
+			"-topics", ".news,.market",
+			"-metricsaddr", metricsAddr,
+			"-tick", "20ms",
+		}, hubIn, hubOut)
+	}()
+	// Give the hub a moment to bind both the gossip and metrics ports.
+	time.Sleep(300 * time.Millisecond)
+
+	pubOut := &syncWriter{}
+	pubDone := make(chan error, 1)
+	go func() {
+		pubDone <- run([]string{
+			"-listen", pubAddr,
+			"-topic", ".market.nyse",
+			"-super-topic", ".market",
+			"-super", hubAddr,
+			"-tick", "20ms",
+			"-a", "3", // pA = 1: the single upward link always fires
+			"-once",
+		}, strings.NewReader("AAPL up\n"), pubOut)
+	}()
+	if err := <-pubDone; err != nil {
+		t.Fatalf("publisher: %v", err)
+	}
+
+	// The hub's .market subscription must print the climbed event.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(hubOut.String(), "AAPL up") {
+		if time.Now().After(deadline) {
+			t.Fatalf("hub never printed the event; output:\n%s", hubOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(hubOut.String(), "subscribed to .news") ||
+		!strings.Contains(hubOut.String(), "subscribed to .market") {
+		t.Errorf("hub did not announce both subscriptions:\n%s", hubOut.String())
+	}
+
+	// The metrics endpoint serves both subscriptions.
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics endpoint: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"damulticast_subscriptions 2",
+		`damulticast_dropped_deliveries_total{topic=".news"}`,
+		`damulticast_dropped_deliveries_total{topic=".market"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	if err := hubInW.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

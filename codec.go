@@ -12,17 +12,17 @@ import (
 	"damulticast/internal/topic"
 )
 
-// Binary wire codec, format version 2.
+// Binary wire codec, format version 3.
 //
-// Every frame starts with a version byte (0x02) followed by the
-// message type as an unsigned varint and the envelope fields in a
-// fixed order:
+// Every frame starts with a version byte (0x03) followed by the
+// message type as an unsigned varint, the destination-group demux
+// topic, and the envelope fields in a fixed order:
 //
-//	frame    := version(1 byte) type(uvarint) body
+//	frame    := version(1 byte) type(uvarint) dest body
 //	body     := from fromTopic event origin originTopic searchTopics
 //	            ttl reqID contacts contactsTopic digest superEntries
 //	            superTopic digestIDs events
-//	from, fromTopic, origin, originTopic,
+//	dest, from, fromTopic, origin, originTopic,
 //	contactsTopic, superTopic              := string
 //	event    := 0x00 | 0x01 eventBody
 //	eventBody:= string(origin) uvarint(seq) string(topic)
@@ -45,15 +45,20 @@ import (
 // bytes, and rejects frames with trailing garbage — a peer speaking
 // garbage must never reach the protocol state machine.
 //
+// The dest field sits right after the type: it is the demultiplex key
+// multi-topic endpoints route on (see core.Registry), so it leads the
+// frame ahead of the bulkier envelope fields.
+//
 // Compatibility policy: the version byte is the whole negotiation.
-// Version 2 frames begin with 0x02; version-1 frames (which lacked the
-// digestIDs/events tail of the anti-entropy recovery messages) began
-// with 0x01 and are rejected outright, as are the legacy JSON codec's
-// frames, which begin with '{' (0x7b) — see decodeMessageJSON and the
-// cross-decode tests. Any incompatible layout change must bump
-// codecVersion, and decoders only ever accept versions they were built
-// to understand.
-const codecVersion = 0x02
+// Version 3 frames begin with 0x03; version-2 frames (which lacked the
+// dest demux field) began with 0x02, version-1 frames (which also
+// lacked the digestIDs/events tail of the anti-entropy recovery
+// messages) began with 0x01, and both are rejected outright, as are
+// the legacy JSON codec's frames, which begin with '{' (0x7b) — see
+// decodeMessageJSON and the cross-decode tests. Any incompatible
+// layout change must bump codecVersion, and decoders only ever accept
+// versions they were built to understand.
+const codecVersion = 0x03
 
 // maxPooledEncodeBuf bounds buffers returned to the encode pool;
 // occasional giant frames must not pin memory forever.
@@ -85,6 +90,7 @@ func putEncBuf(buf *encBuf) {
 func appendMessage(dst []byte, m *core.Message) []byte {
 	dst = append(dst, codecVersion)
 	dst = binary.AppendUvarint(dst, uint64(m.Type))
+	dst = appendWireString(dst, string(m.Dest))
 	dst = appendWireString(dst, string(m.From))
 	dst = appendWireString(dst, string(m.FromTopic))
 	if ev := m.Event; ev != nil {
@@ -297,6 +303,7 @@ func decodeMessage(payload []byte) (*core.Message, error) {
 	if d.err == nil && !m.Type.Known() {
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrCodec, int(m.Type))
 	}
+	m.Dest = topic.Topic(d.str())
 	m.From = ids.ProcessID(d.str())
 	m.FromTopic = topic.Topic(d.str())
 	switch flag := d.byte(); {

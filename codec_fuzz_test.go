@@ -16,7 +16,7 @@ import (
 func codecSeedMessages() []*core.Message {
 	return []*core.Message{
 		{
-			Type: core.MsgEvent, From: "p1", FromTopic: ".a",
+			Type: core.MsgEvent, From: "p1", FromTopic: ".a", Dest: ".a",
 			Event: &core.Event{ID: ids.EventID{Origin: "p1", Seq: 7}, Topic: ".a.b", Payload: []byte("payload")},
 		},
 		{
@@ -24,7 +24,7 @@ func codecSeedMessages() []*core.Message {
 			Origin: "p2", OriginTopic: ".a.b",
 			SearchTopics: []topic.Topic{".a", "."}, TTL: 3, ReqID: 11,
 		},
-		{Type: core.MsgAnsContact, From: "p3", Contacts: []ids.ProcessID{"x", "y"}, ContactsTopic: ".a"},
+		{Type: core.MsgAnsContact, From: "p3", Dest: ".a.b", Contacts: []ids.ProcessID{"x", "y"}, ContactsTopic: ".a"},
 		{Type: core.MsgNewProcessReq, From: "p4"},
 		{Type: core.MsgNewProcessAns, From: "p5", Contacts: []ids.ProcessID{"z"}, ContactsTopic: "."},
 		{
@@ -92,7 +92,8 @@ func FuzzMessageCodec(f *testing.F) {
 	f.Add([]byte{codecVersion, 0})
 	f.Add([]byte{codecVersion, 99, 0, 0, 0})
 	f.Add([]byte{0x01, 1, 0, 0, 0})                              // retired version 1
-	f.Add([]byte{0x03, 1, 0, 0, 0})                              // future version
+	f.Add([]byte{0x02, 1, 0, 0, 0})                              // retired version 2
+	f.Add([]byte{0x04, 1, 0, 0, 0})                              // future version
 	f.Add([]byte{codecVersion, 1, 0xff, 0xff, 0xff, 0xff, 0xff}) // runaway varint
 	f.Add([]byte(``))
 

@@ -20,7 +20,7 @@ func (t *nullTransport) Close() error                    { return nil }
 
 // fanoutFixture builds a node over a null transport plus a
 // representative event message and target list.
-func fanoutFixture(t testing.TB, targets int) (*nodeEnv, []ids.ProcessID, *core.Message) {
+func fanoutFixture(t testing.TB, targets int) (*subEnv, []ids.ProcessID, *core.Message) {
 	t.Helper()
 	n, err := NewNode(Config{Topic: ".bench", Transport: &nullTransport{addr: "null"}})
 	if err != nil {
@@ -38,7 +38,7 @@ func fanoutFixture(t testing.TB, targets int) (*nodeEnv, []ids.ProcessID, *core.
 			Payload: []byte("benchmark-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
 		},
 	}
-	return (*nodeEnv)(n), tgts, m
+	return (*subEnv)(n.sub), tgts, m
 }
 
 // TestEncodeOnceFanoutAllocs is the allocation regression gate for the
@@ -141,28 +141,31 @@ func TestDecodeTrailingGarbage(t *testing.T) {
 // string bytes than it carries must be rejected before any giant
 // allocation happens.
 func TestDecodeOversizedCounts(t *testing.T) {
-	// version=1, type=MsgReqContact, empty From/FromTopic, no event,
-	// empty Origin/OriginTopic, then a search-topic count of 2^40.
-	frame := []byte{codecVersion, byte(core.MsgReqContact), 0, 0, 0, 0, 0,
+	// version, type=MsgReqContact, empty Dest/From/FromTopic, no
+	// event, empty Origin/OriginTopic, then a search-topic count of
+	// 2^40.
+	frame := []byte{codecVersion, byte(core.MsgReqContact), 0, 0, 0, 0, 0, 0,
 		0x80, 0x80, 0x80, 0x80, 0x80, 0x20} // uvarint(1<<40)
 	if _, err := decodeMessage(frame); err == nil {
 		t.Error("absurd element count accepted")
 	}
-	// A string field claiming 100 bytes in a 10-byte frame.
+	// A string field (the dest demux) claiming 100 bytes in a tiny
+	// frame.
 	frame = []byte{codecVersion, byte(core.MsgPing), 100, 'x', 'y', 'z'}
 	if _, err := decodeMessage(frame); err == nil {
 		t.Error("oversized string length accepted")
 	}
 }
 
-// TestDecodeBadVersionAndType: other versions (the retired version 1
-// as well as future ones) and unknown types are refused outright.
+// TestDecodeBadVersionAndType: other versions (the retired versions 1
+// and 2 as well as future ones) and unknown types are refused
+// outright.
 func TestDecodeBadVersionAndType(t *testing.T) {
 	good, err := encodeMessage(&core.Message{Type: core.MsgPong, From: "p"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, version := range []byte{0x01, 0x03} {
+	for _, version := range []byte{0x01, 0x02, 0x04} {
 		bad := append([]byte{}, good...)
 		bad[0] = version
 		if _, err := decodeMessage(bad); err == nil {
@@ -177,20 +180,29 @@ func TestDecodeBadVersionAndType(t *testing.T) {
 	}
 }
 
-// TestDecodeRejectsVersion1Frames pins the cross-version policy for
-// the recovery message types: a version-1 layout (no digestIDs/events
-// tail) under any type, recovery types included, must be rejected by
-// the version byte alone — a v1 peer and a v2 peer can never silently
-// misparse each other.
-func TestDecodeRejectsVersion1Frames(t *testing.T) {
+// TestDecodeRejectsRetiredVersionFrames pins the cross-version policy:
+// retired layouts under any message type must be rejected by the
+// version byte alone — peers from different generations can never
+// silently misparse each other. A v2 frame is the v3 frame minus the
+// dest demux field (one zero byte after the type, for the topic-less
+// seed messages); a v1 frame additionally lacks the two trailing
+// zero-count recovery fields.
+func TestDecodeRejectsRetiredVersionFrames(t *testing.T) {
 	for _, m := range codecSeedMessages() {
+		if m.Dest != "" {
+			continue // only zero-dest frames shrink to the v2 layout
+		}
 		frame, err := encodeMessage(m)
 		if err != nil {
 			t.Fatal(err)
 		}
-		// A v1 frame is the v2 frame minus the two trailing zero-count
-		// fields, under version byte 0x01.
-		v1 := append([]byte{}, frame[:len(frame)-2]...)
+		v2 := append([]byte{}, frame[:2]...) // version + 1-byte type
+		v2 = append(v2, frame[3:]...)        // skip the empty dest
+		v2[0] = 0x02
+		if _, err := decodeMessage(v2); err == nil {
+			t.Errorf("%s: version-2 frame accepted", m.Type)
+		}
+		v1 := append([]byte{}, v2[:len(v2)-2]...)
 		v1[0] = 0x01
 		if _, err := decodeMessage(v1); err == nil {
 			t.Errorf("%s: version-1 frame accepted", m.Type)

@@ -3,33 +3,32 @@
 // for hierarchical topic-based publish/subscribe of Baehni, Eugster
 // and Guerraoui (EPFL TR IC/2003/73, DSN 2004).
 //
-// Every Node is interested in exactly one topic of a dotted hierarchy
-// (e.g. ".news.sports.football") and transitively receives events
-// published on that topic or any of its subtopics. Nodes self-organize
-// into one gossip group per topic, link each group to its supergroup
-// with a constant-size supertopic table, gossip events within groups
-// (fanout ln(S)+c) and push them up the hierarchy probabilistically.
-// No process ever receives an event of a topic it is not interested
-// in, no central broker exists, and per-node memory is bounded by
+// Subscribers are interested in topics of a dotted hierarchy (e.g.
+// ".news.sports.football") and transitively receive events published
+// on their topic or any of its subtopics. Members of a topic group
+// self-organize by gossip, link each group to its supergroup with a
+// constant-size supertopic table, gossip events within groups (fanout
+// ln(S)+c) and push them up the hierarchy probabilistically. No
+// process ever receives an event of a topic it is not interested in,
+// no central broker exists, and memory per subscription is bounded by
 // ln(S) + c + z regardless of the hierarchy's size.
 //
-// A minimal publisher/subscriber pair over the in-memory transport:
+// The public API is the Hub: one transport endpoint hosting any
+// number of topic subscriptions over a single socket (the wire
+// protocol demultiplexes groups per frame). A minimal
+// publisher/subscriber pair over the in-memory transport:
 //
 //	net := damulticast.NewMemNetwork()
-//	sub, _ := damulticast.NewNode(damulticast.Config{
-//	    Topic:     ".news",
-//	    Transport: net.NewTransport("sub"),
-//	})
-//	pub, _ := damulticast.NewNode(damulticast.Config{
-//	    Topic:         ".news.sports",
-//	    Transport:     net.NewTransport("pub"),
-//	    GroupContacts: nil,
-//	    SuperTopic:    ".news",
-//	    SuperContacts: []string{"sub"},
-//	})
-//	sub.Start(ctx); pub.Start(ctx)
-//	pub.Publish([]byte("goal!"))
-//	ev := <-sub.Events() // the event climbs to the supergroup
+//	sub, _ := damulticast.NewHub(net.NewTransport("sub"))
+//	news, _ := sub.Join(ctx, ".news")
+//	pub, _ := damulticast.NewHub(net.NewTransport("pub"))
+//	sports, _ := pub.Join(ctx, ".news.sports",
+//	    damulticast.WithSuperContacts(".news", "sub"))
+//	sports.Publish(ctx, []byte("goal!"))
+//	ev := <-news.Events() // the event climbs to the supergroup
+//
+// Node is the deprecated single-topic predecessor of Hub, kept as a
+// thin adapter (one hub, one subscription) so existing code compiles.
 //
 // The same protocol engine also powers the round-based simulator that
 // regenerates the paper's figures; see internal/sim and EXPERIMENTS.md.
@@ -38,16 +37,9 @@ package damulticast
 import (
 	"context"
 	"errors"
-	"fmt"
-	"math/rand"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"damulticast/internal/core"
-	"damulticast/internal/ids"
-	"damulticast/internal/topic"
-	"damulticast/internal/xrand"
 )
 
 // Params are the protocol constants; see the package documentation and
@@ -63,13 +55,43 @@ type Event struct {
 	// ID is the globally unique event identifier ("origin#seq").
 	ID string
 	// Topic is the topic the event was published on (always included
-	// by the receiving node's topic).
+	// by the receiving subscription's topic).
 	Topic string
 	// Payload is the application payload.
 	Payload []byte
 }
 
+// Errors. All configuration and lifecycle failures are typed sentinels
+// (possibly wrapped with detail); match with errors.Is.
+var (
+	// ErrNoTransport rejects construction without a Transport.
+	ErrNoTransport = errors.New("damulticast: config needs a Transport")
+	// ErrAlreadyStarted reports a second Start on an already-running
+	// hub or node.
+	ErrAlreadyStarted = errors.New("damulticast: already started")
+	// ErrNotRunning reports an operation on a hub or node that is not
+	// (or no longer) running.
+	ErrNotRunning = errors.New("damulticast: node not running")
+	// ErrInvalidTopic rejects a malformed topic.
+	ErrInvalidTopic = errors.New("damulticast: invalid topic")
+	// ErrInvalidSuperTopic rejects a supertopic that is malformed or
+	// does not strictly include the subscribed topic.
+	ErrInvalidSuperTopic = errors.New("damulticast: invalid super topic")
+	// ErrDuplicateTopic rejects joining a topic the hub is already
+	// subscribed to.
+	ErrDuplicateTopic = errors.New("damulticast: already subscribed to topic")
+)
+
+// ErrAlreadyRunned is the old misspelled name of ErrAlreadyStarted.
+//
+// Deprecated: use ErrAlreadyStarted. Kept as an alias (same value, so
+// errors.Is matches either) for code written against the v1 API.
+var ErrAlreadyRunned = ErrAlreadyStarted
+
 // Config configures a Node.
+//
+// Deprecated: new code should use NewHub with HubOption/JoinOption
+// functional options; Config remains for the Node adapter.
 type Config struct {
 	// ID is the node's process identifier. It must equal the address
 	// other nodes reach it at. Defaults to Transport.Addr().
@@ -105,56 +127,20 @@ type Config struct {
 	Seed int64
 }
 
-// Errors.
-var (
-	ErrNoTransport   = errors.New("damulticast: config needs a Transport")
-	ErrAlreadyRunned = errors.New("damulticast: node already started")
-	ErrNotRunning    = errors.New("damulticast: node not running")
-)
-
-// Node is a live daMulticast process: a goroutine-driven wrapper
-// around the core protocol engine. All methods are safe for concurrent
-// use.
+// Node is a single-topic daMulticast process: a Hub carrying exactly
+// one Subscription, behind the original one-node-one-topic API. All
+// methods are safe for concurrent use.
+//
+// Deprecated: use NewHub and Hub.Join — one hub multiplexes any number
+// of topics over one transport, and its Publish/Leave take contexts.
+// Node remains a supported adapter: NewNode(cfg) is NewHub + one Join.
 type Node struct {
-	cfg    Config
-	id     ids.ProcessID
-	topic  topic.Topic
-	params Params
+	hub *Hub
+	sub *Subscription
 
-	proc *core.Process
-	rng  *rand.Rand
-
-	inbox   chan *core.Message
-	pubCh   chan publishReq
-	leaveCh chan chan struct{}
-	events  chan Event
-
-	seeds []ids.ProcessID
-
-	started atomic.Bool
-	stopped atomic.Bool
-	done    chan struct{}
-	cancel  context.CancelFunc
-
-	mu      sync.Mutex
-	dropped int64 // deliveries dropped because the app fell behind
-
-	// Receive-path loss counters (see onRaw): frames the decoder
-	// rejected, and decoded messages discarded because the inbox was
-	// full. Atomics, because the transport's receive goroutines bump
-	// them while callers read.
-	malformedFrames atomic.Int64
-	overflowFrames  atomic.Int64
-}
-
-type publishReq struct {
-	payload []byte
-	reply   chan publishResult
-}
-
-type publishResult struct {
-	id  string
-	err error
+	// inbox aliases the hub's decoded-frame queue (tests inspect its
+	// capacity and overflow behavior).
+	inbox chan *core.Message
 }
 
 // NewNode validates the configuration and builds a stopped node.
@@ -165,78 +151,33 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.ID == "" {
 		cfg.ID = cfg.Transport.Addr()
 	}
-	tp, err := topic.Parse(cfg.Topic)
-	if err != nil {
-		return nil, fmt.Errorf("damulticast: topic: %w", err)
-	}
-	params := cfg.Params
-	if params == (Params{}) {
-		params = DefaultParams()
-	}
-	// Without an explicit size hint, the configured contacts are the
-	// best lower bound on the group size; sizing the topic table from
-	// them keeps every provided contact instead of evicting to the
-	// minimum view.
-	if params.GroupSizeHint == 0 && len(cfg.GroupContacts) > 0 {
-		params.GroupSizeHint = len(cfg.GroupContacts) + 1
-	}
-	if cfg.TickInterval <= 0 {
-		cfg.TickInterval = 500 * time.Millisecond
-	}
-	if cfg.EventBuffer <= 0 {
-		cfg.EventBuffer = 256
-	}
+	// Zero-value params/tick/buffer fall through to newHub's defaults.
+	// The seed keeps the v1 derivation (from the id alone, not id +
+	// topic) so existing deployments reproduce their streams.
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = int64(len(cfg.ID))*7919 + hashString(cfg.ID)
 	}
-
-	n := &Node{
-		cfg:     cfg,
-		id:      ids.ProcessID(cfg.ID),
-		topic:   tp,
-		params:  params,
-		rng:     rand.New(rand.NewSource(seed)),
-		inbox:   make(chan *core.Message, 1024),
-		pubCh:   make(chan publishReq),
-		leaveCh: make(chan chan struct{}),
-		events:  make(chan Event, cfg.EventBuffer),
-		done:    make(chan struct{}),
-	}
-	for _, s := range cfg.Seeds {
-		if s != cfg.ID {
-			n.seeds = append(n.seeds, ids.ProcessID(s))
-		}
-	}
-
-	proc, err := core.NewProcess(n.id, tp, params, (*nodeEnv)(n))
+	h, err := newHub(cfg.Transport,
+		WithID(cfg.ID),
+		WithParams(cfg.Params),
+		WithTickInterval(cfg.TickInterval),
+		WithEventBuffer(cfg.EventBuffer),
+	)
 	if err != nil {
 		return nil, err
 	}
-	n.proc = proc
-
-	if len(cfg.GroupContacts) > 0 {
-		contacts := make([]ids.ProcessID, 0, len(cfg.GroupContacts))
-		for _, c := range cfg.GroupContacts {
-			contacts = append(contacts, ids.ProcessID(c))
-		}
-		proc.SeedTopicTable(contacts)
+	sub, err := h.prepare(cfg.Topic, joinConfig{
+		seed:          seed,
+		seeds:         cfg.Seeds,
+		groupContacts: cfg.GroupContacts,
+		superTopic:    cfg.SuperTopic,
+		superContacts: cfg.SuperContacts,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(cfg.SuperContacts) > 0 {
-		st, err := topic.Parse(cfg.SuperTopic)
-		if err != nil {
-			return nil, fmt.Errorf("damulticast: super topic: %w", err)
-		}
-		if !st.StrictlyIncludes(tp) {
-			return nil, fmt.Errorf("damulticast: super topic %s does not include %s", st, tp)
-		}
-		contacts := make([]ids.ProcessID, 0, len(cfg.SuperContacts))
-		for _, c := range cfg.SuperContacts {
-			contacts = append(contacts, ids.ProcessID(c))
-		}
-		proc.SeedSuperTable(st, contacts)
-	}
-	return n, nil
+	return &Node{hub: h, sub: sub, inbox: h.inbox}, nil
 }
 
 // hashString is a tiny FNV-style hash for default seeding.
@@ -250,22 +191,18 @@ func hashString(s string) int64 {
 }
 
 // ID returns the node's process id.
-func (n *Node) ID() string { return string(n.id) }
+func (n *Node) ID() string { return n.hub.ID() }
 
 // Topic returns the node's topic.
-func (n *Node) Topic() string { return string(n.topic) }
+func (n *Node) Topic() string { return n.sub.Topic() }
 
 // Events returns the delivery channel. It is closed when the node
 // stops.
-func (n *Node) Events() <-chan Event { return n.events }
+func (n *Node) Events() <-chan Event { return n.sub.Events() }
 
 // DroppedDeliveries reports how many events were discarded because the
 // Events channel was full.
-func (n *Node) DroppedDeliveries() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropped
-}
+func (n *Node) DroppedDeliveries() int64 { return n.sub.DroppedDeliveries() }
 
 // DroppedFrames reports how many inbound frames were discarded before
 // reaching the protocol: malformed frames the decoder rejected plus
@@ -273,16 +210,16 @@ func (n *Node) DroppedDeliveries() int64 {
 // best-effort losses by design, but counting them makes live-node loss
 // diagnosable instead of silent.
 func (n *Node) DroppedFrames() int64 {
-	return n.malformedFrames.Load() + n.overflowFrames.Load()
+	return n.hub.malformedFrames.Load() + n.hub.overflowFrames.Load()
 }
 
 // MalformedFrames reports the decoder-rejected share of DroppedFrames.
-func (n *Node) MalformedFrames() int64 { return n.malformedFrames.Load() }
+func (n *Node) MalformedFrames() int64 { return n.hub.malformedFrames.Load() }
 
 // RecoveryStats returns the anti-entropy recovery counters (all zero
 // unless Params.RecoverPeriod enables the recovery subsystem). Safe
 // for concurrent use.
-func (n *Node) RecoveryStats() core.RecoveryStats { return n.proc.RecoveryStats() }
+func (n *Node) RecoveryStats() core.RecoveryStats { return n.sub.RecoveryStats() }
 
 // NodeStats is a point-in-time snapshot of the node's loss and
 // recovery counters.
@@ -301,72 +238,31 @@ type NodeStats struct {
 // Stats snapshots every node counter in one call.
 func (n *Node) Stats() NodeStats {
 	return NodeStats{
-		DroppedDeliveries: n.DroppedDeliveries(),
-		MalformedFrames:   n.malformedFrames.Load(),
-		OverflowFrames:    n.overflowFrames.Load(),
-		Recovery:          n.proc.RecoveryStats(),
+		DroppedDeliveries: n.sub.DroppedDeliveries(),
+		MalformedFrames:   n.hub.malformedFrames.Load(),
+		OverflowFrames:    n.hub.overflowFrames.Load(),
+		Recovery:          n.sub.RecoveryStats(),
 	}
 }
 
 // Start launches the node's protocol loop. The node stops when ctx is
 // cancelled or Stop is called.
 func (n *Node) Start(ctx context.Context) error {
-	if !n.started.CompareAndSwap(false, true) {
-		return ErrAlreadyRunned
+	if err := n.hub.start(ctx); err != nil {
+		return err
 	}
-	ctx, cancel := context.WithCancel(ctx)
-	n.cancel = cancel
-	n.cfg.Transport.SetHandler(n.onRaw)
-	go n.loop(ctx)
-	return nil
+	return n.hub.register(ctx, n.sub)
 }
 
 // Stop terminates the node and closes its transport and delivery
 // channel. Safe to call multiple times.
-func (n *Node) Stop() error {
-	if !n.started.Load() {
-		return ErrNotRunning
-	}
-	if !n.stopped.CompareAndSwap(false, true) {
-		return nil
-	}
-	n.cancel()
-	<-n.done
-	return n.cfg.Transport.Close()
-}
+func (n *Node) Stop() error { return n.hub.Stop() }
 
 // Publish disseminates an event of the node's topic and returns its
 // id. Blocks until the protocol loop accepts the publication or the
-// node stops.
+// node stops. (Subscription.Publish is the context-aware form.)
 func (n *Node) Publish(payload []byte) (string, error) {
-	if !n.started.Load() {
-		return "", ErrNotRunning
-	}
-	req := publishReq{payload: payload, reply: make(chan publishResult, 1)}
-	select {
-	case n.pubCh <- req:
-	case <-n.done:
-		return "", ErrNotRunning
-	}
-	// Never wait on the reply without a shutdown escape. Today a
-	// successful pubCh send implies the loop committed to servicing it
-	// (the channel is unbuffered and the case body always replies), but
-	// that liveness rests on invariants one refactor away from breaking
-	// — a buffered pubCh, an early return in the loop body — so the
-	// wait is guarded by n.done rather than by convention.
-	select {
-	case res := <-req.reply:
-		return res.id, res.err
-	case <-n.done:
-		// The reply is buffered, so a service that raced the shutdown
-		// may still have landed; prefer it over reporting failure.
-		select {
-		case res := <-req.reply:
-			return res.id, res.err
-		default:
-			return "", ErrNotRunning
-		}
-	}
+	return n.sub.Publish(context.Background(), payload)
 }
 
 // Leave announces a graceful departure to every known peer (they purge
@@ -374,119 +270,11 @@ func (n *Node) Publish(payload []byte) (string, error) {
 // failure suspicion), then stops the node. After Leave the node is
 // stopped; Stop may still be called to release the transport.
 func (n *Node) Leave() error {
-	if !n.started.Load() {
-		return ErrNotRunning
+	if err := n.sub.Leave(context.Background()); err != nil {
+		return err
 	}
-	ack := make(chan struct{})
-	select {
-	case n.leaveCh <- ack:
-		// Same rationale as Publish's reply wait: never block on the
-		// ack without a shutdown escape.
-		select {
-		case <-ack:
-		case <-n.done:
-		}
-	case <-n.done:
-		return ErrNotRunning
-	}
-	return n.Stop()
+	return n.hub.Stop()
 }
 
-// onRaw is the transport receive callback: decode and enqueue,
-// dropping when the inbox overflows (channels are best-effort). Drops
-// are counted, never silent: see DroppedFrames.
-func (n *Node) onRaw(payload []byte) {
-	m, err := decodeMessage(payload)
-	if err != nil {
-		n.malformedFrames.Add(1)
-		return
-	}
-	select {
-	case n.inbox <- m:
-	default:
-		n.overflowFrames.Add(1)
-	}
-}
-
-// loop owns the core.Process: all protocol state is touched only here.
-func (n *Node) loop(ctx context.Context) {
-	defer close(n.done)
-	defer close(n.events)
-
-	// Bootstrap: without provided super contacts, search for them.
-	if !n.topic.IsRoot() && len(n.cfg.SuperContacts) == 0 {
-		n.proc.StartFindSuperContact()
-	}
-
-	ticker := time.NewTicker(n.cfg.TickInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case m := <-n.inbox:
-			n.proc.HandleMessage(m)
-		case req := <-n.pubCh:
-			ev, err := n.proc.Publish(req.payload)
-			if err != nil {
-				req.reply <- publishResult{err: err}
-				continue
-			}
-			req.reply <- publishResult{id: ev.ID.String()}
-		case ack := <-n.leaveCh:
-			n.proc.Leave()
-			close(ack)
-		case <-ticker.C:
-			n.proc.Tick()
-		}
-	}
-}
-
-// nodeEnv adapts *Node to core.Env. Methods run on the loop goroutine.
-type nodeEnv Node
-
-func (e *nodeEnv) Send(to ids.ProcessID, m *core.Message) {
-	buf := getEncBuf()
-	buf.b = appendMessage(buf.b, m)
-	// Transport errors are best-effort losses by design. Transports
-	// must not retain the payload, so the buffer is safe to reuse.
-	_ = e.cfg.Transport.Send(string(to), buf.b)
-	putEncBuf(buf)
-}
-
-// SendBatch implements core.SendBatcher: the message is serialized
-// exactly once, and the same pooled frame goes out to every target.
-func (e *nodeEnv) SendBatch(targets []ids.ProcessID, m *core.Message) {
-	buf := getEncBuf()
-	buf.b = appendMessage(buf.b, m)
-	for _, to := range targets {
-		_ = e.cfg.Transport.Send(string(to), buf.b)
-	}
-	putEncBuf(buf)
-}
-
-func (e *nodeEnv) Deliver(ev *core.Event) {
-	out := Event{
-		ID:      ev.ID.String(),
-		Topic:   string(ev.Topic),
-		Payload: ev.Payload,
-	}
-	select {
-	case e.events <- out:
-	default:
-		e.mu.Lock()
-		e.dropped++
-		e.mu.Unlock()
-	}
-}
-
-func (e *nodeEnv) Neighborhood(k int) []ids.ProcessID {
-	// The bootstrap overlay is the configured seeds plus whatever
-	// group mates we already know.
-	pool := make([]ids.ProcessID, 0, len(e.seeds)+8)
-	pool = append(pool, e.seeds...)
-	pool = append(pool, e.proc.TopicTable()...)
-	return xrand.SampleIDs(e.rng, pool, k)
-}
-
-func (e *nodeEnv) Rand() *rand.Rand { return e.rng }
+// onRaw is the transport receive callback (tests feed it directly).
+func (n *Node) onRaw(payload []byte) { n.hub.onRaw(payload) }

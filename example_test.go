@@ -8,19 +8,28 @@ import (
 	"damulticast"
 )
 
-// ExampleNode shows the minimal publisher/subscriber pair: the
-// subscriber is interested in ".news" and receives an event published
-// on the subtopic ".news.sports".
-func ExampleNode() {
+// ExampleHub shows the multi-topic API: one hub subscribes to two
+// unrelated topics over a single transport endpoint, and a publisher
+// in the ".news.sports" subgroup reaches its ".news" subscription
+// while the ".market" subscription stays silent.
+func ExampleHub() {
 	net := damulticast.NewMemNetwork()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
 
-	sub, err := damulticast.NewNode(damulticast.Config{
-		ID:        "sub",
-		Topic:     ".news",
-		Transport: net.NewTransport("sub"),
-	})
+	hub, err := damulticast.NewHub(net.NewTransport("hub"))
 	if err != nil {
-		fmt.Println("new sub:", err)
+		fmt.Println("new hub:", err)
+		return
+	}
+	defer func() { _ = hub.Stop() }()
+	news, err := hub.Join(ctx, ".news")
+	if err != nil {
+		fmt.Println("join news:", err)
+		return
+	}
+	if _, err := hub.Join(ctx, ".market"); err != nil {
+		fmt.Println("join market:", err)
 		return
 	}
 
@@ -28,37 +37,26 @@ func ExampleNode() {
 	// example; production deployments keep the probabilistic default.
 	params := damulticast.DefaultParams()
 	params.A = float64(params.Z)
-	pub, err := damulticast.NewNode(damulticast.Config{
-		ID:            "pub",
-		Topic:         ".news.sports",
-		Transport:     net.NewTransport("pub"),
-		Params:        params,
-		SuperTopic:    ".news",
-		SuperContacts: []string{"sub"},
-	})
+	pubHub, err := damulticast.NewHub(net.NewTransport("pub"),
+		damulticast.WithParams(params))
 	if err != nil {
 		fmt.Println("new pub:", err)
 		return
 	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := sub.Start(ctx); err != nil {
-		fmt.Println("start sub:", err)
+	defer func() { _ = pubHub.Stop() }()
+	sports, err := pubHub.Join(ctx, ".news.sports",
+		damulticast.WithSuperContacts(".news", "hub"))
+	if err != nil {
+		fmt.Println("join sports:", err)
 		return
 	}
-	if err := pub.Start(ctx); err != nil {
-		fmt.Println("start pub:", err)
-		return
-	}
-	defer func() { _ = sub.Stop(); _ = pub.Stop() }()
 
-	if _, err := pub.Publish([]byte("goal!")); err != nil {
+	if _, err := sports.Publish(ctx, []byte("goal!")); err != nil {
 		fmt.Println("publish:", err)
 		return
 	}
 	select {
-	case ev := <-sub.Events():
+	case ev := <-news.Events():
 		fmt.Printf("received %q on %s\n", ev.Payload, ev.Topic)
 	case <-ctx.Done():
 		fmt.Println("timeout")
@@ -66,7 +64,7 @@ func ExampleNode() {
 	// Output: received "goal!" on .news.sports
 }
 
-// ExampleNewTCPTransport shows wiring two nodes over loopback TCP.
+// ExampleNewTCPTransport shows wiring two hubs over loopback TCP.
 func ExampleNewTCPTransport() {
 	ta, err := damulticast.NewTCPTransport("127.0.0.1:0")
 	if err != nil {
@@ -78,34 +76,33 @@ func ExampleNewTCPTransport() {
 		fmt.Println(err)
 		return
 	}
-	sub, err := damulticast.NewNode(damulticast.Config{
-		Topic: ".metrics", Transport: ta,
-	})
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
-	pub, err := damulticast.NewNode(damulticast.Config{
-		Topic: ".metrics", Transport: tb,
-		GroupContacts: []string{ta.Addr()},
-	})
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := sub.Start(ctx); err != nil {
+	subHub, err := damulticast.NewHub(ta)
+	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	if err := pub.Start(ctx); err != nil {
+	defer func() { _ = subHub.Stop() }()
+	sub, err := subHub.Join(ctx, ".metrics")
+	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	defer func() { _ = sub.Stop(); _ = pub.Stop() }()
+	pubHub, err := damulticast.NewHub(tb)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = pubHub.Stop() }()
+	pub, err := pubHub.Join(ctx, ".metrics",
+		damulticast.WithGroupContacts(ta.Addr()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 
-	if _, err := pub.Publish([]byte("cpu=42")); err != nil {
+	if _, err := pub.Publish(ctx, []byte("cpu=42")); err != nil {
 		fmt.Println(err)
 		return
 	}

@@ -5,7 +5,7 @@
 //	│   └── .news.sports.football
 //	└── .news.politics
 //
-// with a group of nodes per topic. An event published on
+// with a group of hubs per topic. An event published on
 // .news.sports.football is delivered to every football, sports and
 // news subscriber — and to NO politics subscriber (the paper's
 // zero-parasite property). The demo prints the delivery matrix.
@@ -28,7 +28,7 @@ const groupSize = 4
 
 type group struct {
 	topic string
-	nodes []*damulticast.Node
+	subs  []*damulticast.Subscription
 }
 
 func main() {
@@ -63,32 +63,35 @@ func run() error {
 	}
 
 	groups := map[string]*group{}
+	var hubs []*damulticast.Hub
+	defer func() {
+		for _, h := range hubs {
+			_ = h.Stop()
+		}
+	}()
 	for _, tp := range topics {
 		g := &group{topic: tp}
 		ids := names(tp)
 		for i, id := range ids {
 			others := append(append([]string{}, ids[:i]...), ids[i+1:]...)
-			cfg := damulticast.Config{
-				ID:            id,
-				Topic:         tp,
-				Transport:     net.NewTransport(id),
-				Params:        params,
-				GroupContacts: others,
-				TickInterval:  50 * time.Millisecond,
-			}
-			if sup, ok := superOf[tp]; ok {
-				cfg.SuperTopic = sup
-				cfg.SuperContacts = names(sup)
-			}
-			n, err := damulticast.NewNode(cfg)
+			hub, err := damulticast.NewHub(net.NewTransport(id),
+				damulticast.WithParams(params),
+				damulticast.WithTickInterval(50*time.Millisecond),
+				damulticast.WithContext(ctx),
+			)
 			if err != nil {
 				return err
 			}
-			if err := n.Start(ctx); err != nil {
+			hubs = append(hubs, hub)
+			opts := []damulticast.JoinOption{damulticast.WithGroupContacts(others...)}
+			if sup, ok := superOf[tp]; ok {
+				opts = append(opts, damulticast.WithSuperContacts(sup, names(sup)...))
+			}
+			sub, err := hub.Join(ctx, tp, opts...)
+			if err != nil {
 				return err
 			}
-			defer func(n *damulticast.Node) { _ = n.Stop() }(n)
-			g.nodes = append(g.nodes, n)
+			g.subs = append(g.subs, sub)
 		}
 		groups[tp] = g
 	}
@@ -98,13 +101,13 @@ func run() error {
 	received := map[string]int{}
 	var wg sync.WaitGroup
 	for _, g := range groups {
-		for _, n := range g.nodes {
+		for _, sub := range g.subs {
 			wg.Add(1)
-			go func(tp string, n *damulticast.Node) {
+			go func(tp string, sub *damulticast.Subscription) {
 				defer wg.Done()
 				for {
 					select {
-					case ev, ok := <-n.Events():
+					case ev, ok := <-sub.Events():
 						if !ok {
 							return
 						}
@@ -116,11 +119,11 @@ func run() error {
 						return
 					}
 				}
-			}(g.topic, n)
+			}(g.topic, sub)
 		}
 	}
 
-	id, err := groups[".news.sports.football"].nodes[0].Publish(
+	id, err := groups[".news.sports.football"].subs[0].Publish(ctx,
 		[]byte("89' — decisive goal in the derby"))
 	if err != nil {
 		return err

@@ -1,8 +1,10 @@
 // Quickstart: a publisher and two subscribers on one machine, using
-// the in-memory transport. The subscribers are interested in ".news"
-// and therefore receive events published on the subtopic
-// ".news.sports" — dissemination climbs the topic hierarchy without
-// any broker.
+// the in-memory transport and the Hub API. The subscribers are
+// interested in ".news" and therefore receive events published on the
+// subtopic ".news.sports" — dissemination climbs the topic hierarchy
+// without any broker. The publishing hub also demonstrates multi-topic
+// multiplexing: it subscribes to ".market" over the same endpoint it
+// publishes ".news.sports" events from.
 //
 //	go run ./examples/quickstart
 package main
@@ -27,15 +29,16 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
-	// Two subscribers form the ".news" group; each knows the other.
-	mkSub := func(id, other string) (*damulticast.Node, error) {
-		return damulticast.NewNode(damulticast.Config{
-			ID:            id,
-			Topic:         ".news",
-			Transport:     net.NewTransport(id),
-			GroupContacts: []string{other},
-			TickInterval:  50 * time.Millisecond,
-		})
+	// Two subscriber hubs form the ".news" group; each knows the other.
+	mkSub := func(id, other string) (*damulticast.Subscription, error) {
+		hub, err := damulticast.NewHub(net.NewTransport(id),
+			damulticast.WithTickInterval(50*time.Millisecond),
+			damulticast.WithContext(ctx),
+		)
+		if err != nil {
+			return nil, err
+		}
+		return hub.Join(ctx, ".news", damulticast.WithGroupContacts(other))
 	}
 	sub1, err := mkSub("sub1", "sub2")
 	if err != nil {
@@ -46,45 +49,45 @@ func run() error {
 		return err
 	}
 
-	// The publisher forms the ".news.sports" group and links to the
+	// The publishing hub joins ".news.sports" and links to the
 	// supergroup via explicit contacts (skipping the bootstrap
 	// search). a=z forces every upward link to fire, handy for a
 	// deterministic demo.
 	params := damulticast.DefaultParams()
 	params.A = float64(params.Z)
-	pub, err := damulticast.NewNode(damulticast.Config{
-		ID:            "pub",
-		Topic:         ".news.sports",
-		Transport:     net.NewTransport("pub"),
-		Params:        params,
-		SuperTopic:    ".news",
-		SuperContacts: []string{"sub1", "sub2"},
-		TickInterval:  50 * time.Millisecond,
-	})
+	pubHub, err := damulticast.NewHub(net.NewTransport("pub"),
+		damulticast.WithParams(params),
+		damulticast.WithTickInterval(50*time.Millisecond),
+		damulticast.WithContext(ctx),
+	)
 	if err != nil {
 		return err
 	}
-
-	for _, n := range []*damulticast.Node{sub1, sub2, pub} {
-		if err := n.Start(ctx); err != nil {
-			return err
-		}
-		defer func(n *damulticast.Node) { _ = n.Stop() }(n)
-	}
-
-	id, err := pub.Publish([]byte("kickoff at 20:45"))
+	defer func() { _ = pubHub.Stop() }()
+	sports, err := pubHub.Join(ctx, ".news.sports",
+		damulticast.WithSuperContacts(".news", "sub1", "sub2"))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("published event %s on %s\n", id, pub.Topic())
+	// One endpoint, many topics: the same hub also subscribes to an
+	// unrelated group over the same transport.
+	if _, err := pubHub.Join(ctx, ".market"); err != nil {
+		return err
+	}
 
-	for _, sub := range []*damulticast.Node{sub1, sub2} {
+	id, err := sports.Publish(ctx, []byte("kickoff at 20:45"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published event %s on %s\n", id, sports.Topic())
+
+	for _, sub := range []*damulticast.Subscription{sub1, sub2} {
 		select {
 		case ev := <-sub.Events():
 			fmt.Printf("%s received [%s] %q (event %s)\n",
-				sub.ID(), ev.Topic, ev.Payload, ev.ID)
+				sub.Topic(), ev.Topic, ev.Payload, ev.ID)
 		case <-ctx.Done():
-			return fmt.Errorf("%s never received the event", sub.ID())
+			return fmt.Errorf("%s never received the event", sub.Topic())
 		}
 	}
 	return nil

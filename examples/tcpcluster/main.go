@@ -2,8 +2,8 @@
 // sockets on localhost — a ".sensors" aggregation group and a
 // ".sensors.rack42" group of sensor publishers. Each sensor publishes
 // a reading; the aggregators receive everything, demonstrating the
-// live runtime end to end (JSON frames, length-prefixed TCP, lazy
-// connection pooling).
+// live runtime end to end (binary frames, length-prefixed TCP, lazy
+// connection pooling, one hub per endpoint).
 //
 //	go run ./examples/tcpcluster
 package main
@@ -34,72 +34,74 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
 
-	// Aggregators: the ".sensors" supergroup.
-	var aggAddrs []string
-	var aggs []*damulticast.Node
-	for i := 0; i < numAggregators; i++ {
+	var hubs []*damulticast.Hub
+	defer func() {
+		for _, h := range hubs {
+			_ = h.Stop()
+		}
+	}()
+	mkHub := func(params damulticast.Params) (*damulticast.Hub, error) {
 		tr, err := damulticast.NewTCPTransport("127.0.0.1:0")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		aggAddrs = append(aggAddrs, tr.Addr())
-		n, err := damulticast.NewNode(damulticast.Config{
-			Topic:        ".sensors",
-			Transport:    tr,
-			TickInterval: 50 * time.Millisecond,
-		})
+		hub, err := damulticast.NewHub(tr,
+			damulticast.WithParams(params),
+			damulticast.WithTickInterval(50*time.Millisecond),
+			damulticast.WithContext(ctx),
+		)
+		if err != nil {
+			return nil, err
+		}
+		hubs = append(hubs, hub)
+		return hub, nil
+	}
+
+	// Aggregators: the ".sensors" supergroup.
+	var aggAddrs []string
+	var aggs []*damulticast.Subscription
+	for i := 0; i < numAggregators; i++ {
+		hub, err := mkHub(damulticast.DefaultParams())
 		if err != nil {
 			return err
 		}
-		aggs = append(aggs, n)
-	}
-	// Tell each aggregator about its group mates, then start.
-	for i, n := range aggs {
-		_ = i
-		if err := n.Start(ctx); err != nil {
+		sub, err := hub.Join(ctx, ".sensors")
+		if err != nil {
 			return err
 		}
-		defer func(n *damulticast.Node) { _ = n.Stop() }(n)
+		aggAddrs = append(aggAddrs, hub.Addr())
+		aggs = append(aggs, sub)
 	}
 
 	// Sensors: the ".sensors.rack42" subgroup, linked upward.
 	params := damulticast.DefaultParams()
 	params.G = 1 << 20           // every sensor self-elects
 	params.A = float64(params.Z) // every upward link fires
-	var sensors []*damulticast.Node
+	var sensors []*damulticast.Subscription
 	var sensorAddrs []string
 	for i := 0; i < numSensors; i++ {
-		tr, err := damulticast.NewTCPTransport("127.0.0.1:0")
+		hub, err := mkHub(params)
 		if err != nil {
 			return err
 		}
-		sensorAddrs = append(sensorAddrs, tr.Addr())
-		n, err := damulticast.NewNode(damulticast.Config{
-			Topic:         ".sensors.rack42",
-			Transport:     tr,
-			Params:        params,
-			GroupContacts: sensorAddrs[:i], // earlier sensors
-			SuperTopic:    ".sensors",
-			SuperContacts: aggAddrs,
-			TickInterval:  50 * time.Millisecond,
-		})
+		sub, err := hub.Join(ctx, ".sensors.rack42",
+			damulticast.WithGroupContacts(sensorAddrs...), // earlier sensors
+			damulticast.WithSuperContacts(".sensors", aggAddrs...),
+		)
 		if err != nil {
 			return err
 		}
-		if err := n.Start(ctx); err != nil {
-			return err
-		}
-		defer func(n *damulticast.Node) { _ = n.Stop() }(n)
-		sensors = append(sensors, n)
+		sensorAddrs = append(sensorAddrs, hub.Addr())
+		sensors = append(sensors, sub)
 	}
 
 	// Collect aggregator deliveries.
 	var mu sync.Mutex
-	got := map[string]int{}
+	got := map[int]int{}
 	var wg sync.WaitGroup
-	for _, a := range aggs {
+	for i, a := range aggs {
 		wg.Add(1)
-		go func(a *damulticast.Node) {
+		go func(i int, a *damulticast.Subscription) {
 			defer wg.Done()
 			for {
 				select {
@@ -108,14 +110,14 @@ func run() error {
 						return
 					}
 					mu.Lock()
-					got[a.ID()]++
+					got[i]++
 					mu.Unlock()
-					fmt.Printf("aggregator %s <- [%s] %s\n", a.ID(), ev.Topic, ev.Payload)
+					fmt.Printf("aggregator %s <- [%s] %s\n", aggAddrs[i], ev.Topic, ev.Payload)
 				case <-ctx.Done():
 					return
 				}
 			}
-		}(a)
+		}(i, a)
 	}
 
 	// Each sensor publishes a few readings.
@@ -123,7 +125,7 @@ func run() error {
 	for round := 0; round < readings; round++ {
 		for i, s := range sensors {
 			payload := fmt.Sprintf("temp[%d]=%d.%dC", i, 20+round, i)
-			if _, err := s.Publish([]byte(payload)); err != nil {
+			if _, err := s.Publish(ctx, []byte(payload)); err != nil {
 				return err
 			}
 			total++

@@ -1,0 +1,609 @@
+package damulticast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"damulticast/internal/core"
+	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+	"damulticast/internal/xrand"
+)
+
+// Hub is one daMulticast endpoint hosting any number of topic
+// subscriptions over a single transport: one socket, one inbox loop,
+// one maintenance ticker, N topic groups. Per the paper's memory
+// bound, each subscription costs ln(S)+c+z table entries regardless of
+// the hierarchy's size — the hub makes the transport side match, so an
+// application interested in ".news", ".news.sports" and ".market.nyse"
+// runs one endpoint instead of three.
+//
+// Inbound frames carry the destination group's topic (the wire demux
+// field of codec v3) and are routed to the matching subscription's
+// protocol process; frames for groups the hub is not subscribed to are
+// counted and dropped, never misdelivered. All methods are safe for
+// concurrent use.
+//
+// A Hub returned by NewHub is live immediately: Join subscriptions,
+// Publish through them, and Stop the hub when done. Note that
+// subscriptions of one hub are distinct group members that happen to
+// share an address; a subscription cannot serve as another local
+// subscription's supergroup contact (membership views never admit
+// their own endpoint) — parent and child groups within one OS process
+// need distinct transports, as before.
+type Hub struct {
+	transport Transport
+	id        ids.ProcessID
+	params    Params
+	baseSeed  int64
+	tick      time.Duration
+	eventBuf  int
+	baseCtx   context.Context
+
+	inbox   chan *core.Message
+	pubCh   chan pubReq
+	joinCh  chan joinReq
+	leaveCh chan leaveReq
+
+	started atomic.Bool
+	stopped atomic.Bool
+	done    chan struct{}
+	cancel  context.CancelFunc
+
+	// Receive-path loss counters: frames the decoder rejected, decoded
+	// messages discarded on inbox overflow, and decoded messages no
+	// subscription claimed (traffic for groups this hub is not in).
+	// All best-effort losses by design, all counted, never silent.
+	malformedFrames atomic.Int64
+	overflowFrames  atomic.Int64
+	unroutedFrames  atomic.Int64
+
+	mu   sync.Mutex
+	subs map[topic.Topic]*Subscription
+}
+
+// Subscription is one topic membership of a Hub: a live protocol
+// process gossiping in its topic group, delivering that group's events
+// on its own channel. Obtained from Hub.Join; ended by Leave (the hub
+// and its other subscriptions keep running) or by stopping the hub.
+// All methods are safe for concurrent use.
+type Subscription struct {
+	hub       *Hub
+	topic     topic.Topic
+	proc      *core.Process
+	rng       *rand.Rand
+	seeds     []ids.ProcessID
+	events    chan Event
+	findSuper bool
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	dropped int64 // deliveries dropped because the app fell behind
+}
+
+type pubReq struct {
+	sub     *Subscription
+	payload []byte
+	reply   chan pubResult
+}
+
+type pubResult struct {
+	id  string
+	err error
+}
+
+type joinReq struct {
+	sub   *Subscription
+	reply chan error
+}
+
+type leaveReq struct {
+	sub   *Subscription
+	reply chan error
+}
+
+// NewHub builds a hub over transport and starts its inbox loop. The
+// returned hub is live: Join subscriptions next. Stop releases the
+// transport.
+func NewHub(transport Transport, opts ...HubOption) (*Hub, error) {
+	h, err := newHub(transport, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.start(h.baseCtx); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// newHub validates configuration and builds a stopped hub (the Node
+// adapter starts it at Node.Start; NewHub starts it immediately).
+func newHub(transport Transport, opts ...HubOption) (*Hub, error) {
+	if transport == nil {
+		return nil, ErrNoTransport
+	}
+	cfg := hubConfig{
+		params:   DefaultParams(),
+		tick:     500 * time.Millisecond,
+		eventBuf: 256,
+		ctx:      context.Background(),
+	}
+	for _, o := range opts {
+		o.applyHub(&cfg)
+	}
+	if cfg.id == "" {
+		cfg.id = transport.Addr()
+	}
+	if cfg.params == (Params{}) {
+		cfg.params = DefaultParams()
+	}
+	if cfg.tick <= 0 {
+		cfg.tick = 500 * time.Millisecond
+	}
+	if cfg.eventBuf <= 0 {
+		cfg.eventBuf = 256
+	}
+	return &Hub{
+		transport: transport,
+		id:        ids.ProcessID(cfg.id),
+		params:    cfg.params,
+		baseSeed:  cfg.seed,
+		tick:      cfg.tick,
+		eventBuf:  cfg.eventBuf,
+		baseCtx:   cfg.ctx,
+		inbox:     make(chan *core.Message, 1024),
+		pubCh:     make(chan pubReq),
+		joinCh:    make(chan joinReq),
+		leaveCh:   make(chan leaveReq),
+		done:      make(chan struct{}),
+		subs:      make(map[topic.Topic]*Subscription),
+	}, nil
+}
+
+// ID returns the hub's process id (shared by all its subscriptions).
+func (h *Hub) ID() string { return string(h.id) }
+
+// Addr returns the transport address peers reach this hub at.
+func (h *Hub) Addr() string { return h.transport.Addr() }
+
+// start launches the inbox loop. The hub stops when ctx is cancelled
+// or Stop is called.
+func (h *Hub) start(ctx context.Context) error {
+	if !h.started.CompareAndSwap(false, true) {
+		return ErrAlreadyStarted
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	h.cancel = cancel
+	h.transport.SetHandler(h.onRaw)
+	go h.loop(ctx)
+	return nil
+}
+
+// Stop terminates the hub: every subscription's delivery channel is
+// closed and the transport is released. Safe to call multiple times.
+func (h *Hub) Stop() error {
+	if !h.started.Load() {
+		return ErrNotRunning
+	}
+	if !h.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	h.cancel()
+	<-h.done
+	return h.transport.Close()
+}
+
+// Join subscribes the hub to a topic of the hierarchy and returns the
+// live Subscription. ctx bounds the handshake with the hub's loop
+// (joining an unresponsive — e.g. concurrently stopping — hub returns
+// promptly); the subscription itself lives until Leave or Stop.
+// Joining a topic the hub is already subscribed to fails with
+// ErrDuplicateTopic.
+func (h *Hub) Join(ctx context.Context, topicStr string, opts ...JoinOption) (*Subscription, error) {
+	var jc joinConfig
+	for _, o := range opts {
+		o.applyJoin(&jc)
+	}
+	sub, err := h.prepare(topicStr, jc)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.register(ctx, sub); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// prepare validates a join and builds the subscription with its
+// protocol process, without touching the loop (the Node adapter
+// prepares at NewNode and registers at Start).
+func (h *Hub) prepare(topicStr string, jc joinConfig) (*Subscription, error) {
+	tp, err := topic.Parse(topicStr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidTopic, err)
+	}
+	params := h.params
+	if jc.params != nil {
+		params = *jc.params
+	}
+	if params == (Params{}) {
+		params = DefaultParams()
+	}
+	// Without an explicit size hint, the configured contacts are the
+	// best lower bound on the group size; sizing the topic table from
+	// them keeps every provided contact instead of evicting to the
+	// minimum view.
+	if params.GroupSizeHint == 0 && len(jc.groupContacts) > 0 {
+		params.GroupSizeHint = len(jc.groupContacts) + 1
+	}
+	eventBuf := h.eventBuf
+	if jc.eventBuf > 0 {
+		eventBuf = jc.eventBuf
+	}
+	seed := jc.seed
+	if seed == 0 {
+		if h.baseSeed != 0 {
+			seed = xrand.SeedFor(h.baseSeed, "sub:"+string(tp))
+		} else {
+			key := string(h.id) + string(tp)
+			seed = int64(len(key))*7919 + hashString(key)
+		}
+	}
+	sub := &Subscription{
+		hub:    h,
+		topic:  tp,
+		rng:    rand.New(rand.NewSource(seed)),
+		events: make(chan Event, eventBuf),
+	}
+	for _, s := range jc.seeds {
+		if s != string(h.id) {
+			sub.seeds = append(sub.seeds, ids.ProcessID(s))
+		}
+	}
+	proc, err := core.NewProcess(h.id, tp, params, (*subEnv)(sub))
+	if err != nil {
+		return nil, err
+	}
+	sub.proc = proc
+	if len(jc.groupContacts) > 0 {
+		contacts := make([]ids.ProcessID, 0, len(jc.groupContacts))
+		for _, c := range jc.groupContacts {
+			contacts = append(contacts, ids.ProcessID(c))
+		}
+		proc.SeedTopicTable(contacts)
+	}
+	if len(jc.superContacts) > 0 {
+		st, err := topic.Parse(jc.superTopic)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidSuperTopic, err)
+		}
+		if !st.StrictlyIncludes(tp) {
+			return nil, fmt.Errorf("%w: %s does not include %s", ErrInvalidSuperTopic, st, tp)
+		}
+		contacts := make([]ids.ProcessID, 0, len(jc.superContacts))
+		for _, c := range jc.superContacts {
+			contacts = append(contacts, ids.ProcessID(c))
+		}
+		proc.SeedSuperTable(st, contacts)
+	}
+	// Bootstrap: without provided super contacts, search for them once
+	// the subscription registers with the loop.
+	sub.findSuper = !tp.IsRoot() && len(jc.superContacts) == 0
+	return sub, nil
+}
+
+// register hands a prepared subscription to the loop. ctx bounds the
+// wait for the loop to accept the request; once accepted, registration
+// completes promptly.
+func (h *Hub) register(ctx context.Context, sub *Subscription) error {
+	if !h.started.Load() {
+		return ErrNotRunning
+	}
+	req := joinReq{sub: sub, reply: make(chan error, 1)}
+	select {
+	case h.joinCh <- req:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-h.done:
+		return ErrNotRunning
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-h.done:
+		return ErrNotRunning
+	}
+}
+
+// onRaw is the transport receive callback: decode and enqueue,
+// dropping when the inbox overflows (channels are best-effort). Drops
+// are counted, never silent: see Stats.
+func (h *Hub) onRaw(payload []byte) {
+	m, err := decodeMessage(payload)
+	if err != nil {
+		h.malformedFrames.Add(1)
+		return
+	}
+	select {
+	case h.inbox <- m:
+	default:
+		h.overflowFrames.Add(1)
+	}
+}
+
+// loop owns every subscription's core.Process (via the registry): all
+// protocol state is touched only here.
+func (h *Hub) loop(ctx context.Context) {
+	reg := core.NewRegistry()
+	defer func() {
+		h.mu.Lock()
+		subs := make([]*Subscription, 0, len(h.subs))
+		for _, s := range h.subs {
+			subs = append(subs, s)
+		}
+		h.mu.Unlock()
+		for _, s := range subs {
+			s.closeEvents()
+		}
+		close(h.done)
+	}()
+
+	ticker := time.NewTicker(h.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-h.inbox:
+			if !reg.Handle(m) {
+				h.unroutedFrames.Add(1)
+			}
+		case req := <-h.pubCh:
+			ev, err := req.sub.proc.Publish(req.payload)
+			if err != nil {
+				// The engine's stopped sentinel is internal; surface the
+				// exported lifecycle sentinel so callers outside this
+				// module can errors.Is it.
+				if errors.Is(err, core.ErrStopped) {
+					err = fmt.Errorf("%w: subscription has left", ErrNotRunning)
+				}
+				req.reply <- pubResult{err: err}
+				continue
+			}
+			req.reply <- pubResult{id: ev.ID.String()}
+		case req := <-h.joinCh:
+			sub := req.sub
+			if err := reg.Add(sub.proc); err != nil {
+				req.reply <- fmt.Errorf("%w: %s", ErrDuplicateTopic, sub.topic)
+				continue
+			}
+			h.mu.Lock()
+			h.subs[sub.topic] = sub
+			h.mu.Unlock()
+			if sub.findSuper {
+				sub.proc.StartFindSuperContact()
+			}
+			req.reply <- nil
+		case req := <-h.leaveCh:
+			sub := req.sub
+			if reg.Get(sub.topic) != sub.proc {
+				req.reply <- ErrNotRunning // already left
+				continue
+			}
+			sub.proc.Leave()
+			reg.Remove(sub.topic)
+			h.mu.Lock()
+			delete(h.subs, sub.topic)
+			h.mu.Unlock()
+			sub.closeEvents()
+			req.reply <- nil
+		case <-ticker.C:
+			reg.Tick()
+		}
+	}
+}
+
+// Topic returns the subscription's topic.
+func (s *Subscription) Topic() string { return string(s.topic) }
+
+// Events returns the subscription's delivery channel. It is closed
+// when the subscription leaves or the hub stops.
+func (s *Subscription) Events() <-chan Event { return s.events }
+
+// DroppedDeliveries reports how many events were discarded because the
+// Events channel was full.
+func (s *Subscription) DroppedDeliveries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// RecoveryStats returns the subscription's anti-entropy recovery
+// counters (all zero unless Params.RecoverPeriod enables recovery).
+func (s *Subscription) RecoveryStats() core.RecoveryStats { return s.proc.RecoveryStats() }
+
+// Publish disseminates an event of the subscription's topic and
+// returns its id. It blocks until the hub's loop accepts the
+// publication, ctx is done, or the hub stops — a publish stuck behind
+// a wedged loop returns promptly with ctx.Err().
+func (s *Subscription) Publish(ctx context.Context, payload []byte) (string, error) {
+	h := s.hub
+	if !h.started.Load() {
+		return "", ErrNotRunning
+	}
+	req := pubReq{sub: s, payload: payload, reply: make(chan pubResult, 1)}
+	select {
+	case h.pubCh <- req:
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case <-h.done:
+		return "", ErrNotRunning
+	}
+	select {
+	case res := <-req.reply:
+		return res.id, res.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case <-h.done:
+		// The reply is buffered, so a service that raced the shutdown
+		// may still have landed; prefer it over reporting failure.
+		select {
+		case res := <-req.reply:
+			return res.id, res.err
+		default:
+			return "", ErrNotRunning
+		}
+	}
+}
+
+// Leave announces a graceful departure to every known peer of this
+// subscription's groups (they purge this endpoint immediately instead
+// of waiting out failure suspicion), closes the subscription's Events
+// channel and removes it from the hub. The hub and its other
+// subscriptions are undisturbed. ctx bounds the handshake with the
+// hub's loop. Leaving twice, or after the hub stopped, returns
+// ErrNotRunning.
+func (s *Subscription) Leave(ctx context.Context) error {
+	h := s.hub
+	if !h.started.Load() {
+		return ErrNotRunning
+	}
+	req := leaveReq{sub: s, reply: make(chan error, 1)}
+	select {
+	case h.leaveCh <- req:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-h.done:
+		return ErrNotRunning
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-h.done:
+		return ErrNotRunning
+	}
+}
+
+// closeEvents closes the delivery channel exactly once (Leave and hub
+// shutdown may race).
+func (s *Subscription) closeEvents() {
+	s.closeOnce.Do(func() { close(s.events) })
+}
+
+// SubscriptionStats is a point-in-time snapshot of one subscription's
+// counters.
+type SubscriptionStats struct {
+	// Topic is the subscription's topic.
+	Topic string
+	// DroppedDeliveries counts events discarded because the
+	// application fell behind the Events channel.
+	DroppedDeliveries int64
+	// Recovery holds the anti-entropy recovery counters.
+	Recovery core.RecoveryStats
+}
+
+// Stats snapshots the subscription's counters.
+func (s *Subscription) Stats() SubscriptionStats {
+	return SubscriptionStats{
+		Topic:             string(s.topic),
+		DroppedDeliveries: s.DroppedDeliveries(),
+		Recovery:          s.proc.RecoveryStats(),
+	}
+}
+
+// HubStats aggregates every counter of a hub and its live
+// subscriptions in one call.
+type HubStats struct {
+	// MalformedFrames counts inbound frames the wire decoder rejected.
+	MalformedFrames int64
+	// OverflowFrames counts decoded messages dropped on inbox
+	// overflow.
+	OverflowFrames int64
+	// UnroutedFrames counts decoded messages no subscription claimed
+	// (traffic for groups this hub is not — or no longer — in).
+	UnroutedFrames int64
+	// DroppedDeliveries sums the per-subscription delivery drops.
+	DroppedDeliveries int64
+	// Subscriptions holds one snapshot per live subscription, sorted
+	// by topic.
+	Subscriptions []SubscriptionStats
+}
+
+// Stats snapshots the hub's receive-path counters and every live
+// subscription's counters.
+func (h *Hub) Stats() HubStats {
+	st := HubStats{
+		MalformedFrames: h.malformedFrames.Load(),
+		OverflowFrames:  h.overflowFrames.Load(),
+		UnroutedFrames:  h.unroutedFrames.Load(),
+	}
+	h.mu.Lock()
+	subs := make([]*Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	sort.Slice(subs, func(i, j int) bool { return subs[i].topic < subs[j].topic })
+	for _, s := range subs {
+		ss := s.Stats()
+		st.DroppedDeliveries += ss.DroppedDeliveries
+		st.Subscriptions = append(st.Subscriptions, ss)
+	}
+	return st
+}
+
+// subEnv adapts *Subscription to core.Env. Methods run on the hub's
+// loop goroutine.
+type subEnv Subscription
+
+func (e *subEnv) Send(to ids.ProcessID, m *core.Message) {
+	buf := getEncBuf()
+	buf.b = appendMessage(buf.b, m)
+	// Transport errors are best-effort losses by design. Transports
+	// must not retain the payload, so the buffer is safe to reuse.
+	_ = e.hub.transport.Send(string(to), buf.b)
+	putEncBuf(buf)
+}
+
+// SendBatch implements core.SendBatcher: the message is serialized
+// exactly once, and the same pooled frame goes out to every target.
+func (e *subEnv) SendBatch(targets []ids.ProcessID, m *core.Message) {
+	buf := getEncBuf()
+	buf.b = appendMessage(buf.b, m)
+	for _, to := range targets {
+		_ = e.hub.transport.Send(string(to), buf.b)
+	}
+	putEncBuf(buf)
+}
+
+func (e *subEnv) Deliver(ev *core.Event) {
+	out := Event{
+		ID:      ev.ID.String(),
+		Topic:   string(ev.Topic),
+		Payload: ev.Payload,
+	}
+	select {
+	case e.events <- out:
+	default:
+		e.mu.Lock()
+		e.dropped++
+		e.mu.Unlock()
+	}
+}
+
+func (e *subEnv) Neighborhood(k int) []ids.ProcessID {
+	// The bootstrap overlay is the configured seeds plus whatever
+	// group mates we already know.
+	pool := make([]ids.ProcessID, 0, len(e.seeds)+8)
+	pool = append(pool, e.seeds...)
+	pool = append(pool, e.proc.TopicTable()...)
+	return xrand.SampleIDs(e.rng, pool, k)
+}
+
+func (e *subEnv) Rand() *rand.Rand { return e.rng }

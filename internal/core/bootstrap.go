@@ -110,6 +110,7 @@ func (p *Process) onReqContact(m *Message) {
 				Type:          MsgAnsContact,
 				From:          p.id,
 				FromTopic:     p.topic,
+				Dest:          m.OriginTopic,
 				Contacts:      contacts,
 				ContactsTopic: p.topic,
 				ReqID:         m.ReqID,
@@ -124,6 +125,7 @@ func (p *Process) onReqContact(m *Message) {
 				Type:          MsgAnsContact,
 				From:          p.id,
 				FromTopic:     p.topic,
+				Dest:          m.OriginTopic,
 				Contacts:      p.superTable.IDs(),
 				ContactsTopic: p.superKnown,
 				ReqID:         m.ReqID,
@@ -143,6 +145,7 @@ func (p *Process) onReqContact(m *Message) {
 	fwd := *m
 	fwd.From = p.id
 	fwd.FromTopic = p.topic
+	fwd.Dest = "" // a flood stays undirected; receivers demux by type
 	fwd.TTL = m.TTL - 1
 	for _, n := range p.env.Neighborhood(p.params.NeighborhoodFanout) {
 		if n == p.id || n == m.Origin {

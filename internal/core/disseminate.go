@@ -68,11 +68,14 @@ func (p *Process) receiveEvent(ev *Event) bool {
 // All elected targets are collected first (in the exact order the
 // per-target sends used to happen, so random draws and simulator loss
 // coins are consumed identically) and the event then goes out as ONE
-// message via sendToAll: batch-capable envs serialize it a single time
-// for the whole fan-out.
+// message per destination group via sendSegments: batch-capable envs
+// serialize it a single time per group, and every frame carries the
+// Dest demux of the group it is for (supergroup targets live in a
+// different group than the intra-group gossip targets).
 func (p *Process) disseminate(ev *Event) {
 	r := p.env.Rand()
 	targets := p.batch[:0]
+	segs := p.segs[:0]
 
 	// (1) Upward dissemination toward the supergroup.
 	if p.superTable.Len() > 0 && xrand.Bernoulli(r, p.pSel()) {
@@ -82,9 +85,10 @@ func (p *Process) disseminate(ev *Event) {
 				targets = append(targets, target)
 			}
 		}
+		segs = appendSeg(segs, p.superKnown, len(targets))
 	}
 	// (1b) Same, per declared extra supertopic (§VIII extension).
-	targets = p.appendExtraTargets(r, targets)
+	targets, segs = p.appendExtraTargets(r, targets, segs)
 
 	// (2) Gossip within the group: ln(S)+c distinct targets, never
 	// repeating a target for this event (the paper's Ω set).
@@ -94,17 +98,18 @@ func (p *Process) disseminate(ev *Event) {
 			targets = append(targets, target)
 		}
 	}
+	segs = appendSeg(segs, p.topic, len(targets))
 
 	// Reentrancy guard: should an Env ever deliver synchronously and
 	// re-enter this process mid-fan-out, the nested disseminate must
 	// allocate its own buffer rather than scribble over the one the
-	// outer send loop is iterating. The grown buffer is kept afterwards.
-	p.batch = nil
-	p.sendToAll(targets, &Message{
+	// outer send loop is iterating. The grown buffers are kept after.
+	p.batch, p.segs = nil, nil
+	p.sendSegments(targets, segs, &Message{
 		Type:      MsgEvent,
 		From:      p.id,
 		FromTopic: p.topic,
 		Event:     ev,
 	})
-	p.batch = targets[:0]
+	p.batch, p.segs = targets[:0], segs[:0]
 }

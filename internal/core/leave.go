@@ -21,25 +21,31 @@ func init() {
 
 // Leave announces departure to every known group mate and supergroup
 // contact, then stops the process. The identical announcement goes to
-// every target, so it is batched through sendToAll: batch-capable envs
-// serialize it once. Idempotent: a stopped process leaves silently.
+// every target of a destination group, so it is batched through
+// sendSegments: batch-capable envs serialize it once per group, and
+// every frame carries the Dest demux of the group the receiver is in.
+// Idempotent: a stopped process leaves silently.
 func (p *Process) Leave() {
 	if p.stopped {
 		return
 	}
 	targets := p.batch[:0]
+	segs := p.segs[:0]
 	targets = append(targets, p.topicTable.IDs()...)
+	segs = appendSeg(segs, p.topic, len(targets))
 	targets = append(targets, p.superTable.IDs()...)
+	segs = appendSeg(segs, p.superKnown, len(targets))
 	for _, sup := range p.extraOrder {
 		targets = append(targets, p.extras[sup].IDs()...)
+		segs = appendSeg(segs, sup, len(targets))
 	}
-	p.batch = nil // reentrancy guard; see disseminate
-	p.sendToAll(targets, &Message{
+	p.batch, p.segs = nil, nil // reentrancy guard; see disseminate
+	p.sendSegments(targets, segs, &Message{
 		Type:      MsgLeave,
 		From:      p.id,
 		FromTopic: p.topic,
 	})
-	p.batch = targets[:0]
+	p.batch, p.segs = targets[:0], segs[:0]
 	p.Stop()
 }
 

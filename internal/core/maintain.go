@@ -24,6 +24,7 @@ func (p *Process) doShuffle() {
 		Type:      MsgShuffle,
 		From:      p.id,
 		FromTopic: p.topic,
+		Dest:      p.topic,
 		Digest:    digest,
 	}
 	p.attachSuperInfo(m)
@@ -52,6 +53,7 @@ func (p *Process) onShuffle(m *Message) {
 		Type:      MsgShuffleReply,
 		From:      p.id,
 		FromTopic: p.topic,
+		Dest:      p.topic,
 		Digest:    reply,
 	}
 	p.attachSuperInfo(out)
@@ -116,6 +118,7 @@ func (p *Process) keepTableUpdated() {
 				Type:      MsgPing,
 				From:      p.id,
 				FromTopic: p.topic,
+				Dest:      p.superKnown,
 			})
 		}
 		p.pingExtras()
@@ -156,6 +159,7 @@ func (p *Process) resolveCheck() {
 				Type:      MsgNewProcessReq,
 				From:      p.id,
 				FromTopic: p.topic,
+				Dest:      p.superKnown,
 			})
 		}
 	}
@@ -167,6 +171,7 @@ func (p *Process) onPing(m *Message) {
 		Type:      MsgPong,
 		From:      p.id,
 		FromTopic: p.topic,
+		Dest:      m.FromTopic,
 	})
 }
 
@@ -189,6 +194,7 @@ func (p *Process) onNewProcessReq(m *Message) {
 		Type:          MsgNewProcessAns,
 		From:          p.id,
 		FromTopic:     p.topic,
+		Dest:          m.FromTopic,
 		Contacts:      contacts,
 		ContactsTopic: p.topic,
 	})

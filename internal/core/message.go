@@ -107,6 +107,16 @@ type Message struct {
 	From      ids.ProcessID
 	FromTopic topic.Topic
 
+	// Dest is the destination *group* topic: the topic the receiving
+	// process is subscribed to. It is the demultiplex key for
+	// endpoints that host several processes (one per subscribed topic)
+	// over a single transport — see Registry. The sender always knows
+	// it: intra-group traffic targets its own topic, upward traffic
+	// targets the supertopic the table is tracking, and replies target
+	// the requester's FromTopic. It is empty only on REQCONTACT
+	// floods, whose receivers are arbitrary bootstrap-overlay members.
+	Dest topic.Topic
+
 	// MsgEvent
 	Event *Event
 

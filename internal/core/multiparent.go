@@ -92,10 +92,11 @@ func (p *Process) ExtraSuperTable(sup topic.Topic) []ids.ProcessID {
 // appendExtraTargets performs the upward election for every extra
 // supertopic table, mirroring Fig. 7 lines 3-7 independently per table
 // ("neither would hamper the overall performance"), appending elected
-// targets for the caller's batched fan-out.
-func (p *Process) appendExtraTargets(r *rand.Rand, targets []ids.ProcessID) []ids.ProcessID {
+// targets — and one destination-group segment per table — for the
+// caller's batched fan-out.
+func (p *Process) appendExtraTargets(r *rand.Rand, targets []ids.ProcessID, segs []groupSeg) ([]ids.ProcessID, []groupSeg) {
 	if len(p.extras) == 0 {
-		return targets
+		return targets, segs
 	}
 	pa := p.pA()
 	for _, sup := range p.extraOrder {
@@ -108,8 +109,9 @@ func (p *Process) appendExtraTargets(r *rand.Rand, targets []ids.ProcessID) []id
 				targets = append(targets, target)
 			}
 		}
+		segs = appendSeg(segs, sup, len(targets))
 	}
-	return targets
+	return targets, segs
 }
 
 // pingExtras extends a liveness wave to the extra tables.
@@ -121,6 +123,7 @@ func (p *Process) pingExtras() {
 				Type:      MsgPing,
 				From:      p.id,
 				FromTopic: p.topic,
+				Dest:      sup,
 			})
 		}
 	}
@@ -159,6 +162,7 @@ func (p *Process) resolveExtraChecks(waveStart int) {
 					Type:      MsgNewProcessReq,
 					From:      p.id,
 					FromTopic: p.topic,
+					Dest:      sup,
 				})
 			}
 		}

@@ -109,6 +109,11 @@ type Process struct {
 	batcher SendBatcher
 	// batch is the reusable target-collection buffer for fan-outs.
 	batch []ids.ProcessID
+	// segs is the reusable destination-group segmentation of batch:
+	// fan-outs that cross group boundaries (dissemination reaching the
+	// supergroup, leave announcements) carry a different wire Dest per
+	// group, so the batch is sent one contiguous segment per group.
+	segs []groupSeg
 
 	findSuper *findSuperState
 
@@ -181,6 +186,48 @@ func (p *Process) sendToAll(targets []ids.ProcessID, m *Message) {
 	}
 	for _, to := range targets {
 		p.env.Send(to, m)
+	}
+}
+
+// groupSeg marks one destination group's contiguous slice of a batched
+// target list: targets[start:end] (start is the previous segment's
+// end) all belong to the group subscribed to dest.
+type groupSeg struct {
+	dest topic.Topic
+	end  int
+}
+
+// appendSeg closes the segment covering targets added since the last
+// boundary. Empty segments are skipped.
+func appendSeg(segs []groupSeg, dest topic.Topic, end int) []groupSeg {
+	start := 0
+	if len(segs) > 0 {
+		start = segs[len(segs)-1].end
+	}
+	if end == start {
+		return segs
+	}
+	return append(segs, groupSeg{dest: dest, end: end})
+}
+
+// sendSegments fans one logical message out over a segmented target
+// list: each destination group gets its own copy of proto with the
+// matching wire Dest, sent via sendToAll (so batch-capable envs still
+// serialize once per group). The first segment reuses proto itself —
+// the dominant all-intra-group fan-out costs exactly one Message, as
+// before segmentation. Receivers may retain the sent messages, so a
+// message handed to the env is never mutated again.
+func (p *Process) sendSegments(targets []ids.ProcessID, segs []groupSeg, proto *Message) {
+	start := 0
+	for i, s := range segs {
+		m := proto
+		if i > 0 {
+			cp := *proto
+			m = &cp
+		}
+		m.Dest = s.dest
+		p.sendToAll(targets[start:s.end], m)
+		start = s.end
 	}
 }
 

@@ -302,6 +302,7 @@ func (p *Process) doRecover() {
 		Type:      MsgDigest,
 		From:      p.id,
 		FromTopic: p.topic,
+		Dest:      p.topic,
 		DigestIDs: digest,
 	})
 	p.batch = targets[:0]
@@ -326,6 +327,7 @@ func (p *Process) onDigest(m *Message) {
 			Type:      MsgDigestAns,
 			From:      p.id,
 			FromTopic: p.topic,
+			Dest:      p.topic,
 			Events:    missing,
 		})
 	}
@@ -335,6 +337,7 @@ func (p *Process) onDigest(m *Message) {
 			Type:      MsgEventReq,
 			From:      p.id,
 			FromTopic: p.topic,
+			Dest:      p.topic,
 			DigestIDs: wants,
 		})
 	}
@@ -389,6 +392,7 @@ func (p *Process) onEventReq(m *Message) {
 		Type:      MsgDigestAns,
 		From:      p.id,
 		FromTopic: p.topic,
+		Dest:      p.topic,
 		Events:    out,
 	})
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"damulticast/internal/topic"
+)
+
+// Registry multiplexes one shared endpoint across several Processes,
+// one per subscribed topic. A live hub decodes every inbound frame
+// into a Message and asks the registry which member process it is
+// for; the registry resolves the message's Dest demux field (set by
+// every sender, see Message.Dest) against the topics registered here.
+//
+// Like Process itself, a Registry is not goroutine-safe: one owner —
+// the hub's inbox loop — drives it. Iteration (Tick, Topics) is in
+// sorted topic order so multi-process drivers stay deterministic.
+type Registry struct {
+	procs map[topic.Topic]*Process
+	order []topic.Topic // sorted ascending
+}
+
+// ErrDuplicateTopic rejects registering a second process for a topic
+// already hosted by this endpoint.
+var ErrDuplicateTopic = errors.New("core: topic already registered")
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{procs: make(map[topic.Topic]*Process)}
+}
+
+// Len returns the number of registered processes.
+func (r *Registry) Len() int { return len(r.procs) }
+
+// Topics lists the registered topics in sorted order. The slice is
+// shared; callers must not mutate it.
+func (r *Registry) Topics() []topic.Topic { return r.order }
+
+// Get returns the process subscribed to tp, or nil.
+func (r *Registry) Get(tp topic.Topic) *Process { return r.procs[tp] }
+
+// Add registers p under its topic.
+func (r *Registry) Add(p *Process) error {
+	tp := p.Topic()
+	if _, dup := r.procs[tp]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateTopic, tp)
+	}
+	r.procs[tp] = p
+	i, _ := slices.BinarySearch(r.order, tp)
+	r.order = slices.Insert(r.order, i, tp)
+	return nil
+}
+
+// Remove unregisters the process subscribed to tp and returns it (nil
+// when none was registered).
+func (r *Registry) Remove(tp topic.Topic) *Process {
+	p, ok := r.procs[tp]
+	if !ok {
+		return nil
+	}
+	delete(r.procs, tp)
+	i, _ := slices.BinarySearch(r.order, tp)
+	r.order = slices.Delete(r.order, i, i+1)
+	return p
+}
+
+// Route resolves the member process a message is for, or nil when no
+// registered process should handle it (the frame is then a routing
+// loss, counted by the caller).
+//
+// Messages carrying a Dest route exactly: either a process subscribed
+// to that topic is registered or the message is dropped — group
+// traffic must never leak into another group's process. Messages
+// without a Dest are bootstrap REQCONTACT floods addressed to
+// "whoever lives at this endpoint"; any process may answer or
+// forward, so the registry prefers one that can actually answer (its
+// topic, or the supertopic it tracks, is being searched) and
+// otherwise falls back to the first process in topic order.
+func (r *Registry) Route(m *Message) *Process {
+	if m == nil || len(r.order) == 0 {
+		return nil
+	}
+	if m.Dest != "" {
+		return r.procs[m.Dest]
+	}
+	if m.Type == MsgReqContact {
+		// Walk the searched topics in the searcher's order (deepest
+		// first, Fig. 4) so an endpoint subscribed to both a narrow and
+		// a wide match answers with the narrowest one — the same
+		// preference onReqContact itself applies.
+		for _, searched := range m.SearchTopics {
+			for _, tp := range r.order {
+				p := r.procs[tp]
+				if p.Topic() == searched || (p.SuperKnownTopic() == searched && p.superTable.Len() > 0) {
+					return p
+				}
+			}
+		}
+	}
+	return r.procs[r.order[0]]
+}
+
+// Handle routes m and feeds it to the resolved process. It reports
+// whether any process consumed the message.
+func (r *Registry) Handle(m *Message) bool {
+	p := r.Route(m)
+	if p == nil {
+		return false
+	}
+	p.HandleMessage(m)
+	return true
+}
+
+// Tick advances every registered process by one logical step, in
+// sorted topic order.
+func (r *Registry) Tick() {
+	for _, tp := range r.order {
+		r.procs[tp].Tick()
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"damulticast/internal/topic"
+)
+
+func registryFixture(t *testing.T) (*Registry, map[topic.Topic]*Process) {
+	t.Helper()
+	r := NewRegistry()
+	procs := make(map[topic.Topic]*Process)
+	for _, tp := range []topic.Topic{".news", ".market", ".news.sports"} {
+		p := MustNewProcess("hub", tp, DefaultParams(), newFakeEnv(1))
+		if err := r.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		procs[tp] = p
+	}
+	return r, procs
+}
+
+func TestRegistryAddGetRemove(t *testing.T) {
+	r, procs := registryFixture(t)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Topics are sorted.
+	want := []topic.Topic{".market", ".news", ".news.sports"}
+	got := r.Topics()
+	if len(got) != len(want) {
+		t.Fatalf("Topics = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Topics[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if r.Get(".news") != procs[".news"] {
+		t.Error("Get returned wrong process")
+	}
+	// Duplicates are refused.
+	dup := MustNewProcess("hub", ".news", DefaultParams(), newFakeEnv(2))
+	if err := r.Add(dup); !errors.Is(err, ErrDuplicateTopic) {
+		t.Errorf("duplicate Add err = %v", err)
+	}
+	if removed := r.Remove(".news"); removed != procs[".news"] {
+		t.Error("Remove returned wrong process")
+	}
+	if r.Remove(".news") != nil {
+		t.Error("second Remove returned a process")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len after remove = %d", r.Len())
+	}
+}
+
+func TestRegistryRouteByDest(t *testing.T) {
+	r, procs := registryFixture(t)
+	for tp, p := range procs {
+		m := &Message{Type: MsgPing, From: "peer", Dest: tp}
+		if got := r.Route(m); got != p {
+			t.Errorf("Route(Dest=%s) = %v, want the %s process", tp, got, tp)
+		}
+	}
+	// A destination this endpoint is not subscribed to routes nowhere:
+	// group traffic must never leak into another group's process.
+	if got := r.Route(&Message{Type: MsgEvent, From: "peer", Dest: ".weather"}); got != nil {
+		t.Errorf("Route(unsubscribed dest) = %v, want nil", got)
+	}
+	if ok := r.Handle(&Message{Type: MsgEvent, From: "peer", Dest: ".weather"}); ok {
+		t.Error("Handle claimed an unroutable message")
+	}
+}
+
+func TestRegistryRouteUndirectedReqContact(t *testing.T) {
+	r, procs := registryFixture(t)
+	// A flood searching a topic we are subscribed to prefers that
+	// process (it can answer with itself and its group mates).
+	m := &Message{
+		Type: MsgReqContact, From: "seeker", Origin: "seeker",
+		SearchTopics: []topic.Topic{".news.sports"},
+	}
+	if got := r.Route(m); got != procs[".news.sports"] {
+		t.Errorf("Route preferred %v, want the .news.sports process", got)
+	}
+	// The searcher's topic order wins over registry order: a wave
+	// searching [.news.sports, .news] (deepest first, Fig. 4) must be
+	// claimed by the .news.sports process even though .news sorts
+	// first in the registry.
+	m = &Message{
+		Type: MsgReqContact, From: "seeker", Origin: "seeker",
+		SearchTopics: []topic.Topic{".news.sports", ".news"},
+	}
+	if got := r.Route(m); got != procs[".news.sports"] {
+		t.Errorf("Route preferred %v over the deeper .news.sports match", got)
+	}
+	// A flood searching an unknown topic falls back to the first
+	// process in topic order, which forwards it.
+	m = &Message{
+		Type: MsgReqContact, From: "seeker", Origin: "seeker",
+		SearchTopics: []topic.Topic{".weather"},
+	}
+	if got := r.Route(m); got != procs[".market"] {
+		t.Errorf("fallback Route = %v, want the .market process", got)
+	}
+	// An empty registry routes nothing.
+	if got := NewRegistry().Route(m); got != nil {
+		t.Errorf("empty registry Route = %v", got)
+	}
+}
+
+func TestRegistryTickAll(t *testing.T) {
+	r, procs := registryFixture(t)
+	for i := 0; i < 3; i++ {
+		r.Tick()
+	}
+	for tp, p := range procs {
+		if p.Now() != 3 {
+			t.Errorf("%s process ticked %d times, want 3", tp, p.Now())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package damulticast
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics dumps the hub's counters in the Prometheus text
+// exposition format (version 0.0.4): the receive-path loss counters,
+// a subscription gauge, and per-subscription delivery and recovery
+// counters labeled by topic. Wire it to an HTTP handler (damcd does,
+// behind -metricsaddr) or scrape it any other way:
+//
+//	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+//	    _ = hub.WriteMetrics(w)
+//	})
+func (h *Hub) WriteMetrics(w io.Writer) error {
+	st := h.Stats()
+	mw := &metricsWriter{w: w}
+
+	mw.counter("damulticast_malformed_frames_total",
+		"Inbound frames rejected by the wire decoder.")
+	mw.sample("damulticast_malformed_frames_total", "", st.MalformedFrames)
+	mw.counter("damulticast_overflow_frames_total",
+		"Decoded messages dropped because the inbox overflowed.")
+	mw.sample("damulticast_overflow_frames_total", "", st.OverflowFrames)
+	mw.counter("damulticast_unrouted_frames_total",
+		"Decoded messages addressed to a group this hub is not subscribed to.")
+	mw.sample("damulticast_unrouted_frames_total", "", st.UnroutedFrames)
+
+	mw.gauge("damulticast_subscriptions",
+		"Current number of live topic subscriptions.")
+	mw.sample("damulticast_subscriptions", "", int64(len(st.Subscriptions)))
+
+	mw.counter("damulticast_dropped_deliveries_total",
+		"Events discarded because the application fell behind the Events channel.")
+	for _, s := range st.Subscriptions {
+		mw.sample("damulticast_dropped_deliveries_total", s.Topic, s.DroppedDeliveries)
+	}
+	mw.counter("damulticast_recovered_events_total",
+		"First-time events obtained through the anti-entropy recovery exchange.")
+	for _, s := range st.Subscriptions {
+		mw.sample("damulticast_recovered_events_total", s.Topic, int64(s.Recovery.Recovered))
+	}
+	mw.counter("damulticast_recovery_requested_total",
+		"Event ids explicitly requested from peers by the recovery exchange.")
+	for _, s := range st.Subscriptions {
+		mw.sample("damulticast_recovery_requested_total", s.Topic, int64(s.Recovery.Requested))
+	}
+	mw.counter("damulticast_recovery_evictions_total",
+		"Recovery-store entries evicted by age or capacity.")
+	for _, s := range st.Subscriptions {
+		mw.sample("damulticast_recovery_evictions_total", s.Topic, int64(s.Recovery.GCd))
+	}
+	return mw.err
+}
+
+// metricsWriter emits exposition lines, latching the first write error
+// so the callers above read straight through.
+type metricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (mw *metricsWriter) header(name, typ, help string) {
+	if mw.err != nil {
+		return
+	}
+	_, mw.err = fmt.Fprintf(mw.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (mw *metricsWriter) counter(name, help string) { mw.header(name, "counter", help) }
+func (mw *metricsWriter) gauge(name, help string)   { mw.header(name, "gauge", help) }
+
+// sample writes one sample line, labeled by topic when one is given.
+// Topics draw from a restricted charset (dots, letters, digits,
+// dashes), so no label escaping is needed.
+func (mw *metricsWriter) sample(name, topicLabel string, v int64) {
+	if mw.err != nil {
+		return
+	}
+	if topicLabel == "" {
+		_, mw.err = fmt.Fprintf(mw.w, "%s %d\n", name, v)
+		return
+	}
+	_, mw.err = fmt.Fprintf(mw.w, "%s{topic=%q} %d\n", name, topicLabel, v)
+}

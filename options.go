@@ -1,0 +1,146 @@
+package damulticast
+
+import (
+	"context"
+	"time"
+)
+
+// Functional options for the Hub/Subscription API. Two option kinds
+// exist: HubOption configures the endpoint (NewHub), JoinOption
+// configures one topic subscription (Hub.Join). Options that make
+// sense in both positions — protocol params, seeds for determinism,
+// delivery buffering — implement HubJoinOption: passed to NewHub they
+// set the default for every subscription, passed to Join they
+// override it for that subscription alone.
+
+// HubOption configures a Hub at construction.
+type HubOption interface{ applyHub(*hubConfig) }
+
+// JoinOption configures one subscription at Hub.Join.
+type JoinOption interface{ applyJoin(*joinConfig) }
+
+// HubJoinOption is accepted by both NewHub (hub-wide default) and
+// Hub.Join (per-subscription override).
+type HubJoinOption interface {
+	HubOption
+	JoinOption
+}
+
+// hubConfig collects NewHub options.
+type hubConfig struct {
+	id       string
+	params   Params
+	seed     int64
+	tick     time.Duration
+	eventBuf int
+	ctx      context.Context
+}
+
+// joinConfig collects Hub.Join options.
+type joinConfig struct {
+	params        *Params
+	seed          int64
+	eventBuf      int
+	seeds         []string
+	groupContacts []string
+	superTopic    string
+	superContacts []string
+}
+
+// WithParams sets the protocol constants — for every subscription when
+// passed to NewHub, for one subscription when passed to Join. The zero
+// Params value selects DefaultParams.
+func WithParams(p Params) HubJoinOption { return paramsOption(p) }
+
+type paramsOption Params
+
+func (o paramsOption) applyHub(c *hubConfig) { c.params = Params(o) }
+func (o paramsOption) applyJoin(c *joinConfig) {
+	p := Params(o)
+	c.params = &p
+}
+
+// WithSeed seeds the deterministic random streams. Passed to NewHub it
+// is the base seed every subscription derives its private stream from;
+// passed to Join it seeds that subscription's stream directly. Seed 0
+// (the default) derives a seed from the endpoint address and topic.
+func WithSeed(seed int64) HubJoinOption { return seedOption(seed) }
+
+type seedOption int64
+
+func (o seedOption) applyHub(c *hubConfig)   { c.seed = int64(o) }
+func (o seedOption) applyJoin(c *joinConfig) { c.seed = int64(o) }
+
+// WithEventBuffer sets the capacity of the Events delivery channel
+// (default 256). When the application falls behind, further deliveries
+// are dropped and counted (best-effort, like the underlying channels).
+func WithEventBuffer(n int) HubJoinOption { return eventBufferOption(n) }
+
+type eventBufferOption int
+
+func (o eventBufferOption) applyHub(c *hubConfig)   { c.eventBuf = int(o) }
+func (o eventBufferOption) applyJoin(c *joinConfig) { c.eventBuf = int(o) }
+
+// WithTickInterval sets the period of the hub's shared protocol
+// maintenance tick (membership shuffles, link maintenance, recovery
+// waves; default 500ms). One ticker drives every subscription.
+func WithTickInterval(d time.Duration) HubOption { return tickOption(d) }
+
+type tickOption time.Duration
+
+func (o tickOption) applyHub(c *hubConfig) { c.tick = time.Duration(o) }
+
+// WithID overrides the hub's process id (default: the transport's
+// address). The id must equal the address other endpoints reach this
+// hub at, or nothing will ever route back.
+func WithID(id string) HubOption { return idOption(id) }
+
+type idOption string
+
+func (o idOption) applyHub(c *hubConfig) { c.id = string(o) }
+
+// WithContext bounds the hub's lifetime: when ctx is cancelled the hub
+// stops as if Stop had been called (the transport still needs a Stop
+// or Close to release the listener). Default: context.Background().
+func WithContext(ctx context.Context) HubOption { return ctxOption{ctx} }
+
+type ctxOption struct{ ctx context.Context }
+
+func (o ctxOption) applyHub(c *hubConfig) { c.ctx = o.ctx }
+
+// WithSeeds provides bootstrap overlay contacts (the paper's
+// neighborhood(p)) for the subscription's FIND_SUPER_CONTACT search.
+// Optional when WithSuperContacts is given or the topic is the root.
+func WithSeeds(addrs ...string) JoinOption { return seedsOption(addrs) }
+
+type seedsOption []string
+
+func (o seedsOption) applyJoin(c *joinConfig) { c.seeds = append(c.seeds, o...) }
+
+// WithGroupContacts provides known members of the subscription's own
+// topic group, installed into the topic table at join.
+func WithGroupContacts(addrs ...string) JoinOption { return groupContactsOption(addrs) }
+
+type groupContactsOption []string
+
+func (o groupContactsOption) applyJoin(c *joinConfig) {
+	c.groupContacts = append(c.groupContacts, o...)
+}
+
+// WithSuperContacts provides known members of the supergroup: addrs
+// are endpoints whose subscription topic is superTopic, which must
+// strictly include the joined topic. When given, the bootstrap search
+// is skipped (paper Fig. 4 lines 5-8).
+func WithSuperContacts(superTopic string, addrs ...string) JoinOption {
+	return superContactsOption{topic: superTopic, addrs: addrs}
+}
+
+type superContactsOption struct {
+	topic string
+	addrs []string
+}
+
+func (o superContactsOption) applyJoin(c *joinConfig) {
+	c.superTopic = o.topic
+	c.superContacts = append(c.superContacts, o.addrs...)
+}

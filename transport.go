@@ -42,7 +42,7 @@ func encodeMessageJSON(m *core.Message) ([]byte, error) {
 
 // decodeMessageJSON parses a frame produced by encodeMessageJSON.
 // Frames that are not valid JSON — including binary frames, whose
-// leading version byte 0x01 can never open a JSON document — or whose
+// leading version byte can never open a JSON document — or whose
 // message type is missing or unknown, are rejected.
 func decodeMessageJSON(payload []byte) (*core.Message, error) {
 	var m core.Message
