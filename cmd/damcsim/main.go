@@ -9,6 +9,7 @@
 //	damcsim -fig all -runs 3 -sweepworkers 8 -report report.json
 //	damcsim -fig churn            # beyond-paper churn-wave sweep
 //	damcsim -fig recovery         # anti-entropy recovery on/off vs loss
+//	damcsim -fig baselines        # da-multicast vs §VI-E baselines under faults
 //	damcsim -scenario churn -n 20000 [-intensity 0.3] [-rounds 24] [-workers 0]
 //	damcsim -scenario lossburst -recoverperiod 2   # scenarios with recovery on
 //
@@ -52,17 +53,18 @@ func main() {
 
 // figureKeys maps the CLI's -fig values to canonical figure names.
 var figureKeys = map[string]string{
-	"8":        "fig8",
-	"9":        "fig9",
-	"10":       "fig10",
-	"11":       "fig11",
-	"churn":    "churn",
-	"recovery": "recovery",
+	"8":         "fig8",
+	"9":         "fig9",
+	"10":        "fig10",
+	"11":        "fig11",
+	"churn":     "churn",
+	"recovery":  "recovery",
+	"baselines": "baselines",
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("damcsim", flag.ContinueOnError)
-	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn" or "all"`)
+	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn", "recovery", "baselines" or "all"`)
 	runs := fs.Int("runs", 3, "independent runs averaged per point")
 	points := fs.Int("points", 10, "alive-fraction points in (0, 1]")
 	out := fs.String("out", "", "write CSV to this file instead of stdout")
@@ -101,11 +103,6 @@ func run(args []string, stdout io.Writer) error {
 		return runScenario(stdout, *scenario, *n, *intensity, *rounds, *seed, *workers, *recoverPeriod)
 	}
 
-	alives := make([]float64, 0, *points)
-	for i := 1; i <= *points; i++ {
-		alives = append(alives, float64(i)/float64(*points))
-	}
-
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -121,13 +118,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// "all" really means all: the paper figures plus the beyond-paper
-	// churn and recovery sweeps (their x-axes read as "fraction
-	// surviving" and "channel success probability" respectively).
-	order := []string{"8", "9", "10", "11", "churn", "recovery"}
+	// churn, recovery and baselines sweeps (their x-axes read as
+	// "fraction surviving" and "channel success probability").
+	order := []string{"8", "9", "10", "11", "churn", "recovery", "baselines"}
 	selected := order
 	if *fig != "all" {
 		if _, ok := figureKeys[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn, recovery or all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn, recovery, baselines or all)", *fig)
 		}
 		selected = []string{*fig}
 	}
@@ -141,7 +138,10 @@ func run(args []string, stdout io.Writer) error {
 		BaseSeed:     *seed,
 	}
 	for _, key := range selected {
-		f, figReport, err := sim.GenerateFigure(context.Background(), figureKeys[key], alives, opts)
+		// Each figure owns its x-axis grid: most sweep i/points over
+		// (0, 1], the baselines figure pins [0.4, 1.0].
+		xs := sim.FigureXs(figureKeys[key], *points)
+		f, figReport, err := sim.GenerateFigure(context.Background(), figureKeys[key], xs, opts)
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", key, err)
 		}

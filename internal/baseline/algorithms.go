@@ -18,7 +18,7 @@ func RunBroadcast(cfg Config) (*Result, error) {
 	pool := allIDs(w.nodes)
 	viewCap := xrand.ViewSize(n, cfg.B)
 	fanout := xrand.Fanout(n, cfg.C)
-	rng := w.net.Rand()
+	rng := w.views
 	for _, node := range w.nodes {
 		node.views = []bView{{
 			pool:   sampleView(rng, pool, node.id, viewCap),
@@ -39,7 +39,7 @@ func RunMulticast(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := w.net.Rand()
+	rng := w.views
 
 	// Build group membership: group(T) = interested(T) ∪
 	// {interested(T') : T' strictly includes T}.
@@ -87,7 +87,7 @@ func RunHierarchical(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := w.net.Rand()
+	rng := w.views
 	n := len(w.nodes)
 	numGroups := cfg.NumGroups
 	if numGroups > n {

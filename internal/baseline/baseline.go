@@ -18,9 +18,11 @@
 package baseline
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"damulticast/internal/ids"
 	"damulticast/internal/simnet"
@@ -56,6 +58,15 @@ type Config struct {
 	MaxRounds int
 	// Seed drives randomness.
 	Seed int64
+	// Workers is the simnet shard count (0 = GOMAXPROCS). Results are
+	// identical for every value: all randomness flows through per-node
+	// or setup-only streams derived from Seed.
+	Workers int
+	// Schedule injects mid-run faults (crashes, restarts, partitions,
+	// loss bursts, stragglers), mirroring the sim scenario presets so
+	// baselines face the same adversity as da-multicast in head-to-head
+	// figures. Events apply between rounds, in Round order.
+	Schedule []ScheduleEvent
 }
 
 // Errors.
@@ -81,6 +92,11 @@ func (c Config) validate() error {
 	}
 	if c.AliveFraction < 0 || c.AliveFraction > 1 {
 		return fmt.Errorf("%w: %g", ErrBadAlive, c.AliveFraction)
+	}
+	for i, ev := range c.Schedule {
+		if err := ev.validate(); err != nil {
+			return fmt.Errorf("baseline: schedule[%d]: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -186,6 +202,16 @@ type world struct {
 	// byTopic indexes nodes by their interest.
 	byTopic map[topic.Topic][]*bNode
 	msgs    int64
+
+	// Dedicated deterministic streams: views draws membership tables
+	// (setup only), publish picks the publisher, sched picks fault
+	// targets between rounds. Keeping them separate — and giving every
+	// node its own stream — makes runs reproducible under the simnet
+	// worker-invariance contract: no draw order depends on another
+	// consumer's position in a shared stream.
+	views   *rand.Rand
+	publish *rand.Rand
+	sched   *rand.Rand
 }
 
 func newWorld(cfg Config) (*world, error) {
@@ -196,8 +222,12 @@ func newWorld(cfg Config) (*world, error) {
 		cfg:     cfg,
 		net:     simnet.New(cfg.Seed),
 		byTopic: make(map[topic.Topic][]*bNode),
+		views:   xrand.NewStream(cfg.Seed, "baseline:views"),
+		publish: xrand.NewStream(cfg.Seed, "baseline:publish"),
+		sched:   xrand.NewStream(cfg.Seed, "baseline:schedule"),
 	}
 	w.net.PSucc = cfg.PSucc
+	w.net.Workers = cfg.Workers
 	w.net.OnSend = func(env simnet.Envelope, dropped bool) {
 		if _, ok := env.Msg.(bEvent); ok {
 			w.msgs++
@@ -205,10 +235,11 @@ func newWorld(cfg Config) (*world, error) {
 	}
 	for _, pop := range cfg.Populations {
 		for i := 0; i < pop.Size; i++ {
+			id := ids.ProcessID(fmt.Sprintf("%s#%d", pop.Topic, i))
 			n := &bNode{
-				id:    ids.ProcessID(fmt.Sprintf("%s#%d", pop.Topic, i)),
+				id:    id,
 				net:   w.net,
-				rng:   w.net.Rand(),
+				rng:   xrand.NewStream(cfg.Seed, "bnode:"+string(id)),
 				topic: pop.Topic,
 				seen:  make(map[ids.EventID]bool),
 			}
@@ -220,7 +251,7 @@ func newWorld(cfg Config) (*world, error) {
 		}
 	}
 	// Stillborn failures, uniformly across the whole population.
-	rng := w.net.Rand()
+	rng := xrand.NewStream(cfg.Seed, "baseline:failures")
 	nFail := int(float64(len(w.nodes)) * (1 - cfg.AliveFraction))
 	perm := rng.Perm(len(w.nodes))
 	for i := 0; i < nFail; i++ {
@@ -232,7 +263,11 @@ func newWorld(cfg Config) (*world, error) {
 }
 
 // publishAndRun picks an alive publisher interested in PublishTopic,
-// injects the event, runs to quiescence and collects the result.
+// injects the event, runs to quiescence (or until the schedule and
+// MaxRounds are exhausted) and collects the result. Schedule events
+// with Round r apply after r rounds have run — round-0 events land
+// before the initial forward, so stragglers and partitions shape the
+// first fanout exactly as they do in the sim scenario runner.
 func (w *world) publishAndRun() (*Result, error) {
 	cfg := w.cfg
 	var pubs []*bNode
@@ -244,17 +279,41 @@ func (w *world) publishAndRun() (*Result, error) {
 	if len(pubs) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoPublisher, cfg.PublishTopic)
 	}
-	pub := pubs[w.net.Rand().Intn(len(pubs))]
+	pub := pubs[w.publish.Intn(len(pubs))]
 	ev := bEvent{id: ids.EventID{Origin: pub.id, Seq: 1}, topic: cfg.PublishTopic}
-	pub.seen[ev.id] = true
-	pub.delivered++ // publisher trivially has the event
-	pub.forward(ev)
+
+	events := make([]ScheduleEvent, len(cfg.Schedule))
+	copy(events, cfg.Schedule)
+	slices.SortStableFunc(events, func(a, b ScheduleEvent) int {
+		return cmp.Compare(a.Round, b.Round)
+	})
 
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 500
 	}
-	rounds := w.net.Run(maxRounds)
+	ei := 0
+	for ei < len(events) && events[ei].Round <= 0 {
+		w.applySchedule(events[ei])
+		ei++
+	}
+
+	pub.seen[ev.id] = true
+	pub.delivered++ // publisher trivially has the event
+	pub.forward(ev)
+
+	rounds := 0
+	for rounds < maxRounds {
+		if w.net.Pending() == 0 && ei >= len(events) {
+			break
+		}
+		w.net.Step()
+		rounds++
+		for ei < len(events) && events[ei].Round <= rounds {
+			w.applySchedule(events[ei])
+			ei++
+		}
+	}
 
 	res := &Result{Messages: w.msgs, Rounds: rounds}
 	for _, n := range w.nodes {

@@ -223,3 +223,202 @@ func TestDeterminism(t *testing.T) {
 		t.Error("non-deterministic baseline run")
 	}
 }
+
+func TestConfigValidateTable(t *testing.T) {
+	valid := testConfig()
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr error // nil = any error unacceptable
+	}{
+		{"valid", func(c *Config) {}, nil},
+		{"empty population", func(c *Config) { c.Populations = nil }, ErrNoPopulation},
+		{"zero-size group", func(c *Config) { c.Populations[0].Size = 0 }, nil},
+		{"negative-size group", func(c *Config) { c.Populations[1].Size = -3 }, nil},
+		{"psucc zero", func(c *Config) { c.PSucc = 0 }, ErrBadPSucc},
+		{"psucc above one", func(c *Config) { c.PSucc = 1.5 }, ErrBadPSucc},
+		{"psucc negative", func(c *Config) { c.PSucc = -0.1 }, ErrBadPSucc},
+		{"alive negative", func(c *Config) { c.AliveFraction = -0.01 }, ErrBadAlive},
+		{"alive above one", func(c *Config) { c.AliveFraction = 1.01 }, ErrBadAlive},
+		{"schedule negative round", func(c *Config) {
+			c.Schedule = []ScheduleEvent{{Round: -1, Kind: ScheduleHeal}}
+		}, ErrBadSchedule},
+		{"schedule unknown kind", func(c *Config) {
+			c.Schedule = []ScheduleEvent{{Round: 1}}
+		}, ErrBadSchedule},
+		{"schedule crash fraction", func(c *Config) {
+			c.Schedule = []ScheduleEvent{{Round: 1, Kind: ScheduleCrash, Fraction: 2}}
+		}, ErrBadSchedule},
+		{"schedule partition one cell", func(c *Config) {
+			c.Schedule = []ScheduleEvent{{Round: 1, Kind: SchedulePartition, Cells: 1}}
+		}, ErrBadSchedule},
+		{"schedule burst psucc", func(c *Config) {
+			c.Schedule = []ScheduleEvent{{Round: 1, Kind: ScheduleLossBurst, PSucc: 0}}
+		}, ErrBadSchedule},
+		{"schedule stragglers no delay", func(c *Config) {
+			c.Schedule = []ScheduleEvent{{Round: 1, Kind: ScheduleStragglers, Fraction: 0.5}}
+		}, ErrBadSchedule},
+		{"schedule stragglers clear ok", func(c *Config) {
+			c.Schedule = []ScheduleEvent{{Round: 1, Kind: ScheduleStragglers, Fraction: 0}}
+		}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			cfg.Populations = append([]Population(nil), valid.Populations...)
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			switch tc.name {
+			case "valid", "schedule stragglers clear ok":
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReliabilityEdgeCases(t *testing.T) {
+	// Zero population -> zero denominator handled.
+	r := Result{InterestedTotal: 0, InterestedDelivered: 0}
+	if got := r.Reliability(); got != 0 {
+		t.Errorf("zero-denominator reliability = %g", got)
+	}
+	r = Result{InterestedTotal: 10, InterestedDelivered: 7}
+	if got := r.Reliability(); got != 0.7 {
+		t.Errorf("reliability = %g, want 0.7", got)
+	}
+	// All interested processes dead -> no publisher to start from.
+	cfg := testConfig()
+	cfg.AliveFraction = 0
+	if _, err := RunBroadcast(cfg); !errors.Is(err, ErrNoPublisher) {
+		t.Errorf("all-dead err = %v", err)
+	}
+	// View cap above population: views clamp to the (pop-1) others.
+	cfg = testConfig()
+	cfg.Populations = []Population{{Topic: ".t1.t2", Size: 3}}
+	cfg.B = 50 // (B+1)ln(3) >> 2
+	res, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMemory > 2 {
+		t.Errorf("MaxMemory = %d, want <= 2 for population 3", res.MaxMemory)
+	}
+	if res.Reliability() != 1 {
+		t.Errorf("tiny lossless population reliability = %g", res.Reliability())
+	}
+}
+
+// chaosSchedule is a representative multi-fault schedule used by the
+// determinism tests.
+func chaosSchedule() []ScheduleEvent {
+	return []ScheduleEvent{
+		{Round: 0, Kind: ScheduleStragglers, Fraction: 0.2, Delay: 2},
+		{Round: 1, Kind: SchedulePartition, Cells: 2},
+		{Round: 2, Kind: ScheduleCrash, Fraction: 0.15},
+		{Round: 3, Kind: ScheduleLossBurst, PSucc: 0.5},
+		{Round: 5, Kind: ScheduleHeal},
+		{Round: 6, Kind: ScheduleLossRestore},
+		{Round: 8, Kind: ScheduleRestart, Fraction: 1},
+	}
+}
+
+func TestScheduleReplaysIdentically(t *testing.T) {
+	cfg := testConfig()
+	cfg.PSucc = 0.9
+	cfg.MaxRounds = 30
+	cfg.Schedule = chaosSchedule()
+	run := func() *Result {
+		res, err := RunHierarchical(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Errorf("schedule replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestBaselineWorkerCountInvariance(t *testing.T) {
+	// The full §VI-E comparison result must not depend on the shard
+	// count — the contract the head-to-head figure's byte-identical
+	// CSVs rest on. Exercise all three algorithms under a fault
+	// schedule that touches every randomness consumer.
+	algos := map[string]func(Config) (*Result, error){
+		"broadcast":    RunBroadcast,
+		"multicast":    RunMulticast,
+		"hierarchical": RunHierarchical,
+	}
+	for name, run := range algos {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.PSucc = 0.85
+			cfg.AliveFraction = 0.9
+			cfg.MaxRounds = 30
+			cfg.Schedule = chaosSchedule()
+			var base *Result
+			for _, workers := range []int{1, 2, 8} {
+				cfg.Workers = workers
+				res, err := run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if *res != *base {
+					t.Errorf("workers=%d diverged: %+v vs %+v", workers, res, base)
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleFaultsDegradeAndPartitionConfines(t *testing.T) {
+	// A partition in place before the initial fanout and never healed
+	// must confine the epidemic to the publisher's cell: reliability
+	// strictly below a fault-free run. (Applied any later, the first
+	// round's fanout has already infected both cells and each cell
+	// saturates on its own.)
+	cfg := testConfig()
+	cfg.MaxRounds = 40
+	clean, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Schedule = []ScheduleEvent{{Round: 0, Kind: SchedulePartition, Cells: 2}}
+	cut, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Reliability() >= clean.Reliability() {
+		t.Errorf("partition did not confine: %g >= %g", cut.Reliability(), clean.Reliability())
+	}
+	// Crash-all one round in kills the epidemic mid-flight; restarting
+	// everyone later brings the full population back into the
+	// denominator but nothing re-disseminates, so reliability stays far
+	// below the clean run.
+	cfg.Schedule = []ScheduleEvent{
+		{Round: 1, Kind: ScheduleCrash, Fraction: 1},
+		{Round: 10, Kind: ScheduleRestart, Fraction: 1},
+	}
+	wiped, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wiped.Reliability() > 0.5*clean.Reliability() {
+		t.Errorf("crash-all+restart reliability = %g, want far below clean %g",
+			wiped.Reliability(), clean.Reliability())
+	}
+}

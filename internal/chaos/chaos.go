@@ -1,0 +1,566 @@
+// Package chaos soaks the live Hub/TCP stack under seeded fault
+// schedules. Unlike the round-driven simulations of internal/sim, a
+// chaos run stands up N real daMulticast endpoints in one OS process —
+// each a Hub over its own TCP listener — publishes multi-topic
+// traffic, and injects faults from a deterministic schedule: endpoint
+// kills and restarts, network partitions and heals, loss bursts. The
+// run's Report grades the cluster against a delivery SLO (what
+// fraction of the published events reached every surviving subscriber
+// by the end of the settle window) with per-fault-type snapshots of
+// the hubs' own counters.
+//
+// The schedule is deterministic (GenSchedule is a pure function of its
+// seed) but the run itself is wall-clock concurrent code over real
+// sockets — the harness asserts outcomes (SLOs), not traces.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"damulticast"
+	"damulticast/internal/topic"
+	"damulticast/internal/xrand"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Endpoints is how many hubs the run stands up (>= 2).
+	Endpoints int
+	// Topics are the flat topics endpoints subscribe to: endpoint i
+	// joins Topics[i%len], and every third endpoint additionally joins
+	// the next topic (multi-topic multiplexing over one socket).
+	Topics []string
+	// Seed roots every random decision: hub protocol seeds, fault
+	// target sampling, publisher election.
+	Seed int64
+	// Tick is the hubs' protocol tick interval (default 15ms).
+	Tick time.Duration
+	// Step is the wall-clock length of one schedule step (default
+	// 8 * Tick).
+	Step time.Duration
+	// Settle is how long the cluster runs after the last scheduled
+	// step before delivery is graded — the live analogue of "within R
+	// rounds of the heal" (default 2s).
+	Settle time.Duration
+	// Recovery enables the anti-entropy recovery plane on every
+	// subscription. Without it, events lost to a fault stay lost.
+	Recovery bool
+	// Schedule is the fault script (see GenSchedule for a seeded one).
+	Schedule []Fault
+	// SLO is the target delivery fraction over surviving subscribers
+	// in [0, 1]; the Report records whether the run met it.
+	SLO float64
+}
+
+// Chaos configuration errors.
+var (
+	ErrBadConfig = errors.New("chaos: invalid config")
+	ErrPublish   = errors.New("chaos: publish failed")
+)
+
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = 15 * time.Millisecond
+	}
+	if c.Step <= 0 {
+		c.Step = 8 * c.Tick
+	}
+	if c.Settle <= 0 {
+		c.Settle = 2 * time.Second
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Endpoints < 2 {
+		return fmt.Errorf("%w: need >= 2 endpoints, got %d", ErrBadConfig, c.Endpoints)
+	}
+	if len(c.Topics) == 0 {
+		return fmt.Errorf("%w: no topics", ErrBadConfig)
+	}
+	seen := make(map[string]bool, len(c.Topics))
+	for _, t := range c.Topics {
+		if _, err := topic.Parse(t); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		if seen[t] {
+			return fmt.Errorf("%w: duplicate topic %s", ErrBadConfig, t)
+		}
+		seen[t] = true
+	}
+	if c.SLO < 0 || c.SLO > 1 {
+		return fmt.Errorf("%w: SLO %g outside [0, 1]", ErrBadConfig, c.SLO)
+	}
+	if len(c.Schedule) == 0 {
+		return fmt.Errorf("%w: empty schedule", ErrBadConfig)
+	}
+	for i, f := range c.Schedule {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NetStats aggregates the cluster's counters — the hubs' own Stats()
+// rolled up across every endpoint (including stopped generations) plus
+// the fault fabric's drop counts.
+type NetStats struct {
+	// Recovered and Requested sum the subscriptions' anti-entropy
+	// counters.
+	Recovered uint64
+	Requested uint64
+	// MalformedFrames, OverflowFrames, UnroutedFrames and
+	// DroppedDeliveries sum the hubs' receive-path loss counters.
+	MalformedFrames   int64
+	OverflowFrames    int64
+	UnroutedFrames    int64
+	DroppedDeliveries int64
+	// PartitionDrops and LossDrops count sends the fault fabric ate.
+	PartitionDrops int64
+	LossDrops      int64
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	// Published counts events published per topic.
+	Published map[string]int
+	// PerTopic is each topic's delivery fraction over its surviving
+	// subscribers.
+	PerTopic map[string]float64
+	// Reliability is the overall delivered fraction over all
+	// (event, surviving subscriber) pairs.
+	Reliability float64
+	// AliveEndpoints is how many endpoints were up at grading time.
+	AliveEndpoints int
+	// FaultCounts tallies applied faults by kind name.
+	FaultCounts map[string]int
+	// AfterFault snapshots the cluster counters right after the last
+	// application of each fault kind.
+	AfterFault map[string]NetStats
+	// Final is the cluster counter snapshot at grading time.
+	Final NetStats
+	// Missing lists undelivered (endpoint, topic, event) pairs, capped
+	// at 64 entries — enough to see who is starving without flooding
+	// the report.
+	Missing []string
+	// MetSLO reports Reliability >= Config.SLO.
+	MetSLO bool
+}
+
+// endpoint is one hub of the cluster, restartable at a stable address.
+type endpoint struct {
+	idx    int
+	addr   string
+	topics []string
+	tr     *damulticast.TCPTransport
+	hub    *damulticast.Hub
+	subs   map[string]*damulticast.Subscription
+	down   bool
+	gen    int
+}
+
+type harness struct {
+	cfg      Config
+	ctrl     *netCtrl
+	eps      []*endpoint
+	faultRng *rand.Rand
+	pubRng   *rand.Rand
+	pubSeq   int
+	wg       sync.WaitGroup
+
+	mu        sync.Mutex
+	delivered []map[string]map[string]bool // endpoint -> topic -> event ids
+	published map[string][]string
+	retired   NetStats // counters absorbed from stopped hub generations
+}
+
+// Run executes one chaos soak and grades it. The run is synchronous:
+// it returns after the settle window with every endpoint stopped.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	h := &harness{
+		cfg:       cfg,
+		ctrl:      &netCtrl{},
+		eps:       make([]*endpoint, cfg.Endpoints),
+		faultRng:  xrand.NewStream(cfg.Seed, "chaos:faults"),
+		pubRng:    xrand.NewStream(cfg.Seed, "chaos:publish"),
+		delivered: make([]map[string]map[string]bool, cfg.Endpoints),
+		published: make(map[string][]string, len(cfg.Topics)),
+	}
+	for i := range h.eps {
+		h.eps[i] = &endpoint{idx: i, topics: memberTopics(i, cfg.Topics)}
+		h.delivered[i] = make(map[string]map[string]bool, len(cfg.Topics))
+	}
+	defer h.stopAll()
+
+	// Phase 1: bind every listener so contact lists are complete before
+	// any hub joins.
+	for _, ep := range h.eps {
+		tr, err := bindTCP("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		ep.tr = tr
+		ep.addr = tr.Addr()
+	}
+	// Phase 2: hubs and subscriptions.
+	for i := range h.eps {
+		if err := h.startHub(i); err != nil {
+			return nil, err
+		}
+	}
+	time.Sleep(2 * cfg.Tick)
+
+	sched := make([]Fault, len(cfg.Schedule))
+	copy(sched, cfg.Schedule)
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].Step < sched[j].Step })
+	report := &Report{
+		Published:   make(map[string]int, len(cfg.Topics)),
+		PerTopic:    make(map[string]float64, len(cfg.Topics)),
+		FaultCounts: make(map[string]int),
+		AfterFault:  make(map[string]NetStats),
+	}
+	maxStep := sched[len(sched)-1].Step
+	fi := 0
+	for step := 0; step <= maxStep; step++ {
+		for fi < len(sched) && sched[fi].Step <= step {
+			f := sched[fi]
+			if err := h.apply(f); err != nil {
+				return nil, err
+			}
+			report.FaultCounts[f.Kind.String()]++
+			report.AfterFault[f.Kind.String()] = h.netStats()
+			fi++
+		}
+		time.Sleep(cfg.Step)
+	}
+	time.Sleep(cfg.Settle)
+
+	h.grade(report)
+	return report, nil
+}
+
+// memberTopics assigns endpoint i its subscriptions: its home topic by
+// round-robin, and for every third endpoint the next topic as well.
+func memberTopics(i int, topics []string) []string {
+	out := []string{topics[i%len(topics)]}
+	if i%3 == 0 && len(topics) > 1 {
+		out = append(out, topics[(i+1)%len(topics)])
+	}
+	return out
+}
+
+// bindTCP binds a listener, retrying briefly: a restart rebinding its
+// old address can race the kernel's release of the previous socket.
+func bindTCP(addr string) (*damulticast.TCPTransport, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		tr, err := damulticast.NewTCPTransport(addr)
+		if err == nil {
+			return tr, nil
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("chaos: bind %s: %w", addr, lastErr)
+}
+
+// params builds the hubs' protocol parameters. Membership never ages
+// out (a partition must not dissolve the overlay into permanent
+// islands) and super-table maintenance is off (the chaos topics are
+// flat — there is no hierarchy to maintain).
+func (h *harness) params() damulticast.Params {
+	p := damulticast.DefaultParams()
+	p.MaxAge = 1 << 20
+	p.MaintainPeriod = 0
+	if h.cfg.Recovery {
+		p.RecoverPeriod = 2
+		p.RecoverFanout = 3
+		p.RecoverStoreCap = 2048
+		p.RecoverMaxAge = 1 << 20
+	}
+	return p
+}
+
+// contacts lists the other endpoints subscribed to t, by address.
+func (h *harness) contacts(idx int, t string) []string {
+	var out []string
+	for _, ep := range h.eps {
+		if ep.idx == idx {
+			continue
+		}
+		for _, et := range ep.topics {
+			if et == t {
+				out = append(out, ep.addr)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// startHub builds endpoint idx's hub over its already-bound transport
+// and joins its topics. Each generation derives a fresh protocol seed.
+func (h *harness) startHub(idx int) error {
+	ep := h.eps[idx]
+	hub, err := damulticast.NewHub(
+		&filteredTransport{inner: ep.tr, ctrl: h.ctrl},
+		damulticast.WithSeed(xrand.SeedFor(h.cfg.Seed, fmt.Sprintf("hub:%d:gen:%d", idx, ep.gen))),
+		damulticast.WithTickInterval(h.cfg.Tick),
+		damulticast.WithParams(h.params()),
+	)
+	if err != nil {
+		_ = ep.tr.Close()
+		return err
+	}
+	ep.hub = hub
+	ep.subs = make(map[string]*damulticast.Subscription, len(ep.topics))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, t := range ep.topics {
+		sub, err := hub.Join(ctx, t, damulticast.WithGroupContacts(h.contacts(idx, t)...))
+		if err != nil {
+			_ = hub.Stop()
+			return fmt.Errorf("chaos: endpoint %d join %s: %w", idx, t, err)
+		}
+		ep.subs[t] = sub
+		h.drain(idx, sub)
+	}
+	ep.down = false
+	return nil
+}
+
+// drain consumes one subscription's deliveries into the cumulative
+// per-endpoint ledger (cumulative across restarts: like the paper's
+// reliability accounting, a delivery before a crash still counts).
+func (h *harness) drain(idx int, sub *damulticast.Subscription) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for ev := range sub.Events() {
+			h.record(idx, ev.Topic, ev.ID)
+		}
+	}()
+}
+
+func (h *harness) record(idx int, tp, id string) {
+	h.mu.Lock()
+	m := h.delivered[idx][tp]
+	if m == nil {
+		m = make(map[string]bool)
+		h.delivered[idx][tp] = m
+	}
+	m[id] = true
+	h.mu.Unlock()
+}
+
+// apply executes one scheduled fault.
+func (h *harness) apply(f Fault) error {
+	switch f.Kind {
+	case FaultPublish:
+		return h.publishAll()
+	case FaultKill:
+		var alive []*endpoint
+		for _, ep := range h.eps {
+			if !ep.down {
+				alive = append(alive, ep)
+			}
+		}
+		n := f.Count
+		if n > len(alive)-1 {
+			n = len(alive) - 1 // never kill the whole cluster
+		}
+		perm := h.faultRng.Perm(len(alive))
+		for i := 0; i < n; i++ {
+			h.kill(alive[perm[i]])
+		}
+	case FaultRestart:
+		var down []*endpoint
+		for _, ep := range h.eps {
+			if ep.down {
+				down = append(down, ep)
+			}
+		}
+		n := f.Count
+		if n == 0 || n > len(down) {
+			n = len(down)
+		}
+		perm := h.faultRng.Perm(len(down))
+		for i := 0; i < n; i++ {
+			if err := h.restart(down[perm[i]]); err != nil {
+				return err
+			}
+		}
+	case FaultPartition:
+		cells := make(map[string]int, len(h.eps))
+		for _, ep := range h.eps {
+			// Cell by endpoint stripe, deliberately not by topic parity:
+			// every topic group must span cells for the partition to
+			// bite.
+			cells[ep.addr] = (ep.idx / len(h.cfg.Topics)) % f.Cells
+		}
+		h.ctrl.setCells(cells)
+	case FaultHeal:
+		h.ctrl.setCells(nil)
+	case FaultLoss:
+		h.ctrl.setLoss(f.Rate)
+	case FaultLossRestore:
+		h.ctrl.setLoss(0)
+	}
+	return nil
+}
+
+// publishAll publishes one event per topic from a randomly elected
+// alive subscriber. The publisher's own delivery is recorded here —
+// Publish does not loop an event back to its origin.
+func (h *harness) publishAll() error {
+	for _, t := range h.cfg.Topics {
+		var cands []*endpoint
+		for _, ep := range h.eps {
+			if !ep.down && ep.subs[t] != nil {
+				cands = append(cands, ep)
+			}
+		}
+		if len(cands) == 0 {
+			continue // every subscriber of t is down right now
+		}
+		ep := cands[h.pubRng.Intn(len(cands))]
+		h.pubSeq++
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		id, err := ep.subs[t].Publish(ctx, []byte(fmt.Sprintf("%s/%d", t, h.pubSeq)))
+		cancel()
+		if err != nil {
+			return fmt.Errorf("%w: endpoint %d topic %s: %v", ErrPublish, ep.idx, t, err)
+		}
+		h.mu.Lock()
+		h.published[t] = append(h.published[t], id)
+		h.mu.Unlock()
+		h.record(ep.idx, t, id)
+	}
+	return nil
+}
+
+// kill hard-stops an endpoint: its counters are absorbed first, then
+// the hub goes down with its listener (peers see dead TCP, not a
+// graceful leave).
+func (h *harness) kill(ep *endpoint) {
+	ep.down = true
+	_ = ep.hub.Stop()
+	h.absorb(ep.hub)
+	ep.hub = nil
+	ep.subs = nil
+}
+
+// restart revives a killed endpoint at its old address with a fresh
+// hub generation (empty protocol state — whatever it missed is the
+// recovery plane's problem).
+func (h *harness) restart(ep *endpoint) error {
+	tr, err := bindTCP(ep.addr)
+	if err != nil {
+		return err
+	}
+	ep.tr = tr
+	ep.gen++
+	return h.startHub(ep.idx)
+}
+
+// absorb folds a stopped hub's counters into the retired totals so
+// NetStats spans every generation, dead or alive.
+func (h *harness) absorb(hub *damulticast.Hub) {
+	st := hub.Stats()
+	h.mu.Lock()
+	h.retired.MalformedFrames += st.MalformedFrames
+	h.retired.OverflowFrames += st.OverflowFrames
+	h.retired.UnroutedFrames += st.UnroutedFrames
+	h.retired.DroppedDeliveries += st.DroppedDeliveries
+	for _, ss := range st.Subscriptions {
+		h.retired.Recovered += ss.Recovery.Recovered
+		h.retired.Requested += ss.Recovery.Requested
+	}
+	h.mu.Unlock()
+}
+
+// netStats snapshots the cluster-wide counters: retired generations
+// plus every live hub, plus the fault fabric's drops.
+func (h *harness) netStats() NetStats {
+	h.mu.Lock()
+	ns := h.retired
+	h.mu.Unlock()
+	for _, ep := range h.eps {
+		if ep.down || ep.hub == nil {
+			continue
+		}
+		st := ep.hub.Stats()
+		ns.MalformedFrames += st.MalformedFrames
+		ns.OverflowFrames += st.OverflowFrames
+		ns.UnroutedFrames += st.UnroutedFrames
+		ns.DroppedDeliveries += st.DroppedDeliveries
+		for _, ss := range st.Subscriptions {
+			ns.Recovered += ss.Recovery.Recovered
+			ns.Requested += ss.Recovery.Requested
+		}
+	}
+	ns.PartitionDrops, ns.LossDrops = h.ctrl.drops()
+	return ns
+}
+
+// grade fills the report's delivery verdict: for every topic, what
+// fraction of (event, surviving subscriber) pairs were delivered.
+func (h *harness) grade(r *Report) {
+	r.Final = h.netStats()
+	var got, total int
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range h.cfg.Topics {
+		evs := h.published[t]
+		r.Published[t] = len(evs)
+		var tGot, tTotal int
+		for _, ep := range h.eps {
+			if ep.down || ep.subs[t] == nil {
+				continue
+			}
+			tTotal += len(evs)
+			for _, id := range evs {
+				if h.delivered[ep.idx][t][id] {
+					tGot++
+				} else if len(r.Missing) < 64 {
+					r.Missing = append(r.Missing, fmt.Sprintf("ep%d %s %s", ep.idx, t, id))
+				}
+			}
+		}
+		if tTotal > 0 {
+			r.PerTopic[t] = float64(tGot) / float64(tTotal)
+		}
+		got += tGot
+		total += tTotal
+	}
+	for _, ep := range h.eps {
+		if !ep.down {
+			r.AliveEndpoints++
+		}
+	}
+	if total > 0 {
+		r.Reliability = float64(got) / float64(total)
+	}
+	r.MetSLO = r.Reliability >= h.cfg.SLO
+}
+
+// stopAll tears the cluster down and waits for the drain goroutines.
+func (h *harness) stopAll() {
+	for _, ep := range h.eps {
+		if !ep.down && ep.hub != nil {
+			_ = ep.hub.Stop()
+		}
+	}
+	h.wg.Wait()
+}

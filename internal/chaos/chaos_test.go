@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenScheduleReplaysIdentically(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		a := GenSchedule(seed, 14)
+		b := GenSchedule(seed, 14)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedule not reproducible:\n%v\n%v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(GenSchedule(1, 14), GenSchedule(2, 14)) {
+		t.Error("seeds 1 and 2 yielded identical schedules; generator ignores its seed?")
+	}
+}
+
+func TestGenScheduleCoversEveryFaultKind(t *testing.T) {
+	sched := GenSchedule(3, 14)
+	kinds := make(map[FaultKind]bool)
+	for _, f := range sched {
+		if err := f.validate(); err != nil {
+			t.Errorf("generated fault invalid: %v", err)
+		}
+		kinds[f.Kind] = true
+	}
+	for k := FaultPublish; k <= FaultLossRestore; k++ {
+		if !kinds[k] {
+			t.Errorf("schedule never fires %v", k)
+		}
+	}
+	last := sched[len(sched)-1]
+	if last.Kind != FaultPublish {
+		t.Errorf("schedule ends with %v, want a trailing publish", last.Kind)
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"publish", Fault{Kind: FaultPublish}, true},
+		{"negative step", Fault{Step: -1, Kind: FaultPublish}, false},
+		{"kill no count", Fault{Kind: FaultKill}, false},
+		{"kill", Fault{Kind: FaultKill, Count: 2}, true},
+		{"partition one cell", Fault{Kind: FaultPartition, Cells: 1}, false},
+		{"partition", Fault{Kind: FaultPartition, Cells: 2}, true},
+		{"loss rate 1", Fault{Kind: FaultLoss, Rate: 1}, false},
+		{"loss", Fault{Kind: FaultLoss, Rate: 0.3}, true},
+		{"unknown", Fault{Kind: FaultKind(99)}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.f.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// partitionSchedule publishes once on a healthy cluster, then twice
+// inside a two-cell partition, then heals: without recovery the
+// cross-cell halves permanently miss the partitioned events.
+func partitionSchedule() []Fault {
+	return []Fault{
+		{Step: 0, Kind: FaultPublish},
+		{Step: 1, Kind: FaultPartition, Cells: 2},
+		{Step: 2, Kind: FaultPublish},
+		{Step: 3, Kind: FaultPublish},
+		{Step: 5, Kind: FaultHeal},
+	}
+}
+
+func partitionConfig(recovery bool) Config {
+	return Config{
+		Endpoints: 12,
+		Topics:    []string{".alpha", ".beta"},
+		Seed:      11,
+		Tick:      10 * time.Millisecond,
+		Step:      80 * time.Millisecond,
+		Settle:    1500 * time.Millisecond,
+		Recovery:  recovery,
+		Schedule:  partitionSchedule(),
+		SLO:       0.99,
+	}
+}
+
+func TestPartitionHealMeetsSLOWithRecovery(t *testing.T) {
+	rep, err := Run(partitionConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reliability %.4f, per-topic %v, recovered %d, partition drops %d",
+		rep.Reliability, rep.PerTopic, rep.Final.Recovered, rep.Final.PartitionDrops)
+	if !rep.MetSLO {
+		t.Errorf("reliability %.4f below SLO 0.99 despite recovery", rep.Reliability)
+	}
+	if rep.Final.PartitionDrops == 0 {
+		t.Error("partition never dropped a frame; fault fabric inert?")
+	}
+	if rep.Final.Recovered == 0 {
+		t.Error("recovery plane never recovered an event across the heal")
+	}
+}
+
+func TestPartitionWithoutRecoveryMissesSLO(t *testing.T) {
+	rep, err := Run(partitionConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reliability %.4f without recovery", rep.Reliability)
+	// Two of the three events per topic were published inside the
+	// partition; without a recovery plane roughly half their
+	// subscribers never see them.
+	if rep.Reliability >= 0.9 {
+		t.Errorf("reliability %.4f without recovery; expected the partitioned events to stay lost", rep.Reliability)
+	}
+	if rep.MetSLO {
+		t.Error("run without recovery claims to meet the SLO")
+	}
+}
+
+// TestChaosSoak is the full harness: 24 real TCP endpoints, three
+// topics, a seeded schedule covering kills, restarts, a partition and
+// a loss burst — graded against the 99% delivery SLO over surviving
+// subscribers after the settle window.
+func TestChaosSoak(t *testing.T) {
+	cfg := Config{
+		Endpoints: 24,
+		Topics:    []string{".t0", ".t1", ".t2"},
+		Seed:      5,
+		Tick:      10 * time.Millisecond,
+		Step:      80 * time.Millisecond,
+		Settle:    2 * time.Second,
+		Recovery:  true,
+		Schedule:  GenSchedule(5, 14),
+		SLO:       0.99,
+	}
+	start := time.Now()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak done in %s: reliability %.4f, faults %v, recovered %d, drops %d/%d",
+		time.Since(start).Round(time.Millisecond), rep.Reliability, rep.FaultCounts,
+		rep.Final.Recovered, rep.Final.PartitionDrops, rep.Final.LossDrops)
+	if !rep.MetSLO {
+		t.Errorf("reliability %.4f below SLO %.2f", rep.Reliability, cfg.SLO)
+	}
+	if rep.AliveEndpoints != cfg.Endpoints {
+		t.Errorf("%d endpoints alive at end, want %d (schedule restarts everyone)", rep.AliveEndpoints, cfg.Endpoints)
+	}
+	for _, kind := range []string{"publish", "kill", "restart", "partition", "heal", "loss-burst", "loss-restore"} {
+		if rep.FaultCounts[kind] == 0 {
+			t.Errorf("fault kind %s never applied", kind)
+		}
+		if _, ok := rep.AfterFault[kind]; !ok {
+			t.Errorf("no post-fault stats snapshot for %s", kind)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := partitionConfig(true)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"one endpoint", func(c *Config) { c.Endpoints = 1 }},
+		{"no topics", func(c *Config) { c.Topics = nil }},
+		{"bad topic", func(c *Config) { c.Topics = []string{"nodot"} }},
+		{"duplicate topic", func(c *Config) { c.Topics = []string{".a", ".a"} }},
+		{"bad slo", func(c *Config) { c.SLO = 1.5 }},
+		{"empty schedule", func(c *Config) { c.Schedule = nil }},
+		{"bad fault", func(c *Config) { c.Schedule = []Fault{{Kind: FaultPartition, Cells: 1}} }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.withDefaults().validate(); err == nil {
+			t.Errorf("%s: validate accepted invalid config", tc.name)
+		}
+	}
+	if err := base.withDefaults().validate(); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}

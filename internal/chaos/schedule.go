@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"damulticast/internal/xrand"
+)
+
+// FaultKind enumerates the faults a chaos schedule can inject between
+// steps of a live soak run.
+type FaultKind int
+
+const (
+	// FaultPublish publishes one event on every topic, each from a
+	// deterministically chosen alive subscriber.
+	FaultPublish FaultKind = iota + 1
+	// FaultKill hard-stops Count endpoints (hub stopped, TCP listener
+	// closed): a crash, not a graceful leave.
+	FaultKill
+	// FaultRestart revives down endpoints (all of them when Count is 0):
+	// same address, fresh hub, empty protocol state. With recovery
+	// enabled the restartee pulls its backlog via anti-entropy.
+	FaultRestart
+	// FaultPartition splits the endpoints into Cells cells and drops
+	// every frame crossing cells until FaultHeal.
+	FaultPartition
+	// FaultHeal removes the partition.
+	FaultHeal
+	// FaultLoss starts a loss burst dropping Rate of all sends.
+	FaultLoss
+	// FaultLossRestore ends the loss burst.
+	FaultLossRestore
+)
+
+var faultKindNames = map[FaultKind]string{
+	FaultPublish:     "publish",
+	FaultKill:        "kill",
+	FaultRestart:     "restart",
+	FaultPartition:   "partition",
+	FaultHeal:        "heal",
+	FaultLoss:        "loss-burst",
+	FaultLossRestore: "loss-restore",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("faultkind(%d)", int(k))
+}
+
+// ErrBadFault reports an invalid schedule entry.
+var ErrBadFault = errors.New("chaos: invalid fault")
+
+// Fault is one scheduled injection, applied at the start of step Step
+// (steps are fixed wall-clock slices of the soak run).
+type Fault struct {
+	Step int
+	Kind FaultKind
+	// Count is how many endpoints FaultKill stops, or FaultRestart
+	// revives (0 = every down endpoint).
+	Count int
+	// Cells is the partition cell count (>= 2).
+	Cells int
+	// Rate is the loss-burst drop probability in [0, 1).
+	Rate float64
+}
+
+func (f Fault) validate() error {
+	if f.Step < 0 {
+		return fmt.Errorf("%w: negative step %d", ErrBadFault, f.Step)
+	}
+	switch f.Kind {
+	case FaultPublish, FaultHeal, FaultLossRestore:
+	case FaultKill:
+		if f.Count < 1 {
+			return fmt.Errorf("%w: kill needs Count >= 1", ErrBadFault)
+		}
+	case FaultRestart:
+		if f.Count < 0 {
+			return fmt.Errorf("%w: negative restart count", ErrBadFault)
+		}
+	case FaultPartition:
+		if f.Cells < 2 {
+			return fmt.Errorf("%w: partition needs >= 2 cells, got %d", ErrBadFault, f.Cells)
+		}
+	case FaultLoss:
+		if f.Rate < 0 || f.Rate >= 1 {
+			return fmt.Errorf("%w: loss rate %g outside [0, 1)", ErrBadFault, f.Rate)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadFault, int(f.Kind))
+	}
+	return nil
+}
+
+// GenSchedule derives a deterministic soak schedule from a seed: a
+// fixed skeleton guaranteeing every fault kind fires — publish, then a
+// partition with a publish inside it, a kill wave, a loss burst with
+// another publish, then heal/restore/restart and trailing publishes —
+// with the exact step offsets, kill width, loss rate and publish
+// density drawn from the seeded stream. The same (seed, steps) always
+// yields the same schedule, byte for byte; replaying a soak is
+// re-running its seed.
+func GenSchedule(seed int64, steps int) []Fault {
+	if steps < 10 {
+		steps = 10
+	}
+	rng := xrand.NewStream(seed, "chaos:schedule")
+	out := []Fault{{Step: 0, Kind: FaultPublish}}
+	partAt := 1 + rng.Intn(2)
+	out = append(out, Fault{Step: partAt, Kind: FaultPartition, Cells: 2})
+	out = append(out, Fault{Step: partAt + 1, Kind: FaultPublish})
+	killAt := partAt + 1 + rng.Intn(2)
+	out = append(out, Fault{Step: killAt, Kind: FaultKill, Count: 1 + rng.Intn(3)})
+	lossAt := killAt + 1
+	out = append(out, Fault{Step: lossAt, Kind: FaultLoss, Rate: 0.2 + 0.3*rng.Float64()})
+	out = append(out, Fault{Step: lossAt + 1, Kind: FaultPublish})
+	healAt := lossAt + 2
+	out = append(out, Fault{Step: healAt, Kind: FaultHeal})
+	out = append(out, Fault{Step: healAt, Kind: FaultLossRestore})
+	out = append(out, Fault{Step: healAt + 1, Kind: FaultRestart})
+	for s := healAt + 2; s < steps-1; s++ {
+		if rng.Float64() < 0.5 {
+			out = append(out, Fault{Step: s, Kind: FaultPublish})
+		}
+	}
+	out = append(out, Fault{Step: steps - 1, Kind: FaultPublish})
+	return out
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"sync"
+
+	"damulticast"
+)
+
+// netCtrl is the shared fault fabric of one chaos run: every endpoint's
+// outbound sends consult it before touching the real TCP transport, so
+// a partition or loss burst applies to the whole in-process cluster
+// atomically. Drops are counted, never silent — the same contract the
+// hub's own receive path keeps.
+type netCtrl struct {
+	mu sync.Mutex
+	// cell maps transport addresses to partition cells; nil means no
+	// partition. Messages crossing cells are dropped.
+	cell map[string]int
+	// loss is the drop probability of the current loss burst (0 = off).
+	loss float64
+	// lossSeq drives the deterministic loss pattern: of every 1000
+	// consecutive sends, the first loss*1000 are dropped (the same
+	// counter scheme MemNetwork uses, so the dropped fraction is exact
+	// rather than a coin-flip estimate).
+	lossSeq uint64
+
+	partitionDrops int64
+	lossDrops      int64
+}
+
+// setCells installs (or, with nil, heals) a partition.
+func (c *netCtrl) setCells(cells map[string]int) {
+	c.mu.Lock()
+	c.cell = cells
+	c.mu.Unlock()
+}
+
+// setLoss sets the loss-burst drop probability (0 restores).
+func (c *netCtrl) setLoss(p float64) {
+	c.mu.Lock()
+	c.loss = p
+	c.mu.Unlock()
+}
+
+// allow decides one send. Partition checks precede loss: a dropped
+// cross-cell frame is a partition casualty regardless of the burst.
+func (c *netCtrl) allow(from, to string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cell != nil {
+		cf, okf := c.cell[from]
+		ct, okt := c.cell[to]
+		if okf && okt && cf != ct {
+			c.partitionDrops++
+			return false
+		}
+	}
+	if c.loss > 0 {
+		c.lossSeq++
+		if float64(c.lossSeq%1000) < c.loss*1000 {
+			c.lossDrops++
+			return false
+		}
+	}
+	return true
+}
+
+// drops snapshots the drop counters.
+func (c *netCtrl) drops() (partition, loss int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partitionDrops, c.lossDrops
+}
+
+// filteredTransport wraps a real transport with the run's fault
+// fabric: sends the fabric vetoes are swallowed as best-effort losses
+// (exactly what a lossy or partitioned network does to UDP-style
+// gossip), everything else hits the genuine TCP stack.
+type filteredTransport struct {
+	inner damulticast.Transport
+	ctrl  *netCtrl
+}
+
+var _ damulticast.Transport = (*filteredTransport)(nil)
+
+func (f *filteredTransport) Addr() string { return f.inner.Addr() }
+
+func (f *filteredTransport) Send(addr string, payload []byte) error {
+	if !f.ctrl.allow(f.inner.Addr(), addr) {
+		return nil // injected network loss: best-effort, counted by ctrl
+	}
+	return f.inner.Send(addr, payload)
+}
+
+func (f *filteredTransport) SetHandler(h func(payload []byte)) { f.inner.SetHandler(h) }
+
+func (f *filteredTransport) Close() error { return f.inner.Close() }

@@ -157,8 +157,16 @@ func (p *Process) onReqContact(m *Message) {
 
 // reqDedupID folds a REQCONTACT wave identity into an EventID so the
 // shared seen-set can suppress duplicates.
+//
+// The origin is marked with a "#req" suffix: request ids draw from the
+// same per-process sequence counter as event ids, and on a multiplexed
+// endpoint every member process floods waves under the same transport
+// address. An unmarked {origin, reqID} tuple can therefore collide
+// with a real event id — the seen-set would then swallow the event as
+// a "duplicate" and the group silently loses it. Marked, request waves
+// deduplicate only among themselves.
 func reqDedupID(m *Message) ids.EventID {
-	return ids.EventID{Origin: m.Origin, Seq: m.ReqID}
+	return ids.EventID{Origin: m.Origin + "#req", Seq: m.ReqID}
 }
 
 // onAnsContact handles an ANSCONTACT (Fig. 4 lines 30-37): merge the

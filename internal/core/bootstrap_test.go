@@ -407,3 +407,51 @@ func TestBootstrapFallsBackToInducingTopic(t *testing.T) {
 		t.Error("task stopped even though direct super never found")
 	}
 }
+
+// Request ids draw from the same per-process sequence counter as event
+// ids, and multiplexed endpoints flood waves under a shared transport
+// address — so a REQCONTACT's {origin, reqID} tuple can numerically
+// equal a later event's {origin, seq}. The dedup entry must not shadow
+// the event (a live hub would otherwise silently lose it).
+func TestReqContactDedupDoesNotShadowEvents(t *testing.T) {
+	env := newFakeEnv(1)
+	env.neighbors = []ids.ProcessID{"n1"}
+	params := testParams()
+	params.GroupSizeHint = 4
+	p := MustNewProcess("p0", ".a", params, env)
+	p.SeedTopicTable([]ids.ProcessID{"m1", "m2", "m3"})
+
+	p.HandleMessage(&Message{
+		Type:         MsgReqContact,
+		From:         "relay",
+		FromTopic:    ".b",
+		Origin:       "pub",
+		OriginTopic:  ".b",
+		SearchTopics: []topic.Topic{".c"},
+		TTL:          0,
+		ReqID:        7,
+	})
+
+	// The same {origin, seq} pair now arrives as a genuine event.
+	ev := &Event{ID: ids.EventID{Origin: "pub", Seq: 7}, Topic: ".a", Payload: []byte("x")}
+	p.HandleMessage(&Message{Type: MsgEvent, From: "m1", FromTopic: ".a", Event: ev})
+	if len(env.delivered) != 1 {
+		t.Fatalf("delivered = %d; REQCONTACT dedup id shadowed the event", len(env.delivered))
+	}
+
+	// And the wave itself still deduplicates: a replay is ignored.
+	env.reset()
+	p.HandleMessage(&Message{
+		Type:         MsgReqContact,
+		From:         "relay2",
+		FromTopic:    ".b",
+		Origin:       "pub",
+		OriginTopic:  ".b",
+		SearchTopics: []topic.Topic{".c"},
+		TTL:          2,
+		ReqID:        7,
+	})
+	if got := len(env.sentOfType(MsgReqContact)); got != 0 {
+		t.Errorf("duplicate wave forwarded %d times, want 0", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"damulticast/internal/core"
 	"damulticast/internal/ids"
+	"damulticast/internal/simnet"
 	"damulticast/internal/topic"
 	"damulticast/internal/xrand"
 )
@@ -42,6 +43,10 @@ const (
 	// ScenarioLossRestore restores the configured channel success
 	// probability.
 	ScenarioLossRestore
+	// ScenarioStragglers makes Fraction of all sends spend between 1
+	// and Delay extra rounds in flight (per-link latency skew).
+	// Fraction 0 clears any straggler distribution.
+	ScenarioStragglers
 )
 
 var scenarioKindNames = map[ScenarioKind]string{
@@ -52,6 +57,7 @@ var scenarioKindNames = map[ScenarioKind]string{
 	ScenarioHeal:        "heal",
 	ScenarioLossBurst:   "loss-burst",
 	ScenarioLossRestore: "loss-restore",
+	ScenarioStragglers:  "stragglers",
 }
 
 // String names the scenario kind.
@@ -76,6 +82,9 @@ type ScenarioEvent struct {
 	Cells int
 	// PSucc is the loss-burst channel success probability in (0, 1].
 	PSucc float64
+	// Delay is the stragglers' maximum extra rounds in flight (>= 1
+	// when Fraction > 0).
+	Delay int
 }
 
 // topicOrAll aliases topic.Topic for scenario targeting; the empty
@@ -123,6 +132,13 @@ func (s Scenario) Validate() error {
 		case ScenarioLossBurst:
 			if ev.PSucc <= 0 || ev.PSucc > 1 {
 				return fmt.Errorf("%w: event %d psucc %g", ErrBadEvent, i, ev.PSucc)
+			}
+		case ScenarioStragglers:
+			if ev.Fraction < 0 || ev.Fraction > 1 {
+				return fmt.Errorf("%w: event %d fraction %g", ErrBadEvent, i, ev.Fraction)
+			}
+			if ev.Fraction > 0 && ev.Delay < 1 {
+				return fmt.Errorf("%w: event %d stragglers need Delay >= 1", ErrBadEvent, i)
 			}
 		default:
 			return fmt.Errorf("%w: %d", ErrBadEventKind, int(ev.Kind))
@@ -279,6 +295,13 @@ func (r *Runner) applyEvent(ev ScenarioEvent, evs *[]ids.EventID) error {
 		r.net.PSucc = ev.PSucc
 	case ScenarioLossRestore:
 		r.net.PSucc = r.cfg.PSucc
+	case ScenarioStragglers:
+		if ev.Fraction <= 0 {
+			r.net.SetLinkDelay(nil)
+			break
+		}
+		r.net.SetLinkDelay(simnet.StragglerDelay(
+			xrand.SeedFor(r.cfg.Seed, "stragglers"), ev.Fraction, ev.Delay))
 	default:
 		return fmt.Errorf("%w: %d", ErrBadEventKind, int(ev.Kind))
 	}

@@ -84,6 +84,10 @@ type figureSpec struct {
 	name   string
 	xlabel string
 	ylabel string
+	// grid, when non-nil, pins the figure's canonical x-axis for a
+	// given point count (see FigureXs); nil uses the default i/points
+	// sweep over (0, 1].
+	grid func(points int) []float64
 	// runPoint executes one independent run (or, for comparison
 	// figures like "recovery", a deterministic bundle of sub-runs) at
 	// x-axis value x with the given seed, on kernelWorkers simnet
@@ -251,12 +255,13 @@ func recoverySpec() figureSpec {
 // figureSpecs maps canonical figure names to their sweep specs.
 func figureSpecs() map[string]figureSpec {
 	return map[string]figureSpec{
-		"fig8":     paperSpec("fig8", "events sent within group", 0, extractIntra),
-		"fig9":     paperSpec("fig9", "intergroup events", 0, extractInter),
-		"fig10":    paperSpec("fig10", "fraction of processes receiving", FailStillborn, extractReliabilityAll),
-		"fig11":    paperSpec("fig11", "fraction of processes receiving", FailPerObserver, extractReliabilityAll),
-		"churn":    churnSpec(),
-		"recovery": recoverySpec(),
+		"fig8":      paperSpec("fig8", "events sent within group", 0, extractIntra),
+		"fig9":      paperSpec("fig9", "intergroup events", 0, extractInter),
+		"fig10":     paperSpec("fig10", "fraction of processes receiving", FailStillborn, extractReliabilityAll),
+		"fig11":     paperSpec("fig11", "fraction of processes receiving", FailPerObserver, extractReliabilityAll),
+		"churn":     churnSpec(),
+		"recovery":  recoverySpec(),
+		"baselines": baselinesSpec(),
 	}
 }
 

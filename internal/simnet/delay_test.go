@@ -1,0 +1,214 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"damulticast/internal/ids"
+)
+
+// fixedDelay delays every send by the same number of extra rounds.
+func fixedDelay(extra int) func(from, to ids.ProcessID, seq uint64) int {
+	return func(ids.ProcessID, ids.ProcessID, uint64) int { return extra }
+}
+
+func TestLinkDelayDeliveryRound(t *testing.T) {
+	n := New(1)
+	addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	n.SetLinkDelay(fixedDelay(2))
+	n.Send("a", "b", "slow")
+	if n.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (delayed counts)", n.Pending())
+	}
+	// Normal delivery would be round 1; delay 2 pushes it to round 3.
+	for round := 1; round <= 2; round++ {
+		if got := n.Step(); got != 0 {
+			t.Fatalf("round %d delivered %d, want 0", round, got)
+		}
+	}
+	if got := n.Step(); got != 1 {
+		t.Fatalf("round 3 delivered %d, want 1", got)
+	}
+	if len(b.received) != 1 || b.received[0] != "slow" {
+		t.Fatalf("received = %v", b.received)
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("Pending = %d after delivery", n.Pending())
+	}
+}
+
+func TestLinkDelayMidRoundSend(t *testing.T) {
+	// A send performed during delivery (round r) with delay d lands in
+	// round r+1+d, mirroring the normal r+1 contract.
+	n := New(1)
+	a := addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	c := addEcho(t, n, "c")
+	a.forward = "c" // unused; keep a referenced
+	b.forward = "c"
+	n.Send("a", "b", "ping")
+	n.SetLinkDelay(fixedDelay(1))
+	n.Step() // round 1: b receives, forwards to c with delay 1
+	if got := n.Step(); got != 0 {
+		t.Fatalf("round 2 delivered %d, want 0", got)
+	}
+	if got := n.Step(); got != 1 {
+		t.Fatalf("round 3 delivered %d, want 1", got)
+	}
+	if len(c.received) != 1 {
+		t.Fatalf("c.received = %v", c.received)
+	}
+}
+
+func TestLinkDelayDroppedSendsNotDelayed(t *testing.T) {
+	// Delay is only evaluated for sends the channel kept: a send to a
+	// crashed node must not linger in the delayed buckets and keep
+	// Run alive.
+	n := New(1)
+	addEcho(t, n, "a")
+	addEcho(t, n, "b")
+	if err := n.Crash("b"); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkDelay(fixedDelay(5))
+	n.Send("a", "b", "void")
+	if n.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0 for dropped send", n.Pending())
+	}
+}
+
+func TestRunDrainsDelayedMessages(t *testing.T) {
+	// Run must not stop while messages are still in flight on slow
+	// links, even when the regular queue is empty.
+	n := New(1)
+	addEcho(t, n, "a")
+	b := addEcho(t, n, "b")
+	n.SetLinkDelay(fixedDelay(3))
+	n.Send("a", "b", "late")
+	ran := n.Run(100)
+	if ran != 4 {
+		t.Fatalf("Run executed %d rounds, want 4", ran)
+	}
+	if len(b.received) != 1 {
+		t.Fatalf("received = %v", b.received)
+	}
+}
+
+func TestLinkDelayOrderingDueBeforeQueue(t *testing.T) {
+	// A round's due stragglers deliver before that round's regular
+	// queue: they are the older sends.
+	n := New(1)
+	addEcho(t, n, "a")
+	addEcho(t, n, "b")
+	c := addEcho(t, n, "c")
+	n.SetLinkDelay(func(from, to ids.ProcessID, seq uint64) int {
+		if from == "a" {
+			return 1
+		}
+		return 0
+	})
+	n.Send("a", "c", "old") // due round 2
+	n.Step()                // round 1
+	n.Send("b", "c", "new") // due round 2
+	n.Step()                // round 2: both deliver, old first
+	want := []any{"old", "new"}
+	if len(c.received) != 2 || c.received[0] != want[0] || c.received[1] != want[1] {
+		t.Fatalf("received = %v, want %v", c.received, want)
+	}
+}
+
+func TestStragglerDelayBounds(t *testing.T) {
+	f := StragglerDelay(42, 0.5, 3)
+	sawZero, sawDelay := false, false
+	for seq := uint64(0); seq < 200; seq++ {
+		d := f("a", "b", seq)
+		if d < 0 || d > 3 {
+			t.Fatalf("delay %d out of [0,3]", d)
+		}
+		if d == 0 {
+			sawZero = true
+		} else {
+			sawDelay = true
+		}
+		if d2 := f("a", "b", seq); d2 != d {
+			t.Fatalf("StragglerDelay not pure: %d then %d", d, d2)
+		}
+	}
+	if !sawZero || !sawDelay {
+		t.Fatalf("degenerate distribution: sawZero=%v sawDelay=%v", sawZero, sawDelay)
+	}
+	if f := StragglerDelay(42, 0, 3); f("a", "b", 1) != 0 {
+		t.Fatal("p=0 must never delay")
+	}
+	if f := StragglerDelay(42, 1, 0); f("a", "b", 1) != 0 {
+		t.Fatal("maxExtra=0 must never delay")
+	}
+}
+
+// delayFanNode fans a received message to every peer, exercising the
+// parallel merge path with delays.
+type delayFanNode struct {
+	id    ids.ProcessID
+	net   *Network
+	peers []ids.ProcessID
+	got   int
+}
+
+func (d *delayFanNode) ID() ids.ProcessID { return d.id }
+func (d *delayFanNode) Tick()             {}
+func (d *delayFanNode) HandleMessage(msg any) {
+	d.got++
+	if d.got == 1 {
+		for _, p := range d.peers {
+			d.net.Send(d.id, p, msg)
+		}
+	}
+}
+
+func TestLinkDelayWorkerCountInvariance(t *testing.T) {
+	trace := func(workers int) []string {
+		n := New(7)
+		n.Workers = workers
+		n.PSucc = 0.9
+		const pop = 40
+		allIDs := make([]ids.ProcessID, pop)
+		for i := 0; i < pop; i++ {
+			allIDs[i] = ids.ProcessID(fmt.Sprintf("n%03d", i))
+		}
+		for i, id := range allIDs {
+			node := &delayFanNode{id: id, net: n}
+			for j, p := range allIDs {
+				if j != i {
+					node.peers = append(node.peers, p)
+				}
+			}
+			if err := n.AddNode(node); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.SetLinkDelay(StragglerDelay(99, 0.3, 3))
+		var log []string
+		n.OnSend = func(env Envelope, dropped bool) {
+			log = append(log, fmt.Sprintf("%s>%s#%d:%v", env.From, env.To, env.Seq, dropped))
+		}
+		n.Send(allIDs[0], allIDs[1], "seed")
+		n.Run(20)
+		return log
+	}
+	base := trace(1)
+	if len(base) == 0 {
+		t.Fatal("no sends traced")
+	}
+	for _, w := range []int{2, 8} {
+		got := trace(w)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d traced %d sends, want %d", w, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverges at %d: %s vs %s", w, i, got[i], base[i])
+			}
+		}
+	}
+}

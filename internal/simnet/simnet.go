@@ -50,6 +50,7 @@ import (
 	"math/rand"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -86,10 +87,13 @@ var (
 
 // pendingSend is a buffered send attempt: the loss decision is made at
 // send time (from the sender's deterministic streams) and carried to
-// the serial merge, where OnSend observes it in canonical order.
+// the serial merge, where OnSend observes it in canonical order. delay
+// is the number of extra rounds (beyond the normal next-round delivery)
+// the link keeps the message in flight.
 type pendingSend struct {
 	env     Envelope
 	dropped bool
+	delay   int
 }
 
 // senderCtx is the kernel's per-sender state: the outbox buffered
@@ -116,6 +120,14 @@ type Network struct {
 	queue    []Envelope // deliveries for the next round, canonical order
 	round    int
 	stepping bool // inside a parallel phase: Sends buffer to outboxes
+
+	// delayed holds messages kept in flight by the link-delay function,
+	// keyed by delivery round. Allocated lazily: runs without delays
+	// never touch it. Within a bucket, envelopes appear in the order
+	// their sends were merged (canonical per round, rounds ascending),
+	// and a round delivers its bucket before the regular queue — older
+	// sends first.
+	delayed map[int][]Envelope
 
 	// senders lists every sender context in ascending id order — the
 	// concatenation order of the round merge. sendersDirty marks it
@@ -154,6 +166,11 @@ type Network struct {
 	// reports severed — the partition primitive. Must be a pure
 	// function.
 	linkDown func(from, to ids.ProcessID) bool
+
+	// linkDelay, when non-nil, returns the extra rounds a send spends
+	// in flight beyond the normal next-round delivery (straggler
+	// links). Must be a pure function of its arguments.
+	linkDelay func(from, to ids.ProcessID, seq uint64) int
 
 	// OnSend, when non-nil, observes every send attempt. dropped
 	// reports whether the channel lost it (loss, dead target, severed
@@ -281,6 +298,16 @@ func (n *Network) SetLinkDown(f func(from, to ids.ProcessID) bool) {
 	n.linkDown = f
 }
 
+// SetLinkDelay installs a per-send delay function: f(from, to, seq)
+// returns how many EXTRA rounds the message stays in flight beyond the
+// normal next-round delivery (0 = deliver normally). f must be a pure
+// function of its arguments: it is evaluated at send time, possibly on
+// a shard goroutine. Pass nil to restore uniform one-round links.
+// Delay is only evaluated for sends the channel did not already drop.
+func (n *Network) SetLinkDelay(f func(from, to ids.ProcessID, seq uint64) int) {
+	n.linkDelay = f
+}
+
 // senderCtxFor returns the per-sender context, creating one for
 // senders that are not registered nodes (test drivers injecting
 // traffic). Unregistered-sender creation is only legal between rounds.
@@ -315,20 +342,48 @@ func (n *Network) Send(from, to ids.ProcessID, msg any) {
 	case n.PSucc < 1 && c.loss.Float64() >= n.PSucc:
 		dropped = true
 	}
+	delay := 0
+	if !dropped && n.linkDelay != nil {
+		if delay = n.linkDelay(from, to, c.seq); delay < 0 {
+			delay = 0
+		}
+	}
 	if n.stepping {
-		c.out = append(c.out, pendingSend{env: env, dropped: dropped})
+		c.out = append(c.out, pendingSend{env: env, dropped: dropped, delay: delay})
 		return
 	}
 	if n.OnSend != nil {
 		n.OnSend(env, dropped)
 	}
-	if !dropped {
-		n.queue = append(n.queue, env)
+	if dropped {
+		return
 	}
+	if delay > 0 {
+		n.holdDelayed(env, delay)
+		return
+	}
+	n.queue = append(n.queue, env)
 }
 
-// Pending returns the number of messages waiting for the next round.
-func (n *Network) Pending() int { return len(n.queue) }
+// holdDelayed parks a send in the delayed bucket for its delivery
+// round. Only called serially (between rounds, or at the merge).
+func (n *Network) holdDelayed(env Envelope, delay int) {
+	if n.delayed == nil {
+		n.delayed = make(map[int][]Envelope)
+	}
+	due := n.round + 1 + delay
+	n.delayed[due] = append(n.delayed[due], env)
+}
+
+// Pending returns the number of messages in flight: next round's queue
+// plus any delayed sends still held by straggler links.
+func (n *Network) Pending() int {
+	p := len(n.queue)
+	for _, bucket := range n.delayed {
+		p += len(bucket)
+	}
+	return p
+}
 
 // workers returns the effective shard count for the current topology.
 func (n *Network) workers() int {
@@ -382,6 +437,21 @@ func (n *Network) Step() int {
 	// spare that next round's queue is rebuilt into.
 	batch := n.queue
 	n.queue = n.queueSpare[:0]
+
+	// Straggler sends whose delay expires this round deliver ahead of
+	// the regular queue — they are the older sends. The merged slice
+	// replaces batch (and hence the recycled spare); the displaced
+	// buffer is simply dropped to the GC, which rounds with stragglers
+	// are rare enough to afford.
+	if n.delayed != nil {
+		if due := n.delayed[n.round]; len(due) > 0 {
+			merged := make([]Envelope, 0, len(due)+len(batch))
+			merged = append(merged, due...)
+			merged = append(merged, batch...)
+			batch = merged
+		}
+		delete(n.delayed, n.round)
+	}
 
 	// Partition the batch by destination shard, preserving canonical
 	// order within each shard, into the recycled partition buffers.
@@ -465,9 +535,14 @@ func (n *Network) Step() int {
 			if n.OnSend != nil {
 				n.OnSend(ps.env, ps.dropped)
 			}
-			if !ps.dropped {
-				n.queue = append(n.queue, ps.env)
+			if ps.dropped {
+				continue
 			}
+			if ps.delay > 0 {
+				n.holdDelayed(ps.env, ps.delay)
+				continue
+			}
+			n.queue = append(n.queue, ps.env)
 		}
 		clear(c.out)
 		c.out = c.out[:0]
@@ -490,13 +565,13 @@ func (n *Network) Step() int {
 	return total
 }
 
-// Run steps until the network quiesces (no pending messages) or
-// maxRounds elapse, returning the number of rounds executed. With
-// TickNodes set the network may never quiesce (periodic tasks keep
-// sending); the bound then decides.
+// Run steps until the network quiesces (no pending messages, delayed
+// ones included) or maxRounds elapse, returning the number of rounds
+// executed. With TickNodes set the network may never quiesce (periodic
+// tasks keep sending); the bound then decides.
 func (n *Network) Run(maxRounds int) int {
 	ran := 0
-	for ran < maxRounds && len(n.queue) > 0 {
+	for ran < maxRounds && n.Pending() > 0 {
 		n.Step()
 		ran++
 	}
@@ -518,5 +593,25 @@ func PairDownCoin(seed int64, pFail float64) func(observer, target ids.ProcessID
 	}
 	return func(observer, target ids.ProcessID) bool {
 		return xrand.HashCoin(seed, string(observer)+"\x00"+string(target), pFail)
+	}
+}
+
+// StragglerDelay builds a deterministic link-delay function for
+// SetLinkDelay: each send is independently a straggler with probability
+// p, in which case it spends between 1 and maxExtra extra rounds in
+// flight. Both the coin and the delay magnitude are pure hashes of
+// (seed, from, to, seq) — stateless, safe from shard goroutines, and
+// independent of evaluation order, so figure runs stay byte-identical
+// for every worker count.
+func StragglerDelay(seed int64, p float64, maxExtra int) func(from, to ids.ProcessID, seq uint64) int {
+	if p <= 0 || maxExtra < 1 {
+		return func(ids.ProcessID, ids.ProcessID, uint64) int { return 0 }
+	}
+	return func(from, to ids.ProcessID, seq uint64) int {
+		label := string(from) + "\x00" + string(to) + "\x00" + strconv.FormatUint(seq, 16)
+		if !xrand.HashCoin(seed, label, p) {
+			return 0
+		}
+		return 1 + int(xrand.HashUniform(seed+1, label)*float64(maxExtra))
 	}
 }

@@ -1,0 +1,60 @@
+// Package sizing computes subscriber-count distributions over topic
+// hierarchies. It is a leaf package — it depends only on
+// internal/topic — so both the workload generators and the simulation
+// figure specs can share the same distribution code without an import
+// cycle (workload already imports sim).
+package sizing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"damulticast/internal/topic"
+)
+
+// ErrBadSizing reports invalid distribution parameters.
+var ErrBadSizing = errors.New("sizing: invalid parameters")
+
+// Zipf distributes total subscribers over the topics of h with a
+// Zipf(s=exponent) rank distribution, deepest-first ranking — a common
+// model for subscription popularity skew. Every topic gets at least one
+// subscriber; the rounding remainder lands on the largest group. The
+// result is a pure function of (h, total, exponent).
+func Zipf(h *topic.Hierarchy, total int, exponent float64) (map[topic.Topic]int, error) {
+	if total < h.Len() {
+		return nil, fmt.Errorf("%w: total %d below topic count %d", ErrBadSizing, total, h.Len())
+	}
+	if exponent <= 0 {
+		return nil, fmt.Errorf("%w: exponent %g", ErrBadSizing, exponent)
+	}
+	topics := h.Topics()
+	// Deepest (most specific) topics get the top ranks, mirroring the
+	// paper's leaf-heavy populations.
+	for i, j := 0, len(topics)-1; i < j; i, j = i+1, j-1 {
+		topics[i], topics[j] = topics[j], topics[i]
+	}
+	weights := make([]float64, len(topics))
+	var norm float64
+	for i := range topics {
+		weights[i] = 1 / math.Pow(float64(i+1), exponent)
+		norm += weights[i]
+	}
+	out := make(map[topic.Topic]int, len(topics))
+	assigned := 0
+	for i, t := range topics {
+		n := int(float64(total) * weights[i] / norm)
+		if n < 1 {
+			n = 1
+		}
+		out[t] = n
+		assigned += n
+	}
+	// Distribute the rounding remainder (or trim overshoot) on the
+	// largest group.
+	out[topics[0]] += total - assigned
+	if out[topics[0]] < 1 {
+		out[topics[0]] = 1
+	}
+	return out, nil
+}

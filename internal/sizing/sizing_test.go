@@ -1,0 +1,88 @@
+package sizing
+
+import (
+	"errors"
+	"testing"
+
+	"damulticast/internal/topic"
+)
+
+func hierarchy(t *testing.T, names ...string) *topic.Hierarchy {
+	t.Helper()
+	h := topic.NewHierarchy()
+	for _, name := range names {
+		tp, err := topic.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Add(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestZipfSumAndFloor(t *testing.T) {
+	h := hierarchy(t, ".a", ".b", ".a.c")
+	const total = 100
+	sizes, err := Zipf(h, total, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for tp, n := range sizes {
+		if n < 1 {
+			t.Errorf("topic %s: size %d below floor", tp, n)
+		}
+		sum += n
+	}
+	if sum != total {
+		t.Errorf("sum = %d, want %d", sum, total)
+	}
+	if len(sizes) != h.Len() {
+		t.Errorf("assigned %d topics, want %d", len(sizes), h.Len())
+	}
+}
+
+func TestZipfDeepestFirstRanking(t *testing.T) {
+	h := hierarchy(t, ".a", ".a.b", ".a.b.c")
+	sizes, err := Zipf(h, 1000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, _ := topic.Parse(".a.b.c")
+	mid, _ := topic.Parse(".a.b")
+	if !(sizes[deep] > sizes[mid] && sizes[mid] > sizes[topic.Root]) {
+		t.Errorf("skew not deepest-first: %v", sizes)
+	}
+}
+
+func TestZipfPure(t *testing.T) {
+	h := hierarchy(t, ".a", ".b", ".a.c", ".b.d")
+	a, err := Zipf(h, 777, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Zipf(h, 777, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tp, n := range a {
+		if b[tp] != n {
+			t.Errorf("topic %s: %d vs %d on identical inputs", tp, n, b[tp])
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	h := hierarchy(t, ".a", ".b")
+	if _, err := Zipf(h, h.Len()-1, 1.0); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("total below topic count: err = %v", err)
+	}
+	if _, err := Zipf(h, 100, 0); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("zero exponent: err = %v", err)
+	}
+	if _, err := Zipf(h, 100, -1); !errors.Is(err, ErrBadSizing) {
+		t.Errorf("negative exponent: err = %v", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"damulticast/internal/core"
 	"damulticast/internal/sim"
+	"damulticast/internal/sizing"
 	"damulticast/internal/topic"
 )
 
@@ -142,43 +143,15 @@ func (s Sizing) Assign(rng *rand.Rand, h *topic.Hierarchy) (map[topic.Topic]int,
 // ZipfSizes distributes total subscribers over the topics with a
 // Zipf(s=exponent) rank distribution, deepest-first ranking — a
 // common model for subscription popularity skew. Every topic gets at
-// least one subscriber.
+// least one subscriber. The distribution itself lives in
+// internal/sizing (a leaf package the figure specs can also import);
+// this wrapper keeps workload's historical signature.
 func ZipfSizes(rng *rand.Rand, h *topic.Hierarchy, total int, exponent float64) (map[topic.Topic]int, error) {
-	if total < h.Len() {
-		return nil, fmt.Errorf("%w: total %d below topic count %d", ErrBadSizing, total, h.Len())
-	}
-	if exponent <= 0 {
-		return nil, fmt.Errorf("%w: exponent %g", ErrBadSizing, exponent)
-	}
-	topics := h.Topics()
-	// Deepest (most specific) topics get the top ranks, mirroring the
-	// paper's leaf-heavy populations.
-	for i, j := 0, len(topics)-1; i < j; i, j = i+1, j-1 {
-		topics[i], topics[j] = topics[j], topics[i]
-	}
-	weights := make([]float64, len(topics))
-	var norm float64
-	for i := range topics {
-		weights[i] = 1 / math.Pow(float64(i+1), exponent)
-		norm += weights[i]
-	}
-	out := make(map[topic.Topic]int, len(topics))
-	assigned := 0
-	for i, t := range topics {
-		n := int(float64(total) * weights[i] / norm)
-		if n < 1 {
-			n = 1
-		}
-		out[t] = n
-		assigned += n
-	}
-	// Distribute the rounding remainder (or trim overshoot) on the
-	// largest group.
-	out[topics[0]] += total - assigned
-	if out[topics[0]] < 1 {
-		out[topics[0]] = 1
-	}
 	_ = rng // reserved for future randomized tie-breaking
+	out, err := sizing.Zipf(h, total, exponent)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSizing, err)
+	}
 	return out, nil
 }
 

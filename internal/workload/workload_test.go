@@ -135,6 +135,81 @@ func TestZipfSizes(t *testing.T) {
 	}
 }
 
+func TestZipfSizesEveryTopicAssigned(t *testing.T) {
+	h, err := RandomTree(newRng(), TreeSpec{Depth: 3, MaxBranch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := ZipfSizes(newRng(), h, h.Len()*10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != h.Len() {
+		t.Fatalf("assigned %d topics, hierarchy has %d", len(sizes), h.Len())
+	}
+	for _, tp := range h.Topics() {
+		if n, ok := sizes[tp]; !ok || n < 1 {
+			t.Errorf("topic %s: size %d (assigned=%v)", tp, n, ok)
+		}
+	}
+	// Skew direction: the deepest topic outweighs the root.
+	var deepest topic.Topic
+	for _, tp := range h.Topics() {
+		if deepest == "" || tp.Depth() > deepest.Depth() {
+			deepest = tp
+		}
+	}
+	if sizes[deepest] <= sizes[topic.Root] {
+		t.Errorf("deepest %s = %d not above root = %d", deepest, sizes[deepest], sizes[topic.Root])
+	}
+}
+
+func TestZipfSizesStableUnderFixedSeed(t *testing.T) {
+	// The distribution is a pure function of (hierarchy, total,
+	// exponent) — the figure sweep's determinism contract relies on it.
+	build := func() map[topic.Topic]int {
+		h, err := RandomTree(newRng(), TreeSpec{Depth: 2, MaxBranch: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes, err := ZipfSizes(newRng(), h, 4000, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sizes
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("topic counts differ: %d vs %d", len(a), len(b))
+	}
+	for tp, n := range a {
+		if b[tp] != n {
+			t.Errorf("topic %s: %d vs %d across identical seeds", tp, n, b[tp])
+		}
+	}
+}
+
+func TestRandomTreeStableUnderFixedSeed(t *testing.T) {
+	spec := TreeSpec{Depth: 3, MaxBranch: 4}
+	h1, err := RandomTree(newRng(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := RandomTree(newRng(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := h1.Topics(), h2.Topics()
+	if len(t1) != len(t2) {
+		t.Fatalf("topic counts differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Errorf("topic %d: %s vs %s across identical seeds", i, t1[i], t2[i])
+		}
+	}
+}
+
 func TestConfigBuildsValidSimConfig(t *testing.T) {
 	h, err := Chain(2)
 	if err != nil {
