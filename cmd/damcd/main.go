@@ -101,6 +101,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		"recovery event-store capacity (events)")
 	fs.IntVar(&params.RecoverMaxAge, "recover-age", params.RecoverMaxAge,
 		"recovery store age bound in ticks")
+	fs.IntVar(&params.RecoverDigestBits, "recover-bits", params.RecoverDigestBits,
+		"bloom digest size in bits per stored event (higher = fewer false positives, bigger digests)")
+	fs.IntVar(&params.CrossRecoverPeriod, "recover-cross", params.CrossRecoverPeriod,
+		"cross-group recovery wave period in ticks: digests also climb/descend the topic hierarchy (0 disables)")
+	fs.IntVar(&params.CrossRecoverFanout, "recover-cross-fanout", params.CrossRecoverFanout,
+		"contacts per direction contacted per cross-group recovery wave")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -246,8 +252,8 @@ func runSoak(w io.Writer, n int, seed int64, steps int, slo float64) error {
 		fmt.Fprintf(w, "  %-8s published %d, delivered %.4f of surviving subscribers\n",
 			t, rep.Published[t], rep.PerTopic[t])
 	}
-	fmt.Fprintf(w, "  recovered:       %d events via anti-entropy (%d requested)\n",
-		rep.Final.Recovered, rep.Final.Requested)
+	fmt.Fprintf(w, "  recovered:       %d events via anti-entropy (%d pushes digest-suppressed)\n",
+		rep.Final.Recovered, rep.Final.Suppressed)
 	fmt.Fprintf(w, "  injected drops:  %d partition, %d loss\n",
 		rep.Final.PartitionDrops, rep.Final.LossDrops)
 	fmt.Fprintf(w, "  alive at end:    %d of %d\n", rep.AliveEndpoints, n)

@@ -9,6 +9,8 @@
 //	damcsim -fig all -runs 3 -sweepworkers 8 -report report.json
 //	damcsim -fig churn            # beyond-paper churn-wave sweep
 //	damcsim -fig recovery         # anti-entropy recovery on/off vs loss
+//	damcsim -fig recoverystore    # bloom vs raw-id digest frame bytes vs store size
+//	damcsim -fig recoverydepth    # cross-group root revival vs hierarchy depth
 //	damcsim -fig baselines        # da-multicast vs §VI-E baselines under faults
 //	damcsim -scenario churn -n 20000 [-intensity 0.3] [-rounds 24] [-workers 0]
 //	damcsim -scenario lossburst -recoverperiod 2   # scenarios with recovery on
@@ -53,18 +55,20 @@ func main() {
 
 // figureKeys maps the CLI's -fig values to canonical figure names.
 var figureKeys = map[string]string{
-	"8":         "fig8",
-	"9":         "fig9",
-	"10":        "fig10",
-	"11":        "fig11",
-	"churn":     "churn",
-	"recovery":  "recovery",
-	"baselines": "baselines",
+	"8":             "fig8",
+	"9":             "fig9",
+	"10":            "fig10",
+	"11":            "fig11",
+	"churn":         "churn",
+	"recovery":      "recovery",
+	"recoverystore": "recoverystore",
+	"recoverydepth": "recoverydepth",
+	"baselines":     "baselines",
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("damcsim", flag.ContinueOnError)
-	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn", "recovery", "baselines" or "all"`)
+	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn", "recovery", "recoverystore", "recoverydepth", "baselines" or "all"`)
 	runs := fs.Int("runs", 3, "independent runs averaged per point")
 	points := fs.Int("points", 10, "alive-fraction points in (0, 1]")
 	out := fs.String("out", "", "write CSV to this file instead of stdout")
@@ -120,11 +124,11 @@ func run(args []string, stdout io.Writer) error {
 	// "all" really means all: the paper figures plus the beyond-paper
 	// churn, recovery and baselines sweeps (their x-axes read as
 	// "fraction surviving" and "channel success probability").
-	order := []string{"8", "9", "10", "11", "churn", "recovery", "baselines"}
+	order := []string{"8", "9", "10", "11", "churn", "recovery", "recoverystore", "recoverydepth", "baselines"}
 	selected := order
 	if *fig != "all" {
 		if _, ok := figureKeys[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn, recovery, baselines or all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn, recovery, recoverystore, recoverydepth, baselines or all)", *fig)
 		}
 		selected = []string{*fig}
 	}

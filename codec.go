@@ -1,71 +1,30 @@
 package damulticast
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
 	"sync"
 
 	"damulticast/internal/core"
-	"damulticast/internal/ids"
-	"damulticast/internal/membership"
-	"damulticast/internal/topic"
+	"damulticast/internal/wire"
 )
 
-// Binary wire codec, format version 3.
-//
-// Every frame starts with a version byte (0x03) followed by the
-// message type as an unsigned varint, the destination-group demux
-// topic, and the envelope fields in a fixed order:
-//
-//	frame    := version(1 byte) type(uvarint) dest body
-//	body     := from fromTopic event origin originTopic searchTopics
-//	            ttl reqID contacts contactsTopic digest superEntries
-//	            superTopic digestIDs events
-//	dest, from, fromTopic, origin, originTopic,
-//	contactsTopic, superTopic              := string
-//	event    := 0x00 | 0x01 eventBody
-//	eventBody:= string(origin) uvarint(seq) string(topic)
-//	            bytes(payload)
-//	searchTopics, contacts                 := uvarint(count) string*
-//	ttl      := varint (zigzag)
-//	reqID    := uvarint
-//	digest   := string(from) entries
-//	superEntries, entries                  := uvarint(count)
-//	            (string(id) varint(age))*
-//	digestIDs:= uvarint(count) (string(origin) uvarint(seq))*
-//	events   := uvarint(count) eventBody*
-//	string   := uvarint(len) raw bytes
-//	bytes    := uvarint(len) raw bytes
-//
-// Unset fields cost one zero byte each, which keeps the encoder
-// branch-free enough to skip per-type layouts entirely. The decoder is
-// strict: it bounds-checks every read, rejects unknown versions and
-// message types, rejects element counts that cannot fit the remaining
-// bytes, and rejects frames with trailing garbage — a peer speaking
-// garbage must never reach the protocol state machine.
-//
-// The dest field sits right after the type: it is the demultiplex key
-// multi-topic endpoints route on (see core.Registry), so it leads the
-// frame ahead of the bulkier envelope fields.
-//
-// Compatibility policy: the version byte is the whole negotiation.
-// Version 3 frames begin with 0x03; version-2 frames (which lacked the
-// dest demux field) began with 0x02, version-1 frames (which also
-// lacked the digestIDs/events tail of the anti-entropy recovery
-// messages) began with 0x01, and both are rejected outright, as are
-// the legacy JSON codec's frames, which begin with '{' (0x7b) — see
-// decodeMessageJSON and the cross-decode tests. Any incompatible
-// layout change must bump codecVersion, and decoders only ever accept
-// versions they were built to understand.
-const codecVersion = 0x03
+// The binary frame codec lives in internal/wire so that internal
+// packages (the simulator's figure generators, chiefly) can size and
+// parse real frames without importing the root package. This file
+// keeps the root-side conveniences: the pooled encode buffers the hot
+// send paths borrow, and thin aliases so the rest of the package reads
+// naturally.
+
+// codecVersion is the wire format version byte leading every frame —
+// see the internal/wire package comment for the layout and the
+// compatibility policy.
+const codecVersion = wire.Version
 
 // maxPooledEncodeBuf bounds buffers returned to the encode pool;
 // occasional giant frames must not pin memory forever.
 const maxPooledEncodeBuf = 64 << 10
 
 // ErrCodec is the base error wrapped by all decode failures.
-var ErrCodec = errors.New("damulticast: decode")
+var ErrCodec = wire.ErrCodec
 
 // encBuf wraps a reusable encode buffer. Pooled as a pointer so
 // Get/Put never allocate.
@@ -85,273 +44,17 @@ func putEncBuf(buf *encBuf) {
 }
 
 // appendMessage appends the binary encoding of m to dst and returns
-// the extended slice. Encoding cannot fail: every representable
-// Message has a valid frame.
+// the extended slice.
 func appendMessage(dst []byte, m *core.Message) []byte {
-	dst = append(dst, codecVersion)
-	dst = binary.AppendUvarint(dst, uint64(m.Type))
-	dst = appendWireString(dst, string(m.Dest))
-	dst = appendWireString(dst, string(m.From))
-	dst = appendWireString(dst, string(m.FromTopic))
-	if ev := m.Event; ev != nil {
-		dst = append(dst, 1)
-		dst = appendEventBody(dst, ev)
-	} else {
-		dst = append(dst, 0)
-	}
-	dst = appendWireString(dst, string(m.Origin))
-	dst = appendWireString(dst, string(m.OriginTopic))
-	dst = binary.AppendUvarint(dst, uint64(len(m.SearchTopics)))
-	for _, t := range m.SearchTopics {
-		dst = appendWireString(dst, string(t))
-	}
-	dst = binary.AppendVarint(dst, int64(m.TTL))
-	dst = binary.AppendUvarint(dst, m.ReqID)
-	dst = binary.AppendUvarint(dst, uint64(len(m.Contacts)))
-	for _, id := range m.Contacts {
-		dst = appendWireString(dst, string(id))
-	}
-	dst = appendWireString(dst, string(m.ContactsTopic))
-	dst = appendWireString(dst, string(m.Digest.From))
-	dst = appendEntries(dst, m.Digest.Entries)
-	dst = appendEntries(dst, m.SuperEntries)
-	dst = appendWireString(dst, string(m.SuperTopic))
-	dst = binary.AppendUvarint(dst, uint64(len(m.DigestIDs)))
-	for _, id := range m.DigestIDs {
-		dst = appendWireString(dst, string(id.Origin))
-		dst = binary.AppendUvarint(dst, id.Seq)
-	}
-	dst = binary.AppendUvarint(dst, uint64(len(m.Events)))
-	for _, ev := range m.Events {
-		dst = appendEventBody(dst, ev)
-	}
-	return dst
-}
-
-// appendEventBody appends one event's wire form (origin, seq, topic,
-// payload) — shared by the single-event field and the recovery bulk
-// list.
-func appendEventBody(dst []byte, ev *core.Event) []byte {
-	dst = appendWireString(dst, string(ev.ID.Origin))
-	dst = binary.AppendUvarint(dst, ev.ID.Seq)
-	dst = appendWireString(dst, string(ev.Topic))
-	dst = binary.AppendUvarint(dst, uint64(len(ev.Payload)))
-	return append(dst, ev.Payload...)
-}
-
-func appendWireString(dst []byte, s string) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(s)))
-	return append(dst, s...)
-}
-
-func appendEntries(dst []byte, entries []membership.Entry) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(entries)))
-	for _, e := range entries {
-		dst = appendWireString(dst, string(e.ID))
-		dst = binary.AppendVarint(dst, int64(e.Age))
-	}
-	return dst
+	return wire.AppendMessage(dst, m)
 }
 
 // encodeMessage serializes a protocol message into a fresh frame.
-// Hot paths (nodeEnv.Send/SendBatch) use appendMessage with pooled
-// buffers instead; this entry point serves tests and one-shot callers.
 func encodeMessage(m *core.Message) ([]byte, error) {
-	return appendMessage(nil, m), nil
-}
-
-// decoder is a strict cursor over one frame. The first failed read
-// latches err; subsequent reads return zero values, so parse code
-// reads straight through and checks once at the end.
-type decoder struct {
-	buf []byte
-	off int
-	err error
-}
-
-func (d *decoder) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: %s", ErrCodec, fmt.Sprintf(format, args...))
-	}
-}
-
-func (d *decoder) remaining() int { return len(d.buf) - d.off }
-
-func (d *decoder) byte() byte {
-	if d.err != nil {
-		return 0
-	}
-	if d.off >= len(d.buf) {
-		d.fail("truncated frame at byte %d", d.off)
-		return 0
-	}
-	b := d.buf[d.off]
-	d.off++
-	return b
-}
-
-func (d *decoder) uvarint() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.buf[d.off:])
-	if n <= 0 {
-		d.fail("bad uvarint at byte %d", d.off)
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-func (d *decoder) varint() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.buf[d.off:])
-	if n <= 0 {
-		d.fail("bad varint at byte %d", d.off)
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-// count reads an element count and rejects values that cannot fit in
-// the remaining bytes (minBytes per element), so corrupt frames cannot
-// induce giant allocations.
-func (d *decoder) count(minBytes int) int {
-	v := d.uvarint()
-	if d.err != nil {
-		return 0
-	}
-	if v > uint64(d.remaining()/minBytes) {
-		d.fail("count %d exceeds remaining %d bytes", v, d.remaining())
-		return 0
-	}
-	return int(v)
-}
-
-func (d *decoder) str() string {
-	n := d.uvarint()
-	if d.err != nil {
-		return ""
-	}
-	if n > uint64(d.remaining()) {
-		d.fail("string length %d exceeds remaining %d bytes", n, d.remaining())
-		return ""
-	}
-	s := string(d.buf[d.off : d.off+int(n)])
-	d.off += int(n)
-	return s
-}
-
-// bytes reads a length-prefixed byte field into a fresh buffer (the
-// frame may alias a transport buffer; decoded messages must not).
-// Zero length decodes as nil.
-func (d *decoder) bytes() []byte {
-	n := d.uvarint()
-	if d.err != nil {
-		return nil
-	}
-	if n > uint64(d.remaining()) {
-		d.fail("bytes length %d exceeds remaining %d bytes", n, d.remaining())
-		return nil
-	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, d.buf[d.off:])
-	d.off += int(n)
-	return out
-}
-
-// eventBody reads one event's wire form (see appendEventBody).
-func (d *decoder) eventBody() *core.Event {
-	ev := &core.Event{}
-	ev.ID.Origin = ids.ProcessID(d.str())
-	ev.ID.Seq = d.uvarint()
-	ev.Topic = topic.Topic(d.str())
-	ev.Payload = d.bytes()
-	return ev
-}
-
-func (d *decoder) entries() []membership.Entry {
-	n := d.count(2) // id length byte + age byte minimum
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]membership.Entry, n)
-	for i := range out {
-		out[i].ID = ids.ProcessID(d.str())
-		out[i].Age = int(d.varint())
-	}
-	return out
+	return wire.EncodeMessage(m)
 }
 
 // decodeMessage parses a binary frame produced by appendMessage.
-// Frames with an unknown version byte (including legacy JSON frames,
-// which start with '{'), an unknown message type, truncated or
-// oversized fields, or trailing bytes are rejected.
 func decodeMessage(payload []byte) (*core.Message, error) {
-	d := &decoder{buf: payload}
-	if v := d.byte(); d.err == nil && v != codecVersion {
-		return nil, fmt.Errorf("%w: unsupported wire version %d (want %d)", ErrCodec, v, codecVersion)
-	}
-	var m core.Message
-	m.Type = core.MsgType(d.uvarint())
-	if d.err == nil && !m.Type.Known() {
-		return nil, fmt.Errorf("%w: unknown message type %d", ErrCodec, int(m.Type))
-	}
-	m.Dest = topic.Topic(d.str())
-	m.From = ids.ProcessID(d.str())
-	m.FromTopic = topic.Topic(d.str())
-	switch flag := d.byte(); {
-	case d.err != nil:
-	case flag == 1:
-		m.Event = d.eventBody()
-	case flag != 0:
-		d.fail("bad event flag %d", flag)
-	}
-	m.Origin = ids.ProcessID(d.str())
-	m.OriginTopic = topic.Topic(d.str())
-	if n := d.count(1); d.err == nil && n > 0 {
-		m.SearchTopics = make([]topic.Topic, n)
-		for i := range m.SearchTopics {
-			m.SearchTopics[i] = topic.Topic(d.str())
-		}
-	}
-	m.TTL = int(d.varint())
-	m.ReqID = d.uvarint()
-	if n := d.count(1); d.err == nil && n > 0 {
-		m.Contacts = make([]ids.ProcessID, n)
-		for i := range m.Contacts {
-			m.Contacts[i] = ids.ProcessID(d.str())
-		}
-	}
-	m.ContactsTopic = topic.Topic(d.str())
-	m.Digest.From = ids.ProcessID(d.str())
-	m.Digest.Entries = d.entries()
-	m.SuperEntries = d.entries()
-	m.SuperTopic = topic.Topic(d.str())
-	if n := d.count(2); d.err == nil && n > 0 { // origin length byte + seq byte minimum
-		m.DigestIDs = make([]ids.EventID, n)
-		for i := range m.DigestIDs {
-			m.DigestIDs[i].Origin = ids.ProcessID(d.str())
-			m.DigestIDs[i].Seq = d.uvarint()
-		}
-	}
-	if n := d.count(4); d.err == nil && n > 0 { // origin+topic+payload length bytes + seq byte
-		m.Events = make([]*core.Event, n)
-		for i := range m.Events {
-			m.Events[i] = d.eventBody()
-		}
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after message", ErrCodec, d.remaining())
-	}
-	return &m, nil
+	return wire.DecodeMessage(payload)
 }

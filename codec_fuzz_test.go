@@ -38,8 +38,8 @@ func codecSeedMessages() []*core.Message {
 		{Type: core.MsgPong, From: "p9"},
 		{Type: core.MsgLeave, From: "p10", FromTopic: ".a.b"},
 		{
-			Type: core.MsgDigest, From: "p11", FromTopic: ".a",
-			DigestIDs: []ids.EventID{{Origin: "p1", Seq: 7}, {Origin: "p2", Seq: 1}},
+			Type: core.MsgDigest, From: "p11", FromTopic: ".a", Dest: ".a", TTL: 1,
+			BloomBits: []byte{0xde, 0xad, 0xbe, 0xef}, BloomK: 3, BloomSeed: 0x1234567890abcdef,
 		},
 		{
 			Type: core.MsgDigestAns, From: "p12", FromTopic: ".a",
@@ -47,10 +47,6 @@ func codecSeedMessages() []*core.Message {
 				{ID: ids.EventID{Origin: "p1", Seq: 7}, Topic: ".a", Payload: []byte("missed")},
 				{ID: ids.EventID{Origin: "p2", Seq: 1}, Topic: ".a.b", Payload: nil},
 			},
-		},
-		{
-			Type: core.MsgEventReq, From: "p13", FromTopic: ".a",
-			DigestIDs: []ids.EventID{{Origin: "p9", Seq: 3}},
 		},
 	}
 }
@@ -93,7 +89,8 @@ func FuzzMessageCodec(f *testing.F) {
 	f.Add([]byte{codecVersion, 99, 0, 0, 0})
 	f.Add([]byte{0x01, 1, 0, 0, 0})                              // retired version 1
 	f.Add([]byte{0x02, 1, 0, 0, 0})                              // retired version 2
-	f.Add([]byte{0x04, 1, 0, 0, 0})                              // future version
+	f.Add([]byte{0x03, 1, 0, 0, 0})                              // retired version 3 (id-list digests)
+	f.Add([]byte{0x05, 1, 0, 0, 0})                              // future version
 	f.Add([]byte{codecVersion, 1, 0xff, 0xff, 0xff, 0xff, 0xff}) // runaway varint
 	f.Add([]byte(``))
 

@@ -157,15 +157,14 @@ func TestDecodeOversizedCounts(t *testing.T) {
 	}
 }
 
-// TestDecodeBadVersionAndType: other versions (the retired versions 1
-// and 2 as well as future ones) and unknown types are refused
-// outright.
+// TestDecodeBadVersionAndType: other versions (the retired versions
+// 1-3 as well as future ones) and unknown types are refused outright.
 func TestDecodeBadVersionAndType(t *testing.T) {
 	good, err := encodeMessage(&core.Message{Type: core.MsgPong, From: "p"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, version := range []byte{0x01, 0x02, 0x04} {
+	for _, version := range []byte{0x01, 0x02, 0x03, 0x05} {
 		bad := append([]byte{}, good...)
 		bad[0] = version
 		if _, err := decodeMessage(bad); err == nil {
@@ -183,21 +182,31 @@ func TestDecodeBadVersionAndType(t *testing.T) {
 // TestDecodeRejectsRetiredVersionFrames pins the cross-version policy:
 // retired layouts under any message type must be rejected by the
 // version byte alone — peers from different generations can never
-// silently misparse each other. A v2 frame is the v3 frame minus the
-// dest demux field (one zero byte after the type, for the topic-less
-// seed messages); a v1 frame additionally lacks the two trailing
-// zero-count recovery fields.
+// silently misparse each other. A v3 frame is the v4 frame with the
+// three zero bytes of the empty bloom digest collapsed to the one
+// zero-count byte of the id-list digest it replaced; a v2 frame is the
+// v3 frame minus the dest demux field (one zero byte after the type,
+// for the topic-less seed messages); a v1 frame additionally lacks the
+// two trailing zero-count recovery fields.
 func TestDecodeRejectsRetiredVersionFrames(t *testing.T) {
 	for _, m := range codecSeedMessages() {
-		if m.Dest != "" {
-			continue // only zero-dest frames shrink to the v2 layout
+		if m.Dest != "" || m.BloomBits != nil || len(m.Events) > 0 {
+			continue // only zero-dest empty-tail frames shrink to the old layouts
 		}
 		frame, err := encodeMessage(m)
 		if err != nil {
 			t.Fatal(err)
 		}
-		v2 := append([]byte{}, frame[:2]...) // version + 1-byte type
-		v2 = append(v2, frame[3:]...)        // skip the empty dest
+		// The frame tail is superTopic(0) bloom(0,0,0) events(0); the
+		// v3 tail was superTopic(0) digestIDs(0) events(0) — two fewer
+		// zero bytes.
+		v3 := append([]byte{}, frame[:len(frame)-2]...)
+		v3[0] = 0x03
+		if _, err := decodeMessage(v3); err == nil {
+			t.Errorf("%s: version-3 frame accepted", m.Type)
+		}
+		v2 := append([]byte{}, v3[:2]...) // version + 1-byte type
+		v2 = append(v2, v3[3:]...)        // skip the empty dest
 		v2[0] = 0x02
 		if _, err := decodeMessage(v2); err == nil {
 			t.Errorf("%s: version-2 frame accepted", m.Type)

@@ -25,7 +25,7 @@ import (
 // runs one endpoint instead of three.
 //
 // Inbound frames carry the destination group's topic (the wire demux
-// field of codec v3) and are routed to the matching subscription's
+// field introduced in codec v3) and are routed to the matching subscription's
 // protocol process; frames for groups the hub is not subscribed to are
 // counted and dropped, never misdelivered. All methods are safe for
 // concurrent use.

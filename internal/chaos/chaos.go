@@ -51,6 +51,17 @@ type Config struct {
 	// Recovery enables the anti-entropy recovery plane on every
 	// subscription. Without it, events lost to a fault stay lost.
 	Recovery bool
+	// Hierarchy declares Topics as a root-path chain (each topic
+	// strictly includes the next). Endpoints then join exactly one
+	// group, each group's joins are wired to the group above via super
+	// contacts, and delivery is graded by topic inclusion: an event
+	// published at the bottom is owed to every ancestor group too.
+	Hierarchy bool
+	// CrossRecovery additionally sends recovery digests along the
+	// hierarchy's super/sub links, so a group that held zero copies of
+	// an event can be re-ignited by its neighbors above and below.
+	// Requires Recovery and Hierarchy.
+	CrossRecovery bool
 	// Schedule is the fault script (see GenSchedule for a seeded one).
 	Schedule []Fault
 	// SLO is the target delivery fraction over surviving subscribers
@@ -94,6 +105,18 @@ func (c Config) validate() error {
 		}
 		seen[t] = true
 	}
+	if c.Hierarchy {
+		for i := 1; i < len(c.Topics); i++ {
+			sup, sub := topic.Topic(c.Topics[i-1]), topic.Topic(c.Topics[i])
+			if !sup.Includes(sub) || sup == sub {
+				return fmt.Errorf("%w: hierarchy topics must be an ancestor chain, %s does not include %s",
+					ErrBadConfig, sup, sub)
+			}
+		}
+	}
+	if c.CrossRecovery && (!c.Recovery || !c.Hierarchy) {
+		return fmt.Errorf("%w: CrossRecovery requires Recovery and Hierarchy", ErrBadConfig)
+	}
 	if c.SLO < 0 || c.SLO > 1 {
 		return fmt.Errorf("%w: SLO %g outside [0, 1]", ErrBadConfig, c.SLO)
 	}
@@ -112,10 +135,11 @@ func (c Config) validate() error {
 // rolled up across every endpoint (including stopped generations) plus
 // the fault fabric's drop counts.
 type NetStats struct {
-	// Recovered and Requested sum the subscriptions' anti-entropy
-	// counters.
-	Recovered uint64
-	Requested uint64
+	// Recovered and Suppressed sum the subscriptions' anti-entropy
+	// counters: events obtained through recovery, and pushes a peer's
+	// bloom digest suppressed.
+	Recovered  uint64
+	Suppressed uint64
 	// MalformedFrames, OverflowFrames, UnroutedFrames and
 	// DroppedDeliveries sum the hubs' receive-path loss counters.
 	MalformedFrames   int64
@@ -198,7 +222,7 @@ func Run(cfg Config) (*Report, error) {
 		published: make(map[string][]string, len(cfg.Topics)),
 	}
 	for i := range h.eps {
-		h.eps[i] = &endpoint{idx: i, topics: memberTopics(i, cfg.Topics)}
+		h.eps[i] = &endpoint{idx: i, topics: memberTopics(i, cfg.Topics, cfg.Hierarchy)}
 		h.delivered[i] = make(map[string]map[string]bool, len(cfg.Topics))
 	}
 	defer h.stopAll()
@@ -251,10 +275,13 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // memberTopics assigns endpoint i its subscriptions: its home topic by
-// round-robin, and for every third endpoint the next topic as well.
-func memberTopics(i int, topics []string) []string {
+// round-robin, and for every third endpoint the next topic as well. In
+// hierarchy mode every endpoint joins exactly one group — cross-group
+// links come from super contacts, not multi-topic membership, and the
+// twin soak's grading needs group membership to stay crisp.
+func memberTopics(i int, topics []string, hierarchy bool) []string {
 	out := []string{topics[i%len(topics)]}
-	if i%3 == 0 && len(topics) > 1 {
+	if !hierarchy && i%3 == 0 && len(topics) > 1 {
 		out = append(out, topics[(i+1)%len(topics)])
 	}
 	return out
@@ -277,8 +304,8 @@ func bindTCP(addr string) (*damulticast.TCPTransport, error) {
 
 // params builds the hubs' protocol parameters. Membership never ages
 // out (a partition must not dissolve the overlay into permanent
-// islands) and super-table maintenance is off (the chaos topics are
-// flat — there is no hierarchy to maintain).
+// islands) and super-table maintenance is off (flat runs have no
+// hierarchy to maintain; hierarchy runs seed super tables at join).
 func (h *harness) params() damulticast.Params {
 	p := damulticast.DefaultParams()
 	p.MaxAge = 1 << 20
@@ -289,7 +316,24 @@ func (h *harness) params() damulticast.Params {
 		p.RecoverStoreCap = 2048
 		p.RecoverMaxAge = 1 << 20
 	}
+	if h.cfg.CrossRecovery {
+		p.CrossRecoverPeriod = 4
+	}
 	return p
+}
+
+// superTopic returns t's parent in the hierarchy chain, or "" when
+// hierarchy mode is off or t is the chain's top.
+func (h *harness) superTopic(t string) string {
+	if !h.cfg.Hierarchy {
+		return ""
+	}
+	for i := 1; i < len(h.cfg.Topics); i++ {
+		if h.cfg.Topics[i] == t {
+			return h.cfg.Topics[i-1]
+		}
+	}
+	return ""
 }
 
 // contacts lists the other endpoints subscribed to t, by address.
@@ -328,7 +372,13 @@ func (h *harness) startHub(idx int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	for _, t := range ep.topics {
-		sub, err := hub.Join(ctx, t, damulticast.WithGroupContacts(h.contacts(idx, t)...))
+		opts := []damulticast.JoinOption{damulticast.WithGroupContacts(h.contacts(idx, t)...)}
+		if sup := h.superTopic(t); sup != "" {
+			// Hierarchy mode: seed the super table with the group above,
+			// so events climb and cross-group recovery has links to walk.
+			opts = append(opts, damulticast.WithSuperContacts(sup, h.contacts(idx, sup)...))
+		}
+		sub, err := hub.Join(ctx, t, opts...)
 		if err != nil {
 			_ = hub.Stop()
 			return fmt.Errorf("chaos: endpoint %d join %s: %w", idx, t, err)
@@ -364,6 +414,18 @@ func (h *harness) record(idx int, tp, id string) {
 	h.mu.Unlock()
 }
 
+// subscribes reports whether the endpoint is assigned topic t (by the
+// static assignment, which survives kills — a down endpoint keeps its
+// topics for restart).
+func subscribes(ep *endpoint, t string) bool {
+	for _, et := range ep.topics {
+		if et == t {
+			return true
+		}
+	}
+	return false
+}
+
 // apply executes one scheduled fault.
 func (h *harness) apply(f Fault) error {
 	switch f.Kind {
@@ -371,14 +433,22 @@ func (h *harness) apply(f Fault) error {
 		return h.publishAll()
 	case FaultKill:
 		var alive []*endpoint
+		aliveTotal := 0
 		for _, ep := range h.eps {
-			if !ep.down {
+			if ep.down {
+				continue
+			}
+			aliveTotal++
+			if f.Topic == "" || subscribes(ep, f.Topic) {
 				alive = append(alive, ep)
 			}
 		}
 		n := f.Count
-		if n > len(alive)-1 {
-			n = len(alive) - 1 // never kill the whole cluster
+		if n > len(alive) {
+			n = len(alive)
+		}
+		if n >= aliveTotal {
+			n = aliveTotal - 1 // never kill the whole cluster
 		}
 		perm := h.faultRng.Perm(len(alive))
 		for i := 0; i < n; i++ {
@@ -387,7 +457,7 @@ func (h *harness) apply(f Fault) error {
 	case FaultRestart:
 		var down []*endpoint
 		for _, ep := range h.eps {
-			if ep.down {
+			if ep.down && (f.Topic == "" || subscribes(ep, f.Topic)) {
 				down = append(down, ep)
 			}
 		}
@@ -485,7 +555,7 @@ func (h *harness) absorb(hub *damulticast.Hub) {
 	h.retired.DroppedDeliveries += st.DroppedDeliveries
 	for _, ss := range st.Subscriptions {
 		h.retired.Recovered += ss.Recovery.Recovered
-		h.retired.Requested += ss.Recovery.Requested
+		h.retired.Suppressed += ss.Recovery.Suppressed
 	}
 	h.mu.Unlock()
 }
@@ -507,11 +577,30 @@ func (h *harness) netStats() NetStats {
 		ns.DroppedDeliveries += st.DroppedDeliveries
 		for _, ss := range st.Subscriptions {
 			ns.Recovered += ss.Recovery.Recovered
-			ns.Requested += ss.Recovery.Requested
+			ns.Suppressed += ss.Recovery.Suppressed
 		}
 	}
 	ns.PartitionDrops, ns.LossDrops = h.ctrl.drops()
 	return ns
+}
+
+// owed reports whether a surviving endpoint must have delivered events
+// published on t: its own group in flat mode, and in hierarchy mode any
+// subscribed ancestor group too — events flow up, so every group above
+// the publish topic is owed a copy.
+func (h *harness) owed(ep *endpoint, t string) bool {
+	if ep.subs[t] != nil {
+		return true
+	}
+	if !h.cfg.Hierarchy {
+		return false
+	}
+	for st := range ep.subs {
+		if topic.Topic(st).Includes(topic.Topic(t)) {
+			return true
+		}
+	}
+	return false
 }
 
 // grade fills the report's delivery verdict: for every topic, what
@@ -526,7 +615,7 @@ func (h *harness) grade(r *Report) {
 		r.Published[t] = len(evs)
 		var tGot, tTotal int
 		for _, ep := range h.eps {
-			if ep.down || ep.subs[t] == nil {
+			if ep.down || !h.owed(ep, t) {
 				continue
 			}
 			tTotal += len(evs)

@@ -164,6 +164,78 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// hierarchyTwinConfig builds the parent re-ignition soak: a two-level
+// hierarchy (6 parents on .p, 6 children on .p.c) where the entire
+// parent group is killed before the only child-group publication and
+// revived after dissemination has quiesced. The restarted parents come
+// back with empty protocol state and the event is long gone from the
+// wire, so whether they ever deliver it is decided purely by the
+// cross-group recovery plane.
+func hierarchyTwinConfig(cross bool) Config {
+	return Config{
+		Endpoints:     12,
+		Topics:        []string{".p", ".p.c"},
+		Hierarchy:     true,
+		Seed:          17,
+		Tick:          10 * time.Millisecond,
+		Step:          80 * time.Millisecond,
+		Settle:        2 * time.Second,
+		Recovery:      true,
+		CrossRecovery: cross,
+		Schedule: []Fault{
+			{Step: 0, Kind: FaultKill, Count: 64, Topic: ".p"},
+			{Step: 1, Kind: FaultPublish},
+			{Step: 4, Kind: FaultRestart, Topic: ".p"},
+			{Step: 8, Kind: FaultPublish},
+		},
+		SLO: 0.99,
+	}
+}
+
+// TestChaosHierarchyTwin runs the parent re-ignition soak twice —
+// cross-group recovery on and off — and pins the asymmetry: with it the
+// revived parent group obtains the child event it never saw and the run
+// meets the SLO; without it the parents stay structurally starved (they
+// hold zero copies and intra-group digests exchange nothing), so the
+// same schedule misses.
+func TestChaosHierarchyTwin(t *testing.T) {
+	withCross, err := Run(hierarchyTwinConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(hierarchyTwinConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cross on:  reliability %.4f per-topic %v recovered %d",
+		withCross.Reliability, withCross.PerTopic, withCross.Final.Recovered)
+	t.Logf("cross off: reliability %.4f per-topic %v recovered %d missing %d",
+		without.Reliability, without.PerTopic, without.Final.Recovered, len(without.Missing))
+
+	if !withCross.MetSLO {
+		t.Errorf("cross-group recovery: reliability %.4f below SLO despite hierarchy links", withCross.Reliability)
+	}
+	if withCross.PerTopic[".p.c"] < 1 {
+		t.Errorf("cross-group recovery: child events reached %.4f of owed endpoints, want 1.0 (parents re-ignited)",
+			withCross.PerTopic[".p.c"])
+	}
+	if withCross.Final.Recovered == 0 {
+		t.Error("cross-group run never recovered an event; re-ignition happened some other way?")
+	}
+	if without.MetSLO {
+		t.Error("intra-only run claims to meet the SLO; the dead parent group should have missed the child event")
+	}
+	// 6 parents each owed the 1 pre-restart child event: exactly those
+	// pairs miss, so the child topic's fraction sits well below 1.
+	if without.PerTopic[".p.c"] > 0.8 {
+		t.Errorf("intra-only run delivered %.4f of child-topic pairs; parents were expected to stay starved",
+			without.PerTopic[".p.c"])
+	}
+	if len(without.Missing) == 0 {
+		t.Error("intra-only run reports no missing pairs")
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	base := partitionConfig(true)
 	cases := []struct {

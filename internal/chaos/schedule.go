@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"damulticast/internal/topic"
 	"damulticast/internal/xrand"
 )
 
@@ -66,11 +67,23 @@ type Fault struct {
 	Cells int
 	// Rate is the loss-burst drop probability in [0, 1).
 	Rate float64
+	// Topic restricts FaultKill and FaultRestart to subscribers of this
+	// topic (empty = any endpoint) — how a hierarchy soak takes one
+	// whole group down and later revives it.
+	Topic string
 }
 
 func (f Fault) validate() error {
 	if f.Step < 0 {
 		return fmt.Errorf("%w: negative step %d", ErrBadFault, f.Step)
+	}
+	if f.Topic != "" {
+		if f.Kind != FaultKill && f.Kind != FaultRestart {
+			return fmt.Errorf("%w: Topic only targets kill/restart, not %v", ErrBadFault, f.Kind)
+		}
+		if _, err := topic.Parse(f.Topic); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFault, err)
+		}
 	}
 	switch f.Kind {
 	case FaultPublish, FaultHeal, FaultLossRestore:

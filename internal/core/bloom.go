@@ -1,0 +1,147 @@
+package core
+
+// Bloom-filter digests for the anti-entropy recovery exchange. PR 4's
+// digests listed raw event ids and were capped at the newest 4096 — a
+// store of 100k events could never be advertised whole, and the cap was
+// silent. A bloom filter represents the full store in RecoverDigestBits
+// bits per event (10 bits ≈ 1% false positives), so a 100k-event store
+// digests into ~125 KiB: one transport frame with room to spare.
+//
+// The price of the compression is one-sided error: a filter may claim
+// the sender holds an event it never saw, and the peer then withholds
+// ("suppresses") the push. Correctness survives because the error is
+// never repeated deterministically — every digest is hashed under a
+// fresh seed derived from (tick, process id) via xrand.SeedFor, so an
+// id that false-positives this wave almost surely does not at the next,
+// and the suppressed event is pushed then. Convergence is delayed by a
+// wave, never prevented.
+//
+// Hashing is double hashing (Kirsch–Mitzenmacher): two 64-bit FNV-1a/
+// splitmix64 hashes h1, h2 of (seed, origin, seq) generate the k probe
+// positions h1 + i·h2. h2 is forced odd so probes cycle through all bit
+// positions. Everything here is pure: same (seed, id) → same bits, on
+// any worker, which keeps the simulation kernel's determinism contract.
+
+import (
+	"math"
+
+	"damulticast/internal/ids"
+)
+
+// maxRecoverDigestBytes caps one digest's filter size so it always fits
+// a live transport frame (TCPTransport.MaxFrame defaults to 1 MiB) with
+// generous headroom for the envelope. When a store is so large that
+// RecoverDigestBits per entry would exceed the cap, the filter is built
+// at the cap anyway — every id is still inserted, at a degraded
+// false-positive rate — and the truncation is counted, never silent.
+const maxRecoverDigestBytes = 256 << 10
+
+// minRecoverDigestBits floors the filter so tiny stores do not build
+// degenerate one-byte filters with pathological false-positive rates.
+const minRecoverDigestBits = 64
+
+// bloomHashes derives the double-hashing pair for id under seed. h2 is
+// odd, so h1 + i·h2 (mod any m) walks m distinct positions.
+func bloomHashes(seed uint64, id ids.EventID) (h1, h2 uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(id.Origin); i++ {
+		h ^= uint64(id.Origin[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (id.Seq >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return bloomMix(h), bloomMix(h^0x9e3779b97f4a7c15) | 1
+}
+
+// bloomMix is the splitmix64 finalizer (the same avalanche xrand.SeedFor
+// uses), turning the raw FNV state into a well-distributed 64-bit hash.
+func bloomMix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// bloomLayout sizes a filter for n entries at bitsPerEntry: the byte
+// length of the bit array, the probe count k matched to the *actual*
+// bits-per-entry ratio (k = ratio·ln2, the optimum), and whether the
+// byte cap truncated the requested size.
+func bloomLayout(n, bitsPerEntry int) (bytes, k int, truncated bool) {
+	if n <= 0 {
+		return 0, 0, false
+	}
+	mBits := n * bitsPerEntry
+	if mBits < minRecoverDigestBits {
+		mBits = minRecoverDigestBits
+	}
+	if mBits > maxRecoverDigestBytes*8 {
+		mBits = maxRecoverDigestBytes * 8
+		truncated = true
+	}
+	bytes = (mBits + 7) / 8
+	k = int(math.Round(float64(bytes*8) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return bytes, k, truncated
+}
+
+// bloomAdd sets id's k probe bits in bits.
+func bloomAdd(bits []byte, k int, seed uint64, id ids.EventID) {
+	m := uint64(len(bits)) * 8
+	if m == 0 {
+		return
+	}
+	h1, h2 := bloomHashes(seed, id)
+	for i := 0; i < k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// bloomHas reports whether id's probe bits are all set. An empty or
+// malformed filter contains nothing — the empty digest of a process
+// that missed everything is exactly the invitation to push the backlog.
+func bloomHas(bits []byte, k int, seed uint64, id ids.EventID) bool {
+	m := uint64(len(bits)) * 8
+	if m == 0 || k <= 0 {
+		return false
+	}
+	h1, h2 := bloomHashes(seed, id)
+	for i := 0; i < k; i++ {
+		pos := (h1 + uint64(i)*h2) % m
+		if bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BloomDigest builds a recovery digest filter over eventIDs at
+// bitsPerEntry bits per entry under the given hash seed. Exposed for
+// drivers that size digests without a live Process — the sim's
+// store-size figure encodes real MsgDigest frames through this.
+func BloomDigest(eventIDs []ids.EventID, bitsPerEntry int, seed uint64) (bits []byte, k int, truncated bool) {
+	n := len(eventIDs)
+	bytes, k, truncated := bloomLayout(n, bitsPerEntry)
+	if bytes == 0 {
+		return nil, 0, truncated
+	}
+	bits = make([]byte, bytes)
+	for _, id := range eventIDs {
+		bloomAdd(bits, k, seed, id)
+	}
+	return bits, k, truncated
+}

@@ -141,11 +141,17 @@ type Message struct {
 	SuperEntries []membership.Entry
 	SuperTopic   topic.Topic
 
-	// MsgDigest: recently-seen event ids (the anti-entropy digest).
-	// MsgEventReq: event ids the sender asks the receiver to resend.
-	DigestIDs []ids.EventID
-	// MsgDigestAns: full events the receiver of a digest (or of an
-	// event request) pushes back. Shared and immutable, like Event.
+	// MsgDigest: a bloom filter over the sender's recently-seen event
+	// ids (the anti-entropy digest; see bloom.go). BloomK is the probe
+	// count and BloomSeed the hash seed the filter was built under —
+	// receivers must probe with the sender's seed, which rotates every
+	// wave to decorrelate false positives. A nil BloomBits is the empty
+	// digest: "I hold nothing, push me everything".
+	BloomBits []byte
+	BloomK    int
+	BloomSeed uint64
+	// MsgDigestAns: full events the receiver of a digest pushes back.
+	// Shared and immutable, like Event.
 	Events []*Event
 }
 
@@ -158,8 +164,8 @@ func (m *Message) String() string {
 		return fmt.Sprintf("REQCONTACT(origin=%s search=%v ttl=%d)", m.Origin, m.SearchTopics, m.TTL)
 	case MsgAnsContact:
 		return fmt.Sprintf("ANSCONTACT(%v of %s) from %s", m.Contacts, m.ContactsTopic, m.From)
-	case MsgDigest, MsgEventReq:
-		return fmt.Sprintf("%s(%d ids) from %s", m.Type, len(m.DigestIDs), m.From)
+	case MsgDigest:
+		return fmt.Sprintf("DIGEST(%d filter bytes, k=%d) from %s", len(m.BloomBits), m.BloomK, m.From)
 	case MsgDigestAns:
 		return fmt.Sprintf("DIGEST_ANS(%d events) from %s", len(m.Events), m.From)
 	default:

@@ -93,6 +93,24 @@ type Params struct {
 	// this many ticks ago are GC'd at the next wave and can no longer
 	// be served to peers.
 	RecoverMaxAge int
+
+	// RecoverDigestBits is the recovery digest's bloom-filter budget in
+	// bits per stored event (10 ≈ 1% false positives). Larger stores
+	// build proportionally larger filters up to a hard byte cap; see
+	// bloom.go.
+	RecoverDigestBits int
+
+	// CrossRecoverPeriod is the number of ticks between cross-group
+	// recovery waves: digests sent to known supergroup and subgroup
+	// contacts, so repair climbs and descends the topic hierarchy
+	// instead of staying inside one group. 0 (the default) keeps
+	// recovery intra-group only. Requires RecoverPeriod > 0.
+	CrossRecoverPeriod int
+
+	// CrossRecoverFanout is how many contacts per direction (up the
+	// supertopic table, down the learned subgroup contacts) each
+	// cross-group wave sends a digest to.
+	CrossRecoverFanout int
 }
 
 // DefaultParams returns the paper's simulation setting (§VII-A):
@@ -118,6 +136,9 @@ func DefaultParams() Params {
 		RecoverFanout:      2,
 		RecoverStoreCap:    512,
 		RecoverMaxAge:      20,
+		RecoverDigestBits:  10,
+		CrossRecoverPeriod: 0, // cross-group recovery is opt-in on top
+		CrossRecoverFanout: 2,
 	}
 }
 
@@ -129,6 +150,7 @@ var (
 	ErrBadB       = errors.New("core: B must be >= 0")
 	ErrBadTau     = errors.New("core: Tau must be in [0, Z]")
 	ErrBadRecover = errors.New("core: recovery knobs must be positive when RecoverPeriod > 0")
+	ErrBadCross   = errors.New("core: CrossRecoverPeriod requires RecoverPeriod > 0 and a positive CrossRecoverFanout")
 )
 
 // Validate checks the constraints stated in the paper: 1 ≤ a ≤ z,
@@ -150,9 +172,13 @@ func (p Params) Validate() error {
 	if p.Tau < 0 || p.Tau > p.Z {
 		return fmt.Errorf("%w (got %d with Z=%d)", ErrBadTau, p.Tau, p.Z)
 	}
-	if p.RecoverPeriod > 0 && (p.RecoverFanout < 1 || p.RecoverStoreCap < 1 || p.RecoverMaxAge < 1) {
-		return fmt.Errorf("%w (fanout=%d storecap=%d maxage=%d)",
-			ErrBadRecover, p.RecoverFanout, p.RecoverStoreCap, p.RecoverMaxAge)
+	if p.RecoverPeriod > 0 && (p.RecoverFanout < 1 || p.RecoverStoreCap < 1 || p.RecoverMaxAge < 1 || p.RecoverDigestBits < 1) {
+		return fmt.Errorf("%w (fanout=%d storecap=%d maxage=%d digestbits=%d)",
+			ErrBadRecover, p.RecoverFanout, p.RecoverStoreCap, p.RecoverMaxAge, p.RecoverDigestBits)
+	}
+	if p.CrossRecoverPeriod > 0 && (p.RecoverPeriod < 1 || p.CrossRecoverFanout < 1) {
+		return fmt.Errorf("%w (recover=%d crossfanout=%d)",
+			ErrBadCross, p.RecoverPeriod, p.CrossRecoverFanout)
 	}
 	return nil
 }
@@ -187,6 +213,14 @@ func (p Params) withDefaults() Params {
 	}
 	if p.RecoverMaxAge == 0 {
 		p.RecoverMaxAge = d.RecoverMaxAge
+	}
+	if p.RecoverDigestBits == 0 {
+		p.RecoverDigestBits = d.RecoverDigestBits
+	}
+	// CrossRecoverPeriod keeps its zero value too (cross-group recovery
+	// off); only its fanout defaults.
+	if p.CrossRecoverFanout == 0 {
+		p.CrossRecoverFanout = d.CrossRecoverFanout
 	}
 	return p
 }

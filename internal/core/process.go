@@ -97,12 +97,16 @@ type Process struct {
 	nextSeq uint64
 
 	// Anti-entropy recovery state (recover.go): the bounded store of
-	// recently seen events served to peers, the tick of the last
-	// recovery wave, and the subsystem's counters. store is nil when
-	// RecoverPeriod is 0 (recovery disabled).
-	store        *eventStore
-	lastRecover  int
-	recoverStats recoveryCounters
+	// recently seen events served to peers, the ticks of the last
+	// intra-group and cross-group recovery waves, the learned subgroup
+	// contacts the downward cross wave digests to, and the subsystem's
+	// counters. store is nil when RecoverPeriod is 0 (recovery
+	// disabled); subContacts stays empty unless CrossRecoverPeriod > 0.
+	store            *eventStore
+	lastRecover      int
+	lastCrossRecover int
+	subContacts      []subContact
+	recoverStats     recoveryCounters
 
 	// batcher caches the env's optional SendBatcher implementation
 	// (one type assertion at construction, not one per event).
@@ -360,6 +364,9 @@ func (p *Process) HandleMessage(m *Message) {
 	if p.stopped || m == nil {
 		return
 	}
+	if p.crossRecoveryEnabled() {
+		p.noteSubContact(m.From, m.FromTopic)
+	}
 	switch m.Type {
 	case MsgEvent:
 		p.onEvent(m)
@@ -385,8 +392,6 @@ func (p *Process) HandleMessage(m *Message) {
 		p.onDigest(m)
 	case MsgDigestAns:
 		p.onDigestAns(m)
-	case MsgEventReq:
-		p.onEventReq(m)
 	}
 }
 
@@ -409,6 +414,10 @@ func (p *Process) Tick() {
 	if rp := p.params.RecoverPeriod; rp > 0 && p.tick-p.lastRecover >= rp {
 		p.lastRecover = p.tick
 		p.doRecover()
+	}
+	if cp := p.params.CrossRecoverPeriod; cp > 0 && p.tick-p.lastCrossRecover >= cp {
+		p.lastCrossRecover = p.tick
+		p.doCrossRecover()
 	}
 	if p.findSuper != nil {
 		p.findSuperTick()

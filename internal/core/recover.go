@@ -1,91 +1,96 @@
 package core
 
-// Pull-based anti-entropy event recovery. daMulticast is deliberately
-// best-effort: an event gossiped to ln(S)+c members is simply lost when
-// the channel drops the wrong messages or a churn wave removes the
-// holders (that loss is exactly what the paper's reliability figures
-// measure). The recovery subsystem layered here opens that tradeoff as
-// a knob instead of a constant: each process keeps a bounded store of
-// recently seen events and periodically gossips a compact digest of
-// their ids to a few random group mates; the receivers answer with the
-// events the requester missed (and pull, in turn, the ids the digest
-// proves they are missing themselves). Recovered events re-enter the
-// normal dissemination path, so one successful exchange re-ignites the
-// epidemic for everyone.
+// Push-based anti-entropy event recovery over bloom digests.
+// daMulticast is deliberately best-effort: an event gossiped to ln(S)+c
+// members is simply lost when the channel drops the wrong messages or a
+// churn wave removes the holders (that loss is exactly what the paper's
+// reliability figures measure). The recovery subsystem layered here
+// opens that tradeoff as a knob instead of a constant: each process
+// keeps a bounded store of recently seen events and periodically
+// gossips a bloom-filter digest of their ids (bloom.go) to a few random
+// group mates; a receiver pushes back every stored event the filter
+// proves the sender missed, and answers with its own digest so the
+// exchange repairs both directions in one round trip.
 //
-// The exchange uses three wire messages:
+// The exchange uses two wire messages:
 //
-//	MsgDigest    A -> B   ids of the events A holds (possibly none)
-//	MsgDigestAns B -> A   full events B holds that A's digest lacked
-//	MsgEventReq  B -> A   ids A listed that B has never seen; A answers
-//	                      with a MsgDigestAns carrying them
+//	MsgDigest    A -> B   bloom filter over the ids A holds. TTL=1 on
+//	                      wave-initiating digests invites exactly one
+//	                      counter-digest (TTL=0), so an exchange is
+//	                      A-digest, B-push+B-digest, A-push — and stops.
+//	MsgDigestAns B -> A   full events B holds that A's filter lacked
 //
-// so the common recovery path (a process that missed an event pulls it
-// from a holder) is a two-message round trip, and the reverse direction
-// (the digest receiver notices ITS gap) costs one extra hop. All three
-// stay within one topic group, like the gossip they repair: FromTopic
-// must match the receiver's topic.
+// A bloom filter cannot be enumerated, so the explicit id pull of the
+// raw-id protocol (MsgEventReq) is gone: the counter-digest replaces
+// it, at the same two-message cost for the common path. False
+// positives — the filter claiming A holds an event it never saw — make
+// B withhold ("suppress") a push; the per-wave seed rotation in
+// buildDigest decorrelates the error, so the event goes out on a later
+// wave instead. Convergence is delayed, never prevented; the sim's
+// pinned-seed false-positive test holds this.
 //
-// Determinism: the only randomness is the digest target sampling, drawn
-// from the process's own Env stream exactly like dissemination fanout;
-// the store iterates in insertion order; digest and request slices are
-// walked in wire order. Under the parallel simulation kernel a run with
-// recovery enabled is therefore byte-identical for any worker count.
-// With RecoverPeriod = 0 (the default) no recovery code draws from any
-// stream, so pre-recovery golden digests and figure CSVs are unchanged.
+// Recovery is intra-group by default, like the gossip it repairs. With
+// CrossRecoverPeriod > 0 a second, slower wave also sends digests along
+// the topic hierarchy: up to the supertopic table's contacts and down
+// to subgroup contacts learned from inbound traffic. Pushes crossing a
+// group boundary are filtered by topic inclusion in both directions
+// (only events the destination's topic includes are pushed, and
+// receivers drop anything else), so the parasite invariant — no process
+// delivers an event outside its subscription — survives. One healed
+// subgroup thereby re-ignites its parents, and a parent restocks a
+// child that lost everything.
+//
+// Determinism: the only randomness is target sampling, drawn from the
+// process's own Env stream exactly like dissemination fanout; the store
+// iterates in insertion order; bloom hashing is pure in (seed, id).
+// Under the parallel simulation kernel a run with recovery enabled is
+// therefore byte-identical for any worker count. With RecoverPeriod = 0
+// (the default) no recovery code draws from any stream, so pre-recovery
+// golden digests and figure CSVs are unchanged.
 
 import (
 	"sync/atomic"
 
 	"damulticast/internal/ids"
+	"damulticast/internal/topic"
+	"damulticast/internal/xrand"
 )
 
 // Recovery message types, continuing the enum space of message.go and
-// leave.go.
+// leave.go. (The raw-id protocol's MsgEventReq slot, MsgLeave+3, is
+// retired with wire v3 and must not be reused without a codec bump.)
 const (
-	// MsgDigest carries the sender's recently-seen event ids.
+	// MsgDigest carries a bloom filter over the sender's recently-seen
+	// event ids.
 	MsgDigest MsgType = MsgLeave + 1
 	// MsgDigestAns carries full events the peer was missing.
 	MsgDigestAns MsgType = MsgLeave + 2
-	// MsgEventReq asks the peer for the listed event ids.
-	MsgEventReq MsgType = MsgLeave + 3
 )
 
 func init() {
 	msgTypeNames[MsgDigest] = "DIGEST"
 	msgTypeNames[MsgDigestAns] = "DIGEST_ANS"
-	msgTypeNames[MsgEventReq] = "EVENT_REQ"
 }
 
 // IsRecovery reports whether t belongs to the anti-entropy recovery
 // exchange (drivers count these separately from event and control
 // traffic).
 func (t MsgType) IsRecovery() bool {
-	return t == MsgDigest || t == MsgDigestAns || t == MsgEventReq
+	return t == MsgDigest || t == MsgDigestAns
 }
 
-// maxRecoverBatch bounds the events of one MsgDigestAns and the ids of
-// one MsgEventReq, and maxRecoverBatchBytes bounds the answer's
-// payload bytes, so a single exchange can never produce a frame
-// proportional to a whole store — or one that exceeds a live
-// transport's frame limit (TCPTransport.MaxFrame defaults to 1 MiB; an
-// oversized answer would be dropped whole, and rebuilt and re-dropped
-// every wave). Whatever a bounded answer leaves out is advertised
-// again by later digests once the delivered part is stored, so
-// recovery advances incrementally across waves.
+// maxRecoverBatch bounds the events of one MsgDigestAns, and
+// maxRecoverBatchBytes bounds the answer's payload bytes, so a single
+// exchange can never produce a frame proportional to a whole store — or
+// one that exceeds a live transport's frame limit (TCPTransport.MaxFrame
+// defaults to 1 MiB; an oversized answer would be dropped whole, and
+// rebuilt and re-dropped every wave). Whatever a bounded answer leaves
+// out is advertised again by later digests once the delivered part is
+// stored, so recovery advances incrementally across waves.
 const (
 	maxRecoverBatch      = 64
 	maxRecoverBatchBytes = 256 << 10
 )
-
-// maxRecoverDigest bounds the event ids of one MsgDigest for the same
-// reason: a digest must fit a transport frame no matter how large
-// RecoverStoreCap is configured (4096 ids with address-sized origins
-// is ~100 KiB, comfortably under TCPTransport's 1 MiB default). When
-// the store holds more, the newest ids are advertised — the oldest are
-// closest to aging out anyway, and the re-store-on-duplicate rule
-// keeps re-pushed elders advertised on later waves.
-const maxRecoverDigest = 4096
 
 // eventWireSize approximates an event's encoded size for the batch
 // byte budget (payload plus id/topic strings and varint overhead).
@@ -114,9 +119,19 @@ type RecoveryStats struct {
 	// Recovered is the number of first-time events obtained through the
 	// recovery exchange rather than plain gossip.
 	Recovered uint64
-	// Requested is the number of event ids this process explicitly
-	// asked peers for (MsgEventReq entries sent).
-	Requested uint64
+	// Suppressed is the number of stored events withheld from a push
+	// because the peer's bloom digest claimed possession. Mostly true
+	// positives (the peer really holds them); the false-positive
+	// fraction is what seed rotation repairs on the next wave. A
+	// suppression rate near the store size with reliability below 1 is
+	// the signature of an undersized RecoverDigestBits.
+	Suppressed uint64
+	// Truncated is the number of digests built at the filter byte cap
+	// (maxRecoverDigestBytes) because the store exceeded what
+	// RecoverDigestBits per entry allows — every id is still inserted,
+	// at a degraded false-positive rate. The raw-id protocol silently
+	// dropped older ids here; this counter is the saturation signal.
+	Truncated uint64
 	// GCd is the number of store entries evicted by age or capacity.
 	GCd uint64
 }
@@ -125,18 +140,20 @@ type RecoveryStats struct {
 // RecoveryStats: the owning goroutine increments, any goroutine may
 // snapshot (the live Node reads stats from outside the protocol loop).
 type recoveryCounters struct {
-	recovered atomic.Uint64
-	requested atomic.Uint64
-	gcd       atomic.Uint64
+	recovered  atomic.Uint64
+	suppressed atomic.Uint64
+	truncated  atomic.Uint64
+	gcd        atomic.Uint64
 }
 
 // RecoveryStats returns a snapshot of the recovery counters. Safe to
 // call from any goroutine.
 func (p *Process) RecoveryStats() RecoveryStats {
 	return RecoveryStats{
-		Recovered: p.recoverStats.recovered.Load(),
-		Requested: p.recoverStats.requested.Load(),
-		GCd:       p.recoverStats.gcd.Load(),
+		Recovered:  p.recoverStats.recovered.Load(),
+		Suppressed: p.recoverStats.suppressed.Load(),
+		Truncated:  p.recoverStats.truncated.Load(),
+		GCd:        p.recoverStats.gcd.Load(),
 	}
 }
 
@@ -152,6 +169,23 @@ func (p *Process) EventStoreLen() int {
 
 // recoveryEnabled reports whether the recovery task is configured on.
 func (p *Process) recoveryEnabled() bool { return p.params.RecoverPeriod > 0 }
+
+// crossRecoveryEnabled reports whether recovery digests also travel
+// along supertopic links.
+func (p *Process) crossRecoveryEnabled() bool { return p.params.CrossRecoverPeriod > 0 }
+
+// recoverLinked reports whether recovery traffic from a process
+// subscribed to ft may be honored: always for the own group, and for
+// ancestor or descendant groups when cross-group recovery is on.
+func (p *Process) recoverLinked(ft topic.Topic) bool {
+	if ft == p.topic {
+		return true
+	}
+	if !p.crossRecoveryEnabled() {
+		return false
+	}
+	return ft.StrictlyIncludes(p.topic) || p.topic.StrictlyIncludes(ft)
+}
 
 // storedRef is one FIFO/age bookkeeping entry of the event store.
 type storedRef struct {
@@ -233,8 +267,9 @@ func (s *eventStore) GC(now, maxAge int) int {
 }
 
 // AppendIDs appends up to max held event ids to dst in insertion
-// order (the digest payload). When the store holds more, the newest
-// max are taken.
+// order. When the store holds more, the newest max are taken. (The
+// digest itself is a bloom filter over *all* ids now; this remains for
+// tests and introspection.)
 func (s *eventStore) AppendIDs(dst []ids.EventID, max int) []ids.EventID {
 	start := s.head
 	if live := len(s.queue) - s.head; live > max {
@@ -242,25 +277,6 @@ func (s *eventStore) AppendIDs(dst []ids.EventID, max int) []ids.EventID {
 	}
 	for _, ref := range s.queue[start:] {
 		dst = append(dst, ref.id)
-	}
-	return dst
-}
-
-// AppendMissing appends held events whose id is not in have, in
-// insertion order, under the shared answer budget (admitEvent): at
-// most maxRecoverBatch events and maxRecoverBatchBytes of estimated
-// wire size, always admitting at least one event so answers make
-// progress even when a single event approaches the budget.
-func (s *eventStore) AppendMissing(dst []*Event, have map[ids.EventID]struct{}) []*Event {
-	bytes := 0
-	ok := true
-	for _, ref := range s.queue[s.head:] {
-		if _, skip := have[ref.id]; skip {
-			continue
-		}
-		if dst, bytes, ok = admitEvent(dst, s.byID[ref.id], bytes); !ok {
-			break
-		}
 	}
 	return dst
 }
@@ -276,10 +292,33 @@ func (p *Process) rememberEvent(ev *Event) {
 	}
 }
 
-// doRecover runs one RECOVER wave: age out stale store entries, then
-// gossip the digest of held event ids to RecoverFanout random group
-// mates. An empty digest is still sent — it is precisely how a process
-// that missed everything invites a peer to push the backlog.
+// buildDigest builds this wave's bloom digest over the whole store. The
+// hash seed is derived from (tick, process id), so consecutive waves
+// probe different bit patterns — the false-positive decorrelation the
+// protocol's convergence relies on. An empty store yields a nil filter:
+// precisely how a process that missed everything invites a peer to push
+// the backlog. Digests built at the filter byte cap are counted as
+// truncated.
+func (p *Process) buildDigest() (bits []byte, k int, seed uint64) {
+	n := p.store.Len()
+	if n == 0 {
+		return nil, 0, 0
+	}
+	nBytes, k, truncated := bloomLayout(n, p.params.RecoverDigestBits)
+	if truncated {
+		p.recoverStats.truncated.Add(1)
+	}
+	seed = uint64(xrand.SeedFor(int64(p.tick), "bloom:"+string(p.id)))
+	bits = make([]byte, nBytes)
+	for _, ref := range p.store.queue[p.store.head:] {
+		bloomAdd(bits, k, seed, ref.id)
+	}
+	return bits, k, seed
+}
+
+// doRecover runs one intra-group RECOVER wave: age out stale store
+// entries, then gossip the store's bloom digest to RecoverFanout random
+// group mates with a reply budget of one counter-digest.
 func (p *Process) doRecover() {
 	if gone := p.store.GC(p.tick, p.params.RecoverMaxAge); gone > 0 {
 		p.recoverStats.gcd.Add(uint64(gone))
@@ -294,51 +333,99 @@ func (p *Process) doRecover() {
 		p.batch = targets[:0]
 		return
 	}
-	// Fresh digest slice per wave: receivers (and the simulator) may
-	// retain the message, so the buffer cannot be recycled.
-	digest := p.store.AppendIDs(make([]ids.EventID, 0, min(p.store.Len(), maxRecoverDigest)), maxRecoverDigest)
+	bits, k, seed := p.buildDigest()
 	p.batch = nil // reentrancy guard; see disseminate
 	p.sendToAll(targets, &Message{
 		Type:      MsgDigest,
 		From:      p.id,
 		FromTopic: p.topic,
 		Dest:      p.topic,
-		DigestIDs: digest,
+		TTL:       1,
+		BloomBits: bits,
+		BloomK:    k,
+		BloomSeed: seed,
 	})
 	p.batch = targets[:0]
 }
 
-// onDigest answers a peer's digest: push the stored events the digest
-// lacked, and request the listed ids we have never seen ourselves.
-func (p *Process) onDigest(m *Message) {
-	if m.FromTopic != p.topic || p.store == nil {
-		return // recovery never crosses groups nor runs when disabled
+// doCrossRecover runs one cross-group wave: the same digest, sent up to
+// sampled supertopic-table contacts and down to sampled subgroup
+// contacts (noteSubContact), each stamped with the destination group's
+// topic so multi-topic endpoints demux it to the right process. The
+// digest filter is shared across the sends — receivers treat messages
+// as immutable.
+func (p *Process) doCrossRecover() {
+	bits, k, seed := p.buildDigest()
+	proto := Message{
+		Type:      MsgDigest,
+		From:      p.id,
+		FromTopic: p.topic,
+		TTL:       1,
+		BloomBits: bits,
+		BloomK:    k,
+		BloomSeed: seed,
 	}
-	have := make(map[ids.EventID]struct{}, len(m.DigestIDs))
-	var wants []ids.EventID
-	for _, id := range m.DigestIDs {
-		have[id] = struct{}{}
-		if !p.seen.Seen(id) && len(wants) < maxRecoverBatch {
-			wants = append(wants, id)
+	if p.superKnown != "" && p.superTable.Len() > 0 {
+		for _, target := range p.superTable.Sample(p.env.Rand(), p.params.CrossRecoverFanout) {
+			if target == p.id {
+				continue
+			}
+			up := proto
+			up.Dest = p.superKnown
+			p.env.Send(target, &up)
 		}
 	}
-	if missing := p.store.AppendMissing(nil, have); len(missing) > 0 {
+	for _, c := range p.sampleSubContacts(p.params.CrossRecoverFanout) {
+		down := proto
+		down.Dest = c.tp
+		p.env.Send(c.id, &down)
+	}
+}
+
+// onDigest answers a peer's digest: push every stored event the filter
+// lacks that the peer's group is entitled to by topic inclusion, then
+// return a counter-digest when the sender budgeted for one (TTL > 0;
+// the counter-digest carries TTL 0, so the exchange terminates).
+func (p *Process) onDigest(m *Message) {
+	if p.store == nil || !p.recoverLinked(m.FromTopic) {
+		return // recovery never crosses unlinked groups nor runs when disabled
+	}
+	var out []*Event
+	bytes := 0
+	for _, ref := range p.store.queue[p.store.head:] {
+		ev := p.store.byID[ref.id]
+		if !m.FromTopic.Includes(ev.Topic) {
+			continue // the peer's group is not entitled to this event
+		}
+		if bloomHas(m.BloomBits, m.BloomK, m.BloomSeed, ref.id) {
+			p.recoverStats.suppressed.Add(1)
+			continue
+		}
+		var ok bool
+		if out, bytes, ok = admitEvent(out, ev, bytes); !ok {
+			break
+		}
+	}
+	if len(out) > 0 {
 		p.env.Send(m.From, &Message{
 			Type:      MsgDigestAns,
 			From:      p.id,
 			FromTopic: p.topic,
-			Dest:      p.topic,
-			Events:    missing,
+			Dest:      m.FromTopic,
+			Events:    out,
 		})
 	}
-	if len(wants) > 0 {
-		p.recoverStats.requested.Add(uint64(len(wants)))
+	if m.TTL > 0 {
+		bits, k, seed := p.buildDigest()
 		p.env.Send(m.From, &Message{
-			Type:      MsgEventReq,
+			Type:      MsgDigest,
 			From:      p.id,
 			FromTopic: p.topic,
-			Dest:      p.topic,
-			DigestIDs: wants,
+			Dest:      m.FromTopic,
+			TTL:       0,
+			BloomBits: bits,
+			BloomK:    k,
+			BloomSeed: seed,
 		})
 	}
 }
@@ -351,12 +438,15 @@ func (p *Process) onDigest(m *Message) {
 // otherwise be absent from every future digest, and peers would keep
 // re-pushing its full payload wave after wave — re-storing it makes
 // the next digest advertise it and shuts that loop after one answer.
+// Events outside the receiver's subscription are dropped outright (the
+// sender filters by inclusion too; this guard keeps a buggy or
+// malicious peer from planting parasite deliveries).
 func (p *Process) onDigestAns(m *Message) {
-	if m.FromTopic != p.topic {
+	if p.store == nil || !p.recoverLinked(m.FromTopic) {
 		return
 	}
 	for _, ev := range m.Events {
-		if ev == nil {
+		if ev == nil || !p.topic.Includes(ev.Topic) {
 			continue
 		}
 		if p.receiveEvent(ev) {
@@ -367,32 +457,74 @@ func (p *Process) onDigestAns(m *Message) {
 	}
 }
 
-// onEventReq serves an explicit pull: answer with whatever requested
-// events the store still holds, as one MsgDigestAns.
-func (p *Process) onEventReq(m *Message) {
-	if m.FromTopic != p.topic || p.store == nil {
+// subContact is one learned subgroup contact: a process whose traffic
+// proved it subscribes to a strict subtopic of ours.
+type subContact struct {
+	id ids.ProcessID
+	tp topic.Topic
+}
+
+// maxSubContacts bounds the learned subgroup contact list.
+func (p *Process) maxSubContacts() int {
+	if n := 2 * p.params.Z; n > 4 {
+		return n
+	}
+	return 4
+}
+
+// noteSubContact learns downward links for cross-group recovery from
+// ordinary inbound traffic: any message whose FromTopic is a strict
+// subtopic of ours names a process the downward wave can digest to.
+// The list is bounded and FIFO — fresh contacts displace the oldest,
+// matching the churn the rest of the membership layer assumes.
+func (p *Process) noteSubContact(from ids.ProcessID, ft topic.Topic) {
+	if from == p.id || ft == "" || !p.topic.StrictlyIncludes(ft) {
 		return
 	}
-	var out []*Event
-	bytes := 0
-	admitted := true
-	for _, id := range m.DigestIDs {
-		ev, held := p.store.Get(id)
-		if !held {
-			continue
-		}
-		if out, bytes, admitted = admitEvent(out, ev, bytes); !admitted {
-			break
+	for i := range p.subContacts {
+		if p.subContacts[i].id == from {
+			p.subContacts[i].tp = ft
+			return
 		}
 	}
-	if len(out) == 0 {
-		return
+	if max := p.maxSubContacts(); len(p.subContacts) >= max {
+		copy(p.subContacts, p.subContacts[1:])
+		p.subContacts = p.subContacts[:len(p.subContacts)-1]
 	}
-	p.env.Send(m.From, &Message{
-		Type:      MsgDigestAns,
-		From:      p.id,
-		FromTopic: p.topic,
-		Dest:      p.topic,
-		Events:    out,
-	})
+	p.subContacts = append(p.subContacts, subContact{id: from, tp: ft})
+}
+
+// sampleSubContacts draws up to k learned subgroup contacts without
+// replacement from the process's own stream (partial Fisher-Yates over
+// an index copy, like xrand.SampleIDs).
+func (p *Process) sampleSubContacts(k int) []subContact {
+	n := len(p.subContacts)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k >= n {
+		return p.subContacts
+	}
+	r := p.env.Rand()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]subContact, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, p.subContacts[idx[i]])
+	}
+	return out
+}
+
+// SubContacts returns the learned subgroup contact ids (for tests and
+// introspection).
+func (p *Process) SubContacts() []ids.ProcessID {
+	out := make([]ids.ProcessID, len(p.subContacts))
+	for i, c := range p.subContacts {
+		out[i] = c.id
+	}
+	return out
 }

@@ -13,11 +13,12 @@ import (
 func recoverParams() Params {
 	return Params{
 		B: 3, C: 1, G: 5, A: 1, Z: 3,
-		GroupSizeHint:   4,
-		RecoverPeriod:   2,
-		RecoverFanout:   1,
-		RecoverStoreCap: 8,
-		RecoverMaxAge:   100,
+		GroupSizeHint:     4,
+		RecoverPeriod:     2,
+		RecoverFanout:     1,
+		RecoverStoreCap:   8,
+		RecoverMaxAge:     100,
+		RecoverDigestBits: 10,
 	}
 }
 
@@ -36,11 +37,11 @@ func TestEventStoreBounds(t *testing.T) {
 			t.Errorf("event %d not evicted", i)
 		}
 	}
-	ids9 := s.AppendIDs(nil, maxRecoverDigest)
+	ids9 := s.AppendIDs(nil, 4096)
 	if len(ids9) != 3 || ids9[0].Seq != 7 || ids9[2].Seq != 9 {
 		t.Errorf("AppendIDs = %v, want seqs 7..9 in insertion order", ids9)
 	}
-	// A digest cap smaller than the store keeps only the newest ids.
+	// A cap smaller than the store keeps only the newest ids.
 	if capped := s.AppendIDs(nil, 2); len(capped) != 2 || capped[0].Seq != 8 || capped[1].Seq != 9 {
 		t.Errorf("AppendIDs capped = %v, want seqs 8..9", capped)
 	}
@@ -90,9 +91,11 @@ func TestEventStoreQueueCompaction(t *testing.T) {
 }
 
 // TestRecoverDigestExchange walks one full anti-entropy exchange by
-// hand: A holds an event B missed; B holds one A missed. A's digest to
-// B must trigger both the direct push (B -> A: DigestAns) and the
-// reverse pull (B -> A: EventReq, answered with a DigestAns).
+// hand: A holds an event B missed; B holds one A missed. A's
+// wave-opening digest (TTL 1) must trigger B's push of the event A
+// lacked AND B's counter-digest (TTL 0), which in turn makes A push
+// the event B lacked — both directions repaired in one exchange, with
+// no third digest.
 func TestRecoverDigestExchange(t *testing.T) {
 	params := recoverParams()
 	envA, envB := newFakeEnv(1), newFakeEnv(2)
@@ -119,37 +122,46 @@ func TestRecoverDigestExchange(t *testing.T) {
 	if len(digests) != 1 || digests[0].to != "B" {
 		t.Fatalf("recovery wave sent %d digests (%v), want 1 to B", len(digests), digests)
 	}
-	if got := digests[0].msg.DigestIDs; len(got) != 1 || got[0] != evA.ID {
-		t.Fatalf("digest ids = %v, want [%v]", got, evA.ID)
+	wave := digests[0].msg
+	if wave.TTL != 1 {
+		t.Fatalf("wave digest TTL = %d, want 1 (budget for one counter-digest)", wave.TTL)
+	}
+	if len(wave.BloomBits) == 0 || !bloomHas(wave.BloomBits, wave.BloomK, wave.BloomSeed, evA.ID) {
+		t.Fatalf("wave digest does not contain the stored event %v", evA.ID)
 	}
 
-	// B answers: push evB (A's digest lacks it), pull evA (unseen).
-	B.HandleMessage(digests[0].msg)
+	// B answers: push evB (absent from A's filter) and counter-digest.
+	B.HandleMessage(wave)
 	ans := envB.sentOfType(MsgDigestAns)
 	if len(ans) != 1 || ans[0].to != "A" || len(ans[0].msg.Events) != 1 || ans[0].msg.Events[0].ID != evB.ID {
 		t.Fatalf("digest answer = %+v, want one push of %v to A", ans, evB.ID)
 	}
-	reqs := envB.sentOfType(MsgEventReq)
-	if len(reqs) != 1 || reqs[0].to != "A" || len(reqs[0].msg.DigestIDs) != 1 || reqs[0].msg.DigestIDs[0] != evA.ID {
-		t.Fatalf("event request = %+v, want one pull of %v from A", reqs, evA.ID)
-	}
-	if st := B.RecoveryStats(); st.Requested != 1 {
-		t.Errorf("B requested = %d, want 1", st.Requested)
+	counters := envB.sentOfType(MsgDigest)
+	if len(counters) != 1 || counters[0].to != "A" || counters[0].msg.TTL != 0 {
+		t.Fatalf("counter-digest = %+v, want one TTL-0 digest to A", counters)
 	}
 
-	// A serves the pull; B's push recovers evB at A.
+	// A folds the push in (delivery + stats), then serves the
+	// counter-digest: push evA, suppress evB (the filter rightly claims
+	// B holds it), and send no further digest — the exchange terminates.
 	envA.reset()
-	A.HandleMessage(reqs[0].msg)
-	served := envA.sentOfType(MsgDigestAns)
-	if len(served) != 1 || len(served[0].msg.Events) != 1 || served[0].msg.Events[0].ID != evA.ID {
-		t.Fatalf("served answer = %+v, want %v", served, evA.ID)
-	}
 	A.HandleMessage(ans[0].msg)
 	if len(envA.delivered) != 1 || envA.delivered[0].ID != evB.ID {
 		t.Fatalf("A delivered %v, want [%v]", envA.delivered, evB.ID)
 	}
 	if st := A.RecoveryStats(); st.Recovered != 1 {
 		t.Errorf("A recovered = %d, want 1", st.Recovered)
+	}
+	A.HandleMessage(counters[0].msg)
+	served := envA.sentOfType(MsgDigestAns)
+	if len(served) != 1 || len(served[0].msg.Events) != 1 || served[0].msg.Events[0].ID != evA.ID {
+		t.Fatalf("served answer = %+v, want one push of %v", served, evA.ID)
+	}
+	if extra := envA.sentOfType(MsgDigest); len(extra) != 0 {
+		t.Fatalf("TTL-0 counter-digest provoked further digests: %v", extra)
+	}
+	if st := A.RecoveryStats(); st.Suppressed != 1 {
+		t.Errorf("A suppressed = %d, want 1 (evB is in B's own filter)", st.Suppressed)
 	}
 
 	// B folds the served answer in: delivery, stats, re-dissemination.
@@ -170,6 +182,29 @@ func TestRecoverDigestExchange(t *testing.T) {
 	B.HandleMessage(served[0].msg)
 	if len(envB.delivered) != 0 {
 		t.Errorf("duplicate recovery delivered again: %v", envB.delivered)
+	}
+}
+
+// TestRecoverEmptyDigestInvitesBacklog: the empty (nil-filter) digest
+// of a process that missed everything makes a peer push its whole
+// store, budget-bounded.
+func TestRecoverEmptyDigestInvitesBacklog(t *testing.T) {
+	params := recoverParams()
+	env := newFakeEnv(9)
+	p := MustNewProcess("B", ".t", params, env)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Publish([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.reset()
+	p.HandleMessage(&Message{Type: MsgDigest, From: "A", FromTopic: ".t", Dest: ".t", TTL: 1})
+	ans := env.sentOfType(MsgDigestAns)
+	if len(ans) != 1 || len(ans[0].msg.Events) != 5 {
+		t.Fatalf("empty digest answered with %+v, want all 5 stored events", ans)
+	}
+	if st := p.RecoveryStats(); st.Suppressed != 0 {
+		t.Errorf("empty digest suppressed %d pushes", st.Suppressed)
 	}
 }
 
@@ -209,27 +244,234 @@ func TestRecoverRestoresEvictedStoreEntry(t *testing.T) {
 	}
 }
 
-// TestRecoverIgnoresOtherGroups: recovery messages never cross topic
-// groups, matching the gossip they repair.
-func TestRecoverIgnoresOtherGroups(t *testing.T) {
+// TestRecoverIgnoresUnlinkedGroups: recovery messages from a group that
+// is neither our own nor (with cross-group recovery on) an ancestor or
+// descendant are dropped, matching the gossip they repair.
+func TestRecoverIgnoresUnlinkedGroups(t *testing.T) {
+	for _, cross := range []bool{false, true} {
+		params := recoverParams()
+		if cross {
+			params.CrossRecoverPeriod = 2
+		}
+		env := newFakeEnv(3)
+		p := MustNewProcess("A", ".t", params, env)
+		if _, err := p.Publish([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		env.reset()
+		p.HandleMessage(&Message{Type: MsgDigest, From: "evil", FromTopic: ".other", TTL: 1})
+		p.HandleMessage(&Message{Type: MsgDigestAns, From: "evil", FromTopic: ".other",
+			Events: []*Event{{ID: ids.EventID{Origin: "evil", Seq: 1}, Topic: ".t"}}})
+		if len(env.sent) != 0 || len(env.delivered) != 0 {
+			t.Errorf("cross=%v: unlinked-group recovery honored: sent %v delivered %v",
+				cross, env.sent, env.delivered)
+		}
+		// Without cross-group recovery even a genuine subtopic is
+		// unlinked.
+		if !cross {
+			p.HandleMessage(&Message{Type: MsgDigest, From: "child", FromTopic: ".t.sub", TTL: 1})
+			if len(env.sent) != 0 {
+				t.Errorf("intra-only recovery answered a subgroup digest: %v", env.sent)
+			}
+		}
+	}
+}
+
+// TestRecoverAnswerFiltersByTopicInclusion: a digest from an ancestor
+// group must never be answered with events of sibling subtopics the
+// ancestor holds but the descendant's own group is not entitled to —
+// and the receiving side independently drops such events. Both guards
+// keep the parasite invariant across cross-group recovery.
+func TestRecoverAnswerFiltersByTopicInclusion(t *testing.T) {
 	params := recoverParams()
-	env := newFakeEnv(3)
-	p := MustNewProcess("A", ".t", params, env)
-	if _, err := p.Publish([]byte("x")); err != nil {
-		t.Fatal(err)
+	params.CrossRecoverPeriod = 2
+	env := newFakeEnv(7)
+	parent := MustNewProcess("P", ".a", params, env)
+	// The parent's store: one event of the child's topic (flowed up),
+	// one of the parent's own topic, one of a sibling subtopic.
+	for _, ev := range []*Event{
+		{ID: ids.EventID{Origin: "c1", Seq: 1}, Topic: ".a.b", Payload: []byte("child's")},
+		{ID: ids.EventID{Origin: "p1", Seq: 1}, Topic: ".a", Payload: []byte("parent's")},
+		{ID: ids.EventID{Origin: "s1", Seq: 1}, Topic: ".a.c", Payload: []byte("sibling's")},
+	} {
+		parent.HandleMessage(&Message{Type: MsgEvent, From: "feeder", FromTopic: ".a", Dest: ".a", Event: ev})
+	}
+	if parent.EventStoreLen() != 3 {
+		t.Fatalf("store holds %d events, want 3", parent.EventStoreLen())
 	}
 	env.reset()
-	p.HandleMessage(&Message{Type: MsgDigest, From: "evil", FromTopic: ".other"})
-	p.HandleMessage(&Message{Type: MsgEventReq, From: "evil", FromTopic: ".other",
-		DigestIDs: []ids.EventID{{Origin: "A", Seq: 1}}})
-	if len(env.sent) != 0 {
-		t.Errorf("cross-group recovery answered: %v", env.sent)
+	// An empty digest from a .a.b subscriber: only the .a.b event may
+	// be pushed down.
+	parent.HandleMessage(&Message{Type: MsgDigest, From: "child", FromTopic: ".a.b", TTL: 0})
+	ans := env.sentOfType(MsgDigestAns)
+	if len(ans) != 1 || len(ans[0].msg.Events) != 1 || ans[0].msg.Events[0].Topic != ".a.b" {
+		t.Fatalf("downward answer = %+v, want exactly the .a.b event", ans)
+	}
+	if ans[0].msg.Dest != ".a.b" {
+		t.Errorf("downward answer Dest = %q, want .a.b", ans[0].msg.Dest)
+	}
+
+	// Receiver-side guard: a child fed an out-of-subscription event via
+	// a digest answer must drop it.
+	childEnv := newFakeEnv(8)
+	child := MustNewProcess("C", ".a.b", params, childEnv)
+	child.HandleMessage(&Message{Type: MsgDigestAns, From: "P", FromTopic: ".a",
+		Events: []*Event{{ID: ids.EventID{Origin: "s1", Seq: 1}, Topic: ".a.c"}}})
+	if len(childEnv.delivered) != 0 {
+		t.Errorf("child delivered a parasite event: %v", childEnv.delivered)
+	}
+	if st := child.RecoveryStats(); st.Recovered != 0 {
+		t.Errorf("parasite push counted as recovered: %+v", st)
+	}
+}
+
+// TestCrossRecoverClimbsHierarchy: a child process whose supergroup
+// table names a parent contact re-ignites the parent through the
+// cross-group wave — the parent holds zero copies, the child's digest
+// invites the parent's empty counter-digest, and the child's push
+// delivers the event one level up.
+func TestCrossRecoverClimbsHierarchy(t *testing.T) {
+	params := recoverParams()
+	params.CrossRecoverPeriod = 1
+	parentEnv, childEnv := newFakeEnv(10), newFakeEnv(11)
+	parent := MustNewProcess("P", ".a", params, parentEnv)
+	child := MustNewProcess("C", ".a.b", params, childEnv)
+	child.SeedSuperTable(".a", []ids.ProcessID{"P"})
+
+	ev, err := child.Publish([]byte("deep news"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	childEnv.reset()
+
+	child.Tick() // cross period 1: the upward digest goes out
+	ups := childEnv.sentOfType(MsgDigest)
+	if len(ups) == 0 || ups[len(ups)-1].to != "P" {
+		t.Fatalf("cross wave sent %v, want a digest to P", ups)
+	}
+	up := ups[len(ups)-1].msg
+	if up.Dest != ".a" || up.FromTopic != ".a.b" || up.TTL != 1 {
+		t.Fatalf("upward digest = %+v, want Dest .a FromTopic .a.b TTL 1", up)
+	}
+
+	parent.HandleMessage(up)
+	if pushes := parentEnv.sentOfType(MsgDigestAns); len(pushes) != 0 {
+		t.Fatalf("empty parent pushed %v", pushes)
+	}
+	counters := parentEnv.sentOfType(MsgDigest)
+	if len(counters) != 1 || counters[0].to != "C" || counters[0].msg.Dest != ".a.b" {
+		t.Fatalf("parent counter-digest = %+v, want one to C with Dest .a.b", counters)
+	}
+
+	childEnv.reset()
+	child.HandleMessage(counters[0].msg)
+	pushes := childEnv.sentOfType(MsgDigestAns)
+	if len(pushes) != 1 || pushes[0].to != "P" || len(pushes[0].msg.Events) != 1 || pushes[0].msg.Events[0].ID != ev.ID {
+		t.Fatalf("child push = %+v, want %v to P", pushes, ev.ID)
+	}
+
+	parent.HandleMessage(pushes[0].msg)
+	if len(parentEnv.delivered) != 1 || parentEnv.delivered[0].ID != ev.ID {
+		t.Fatalf("parent delivered %v, want [%v]", parentEnv.delivered, ev.ID)
+	}
+	if st := parent.RecoveryStats(); st.Recovered != 1 {
+		t.Errorf("parent recovered = %d, want 1", st.Recovered)
+	}
+	// The child's inbound traffic from the parent must NOT be learned
+	// as a subgroup contact (the parent is above, not below).
+	if got := child.SubContacts(); len(got) != 0 {
+		t.Errorf("child learned %v as subgroup contacts", got)
+	}
+	// The parent learned the child from its traffic, enabling the
+	// downward direction of later waves.
+	if got := parent.SubContacts(); len(got) != 1 || got[0] != "C" {
+		t.Errorf("parent subgroup contacts = %v, want [C]", got)
+	}
+}
+
+// TestCrossRecoverDescendsToLearnedContacts: the downward wave digests
+// to contacts learned from inbound subgroup traffic, restocking a child
+// that lost everything — with only the events its topic includes.
+func TestCrossRecoverDescendsToLearnedContacts(t *testing.T) {
+	params := recoverParams()
+	params.CrossRecoverPeriod = 1
+	parentEnv, childEnv := newFakeEnv(12), newFakeEnv(13)
+	parent := MustNewProcess("P", ".a", params, parentEnv)
+	child := MustNewProcess("C", ".a.b", params, childEnv)
+
+	// The parent holds a child-topic event (flowed up earlier) and an
+	// own-topic event; it learned C from a ping.
+	deepEv := &Event{ID: ids.EventID{Origin: "x", Seq: 1}, Topic: ".a.b", Payload: []byte("deep")}
+	parent.HandleMessage(&Message{Type: MsgEvent, From: "relay", FromTopic: ".a", Dest: ".a", Event: deepEv})
+	if _, err := parent.Publish([]byte("broad")); err != nil {
+		t.Fatal(err)
+	}
+	parent.HandleMessage(&Message{Type: MsgPing, From: "C", FromTopic: ".a.b", Dest: ".a"})
+	parentEnv.reset()
+
+	parent.Tick()
+	var down *Message
+	for _, s := range parentEnv.sentOfType(MsgDigest) {
+		if s.to == "C" {
+			down = s.msg
+		}
+	}
+	if down == nil || down.Dest != ".a.b" || down.TTL != 1 {
+		t.Fatalf("downward digest to C missing or mis-stamped: %+v", down)
+	}
+
+	child.HandleMessage(down)
+	counters := childEnv.sentOfType(MsgDigest)
+	if len(counters) != 1 {
+		t.Fatalf("child sent %d counter-digests, want 1", len(counters))
+	}
+	parentEnv.reset()
+	parent.HandleMessage(counters[0].msg)
+	pushes := parentEnv.sentOfType(MsgDigestAns)
+	if len(pushes) != 1 || len(pushes[0].msg.Events) != 1 || pushes[0].msg.Events[0].ID != deepEv.ID {
+		t.Fatalf("parent pushed %+v, want only the .a.b event", pushes)
+	}
+	childEnv.reset()
+	child.HandleMessage(pushes[0].msg)
+	if len(childEnv.delivered) != 1 || childEnv.delivered[0].ID != deepEv.ID {
+		t.Fatalf("child delivered %v, want [%v]", childEnv.delivered, deepEv.ID)
+	}
+}
+
+// TestSubContactLearningBounded: the learned subgroup contact list is
+// FIFO-bounded and never grows with traffic.
+func TestSubContactLearningBounded(t *testing.T) {
+	params := recoverParams()
+	params.CrossRecoverPeriod = 1
+	env := newFakeEnv(14)
+	p := MustNewProcess("P", ".a", params, env)
+	max := p.maxSubContacts()
+	for i := 0; i < max*3; i++ {
+		p.HandleMessage(&Message{
+			Type: MsgPing, From: ids.ProcessID(fmt.Sprintf("c%03d", i)), FromTopic: ".a.b",
+		})
+	}
+	got := p.SubContacts()
+	if len(got) != max {
+		t.Fatalf("subgroup contacts = %d, want bounded at %d", len(got), max)
+	}
+	// FIFO: the newest survive.
+	if got[len(got)-1] != ids.ProcessID(fmt.Sprintf("c%03d", max*3-1)) {
+		t.Errorf("newest contact missing; tail = %v", got[len(got)-1])
+	}
+	// Same-topic and supertopic traffic is never learned.
+	p.HandleMessage(&Message{Type: MsgPing, From: "peer", FromTopic: ".a"})
+	p.HandleMessage(&Message{Type: MsgPing, From: "root", FromTopic: "."})
+	for _, id := range p.SubContacts() {
+		if id == "peer" || id == "root" {
+			t.Errorf("non-subgroup contact %s learned", id)
+		}
 	}
 }
 
 // TestRecoverDisabledIsInert: with RecoverPeriod 0 (the default) no
-// store exists, ticks send nothing, and inbound recovery traffic is
-// dropped without effect.
+// store exists, ticks send nothing, and inbound recovery traffic —
+// digests and pushed answers alike — is dropped without effect.
 func TestRecoverDisabledIsInert(t *testing.T) {
 	params := recoverParams()
 	params.RecoverPeriod = 0
@@ -251,11 +493,14 @@ func TestRecoverDisabledIsInert(t *testing.T) {
 			t.Fatalf("disabled recovery sent %v", s.msg)
 		}
 	}
-	p.HandleMessage(&Message{Type: MsgDigest, From: "B", FromTopic: ".t"})
-	p.HandleMessage(&Message{Type: MsgEventReq, From: "B", FromTopic: ".t",
-		DigestIDs: []ids.EventID{{Origin: "A", Seq: 1}}})
+	p.HandleMessage(&Message{Type: MsgDigest, From: "B", FromTopic: ".t", TTL: 1})
 	if got := env.sentOfType(MsgDigestAns); len(got) != 0 {
 		t.Errorf("disabled recovery served %v", got)
+	}
+	p.HandleMessage(&Message{Type: MsgDigestAns, From: "B", FromTopic: ".t",
+		Events: []*Event{{ID: ids.EventID{Origin: "B", Seq: 9}, Topic: ".t"}}})
+	if len(env.delivered) != 0 {
+		t.Errorf("disabled recovery delivered a pushed event")
 	}
 	if st := p.RecoveryStats(); st != (RecoveryStats{}) {
 		t.Errorf("disabled recovery has stats %+v", st)
@@ -293,5 +538,26 @@ func TestRecoverStoreMemoryBound(t *testing.T) {
 	}
 	if st := p.RecoveryStats(); st.GCd != published {
 		t.Errorf("total evictions = %d, want %d", st.GCd, published)
+	}
+}
+
+// TestCrossRecoverParamsValidation: cross-group recovery without the
+// base recovery plane (or with a broken fanout) is rejected.
+func TestCrossRecoverParamsValidation(t *testing.T) {
+	params := recoverParams()
+	params.RecoverPeriod = 0
+	params.CrossRecoverPeriod = 2
+	if err := params.Validate(); err == nil {
+		t.Error("cross recovery without RecoverPeriod accepted")
+	}
+	params = recoverParams()
+	params.CrossRecoverPeriod = 2
+	params.CrossRecoverFanout = -1
+	if err := params.Validate(); err == nil {
+		t.Error("negative cross fanout accepted")
+	}
+	params.CrossRecoverFanout = 2
+	if err := params.Validate(); err != nil {
+		t.Errorf("valid cross params rejected: %v", err)
 	}
 }

@@ -44,31 +44,35 @@ const (
 	Control
 	// Dropped counts messages lost by the unreliable channel.
 	Dropped
-	// RecoverMsg counts anti-entropy recovery wire messages (digests,
-	// digest answers, event requests) — the subsystem's traffic
-	// overhead.
+	// RecoverMsg counts anti-entropy recovery wire messages (digests
+	// and digest answers) — the subsystem's traffic overhead.
 	RecoverMsg
 	// Recovered counts first-time deliveries obtained through the
 	// recovery exchange rather than plain gossip.
 	Recovered
-	// RecoverReq counts event ids explicitly requested from peers.
-	RecoverReq
+	// RecoverSupp counts stored events whose push was suppressed by a
+	// peer's bloom digest claiming possession.
+	RecoverSupp
 	// RecoverGC counts recovery-store entries evicted by age or
 	// capacity.
 	RecoverGC
+	// RecoverTrunc counts recovery digests built under the hard byte
+	// cap, i.e. at a degraded false-positive rate.
+	RecoverTrunc
 )
 
 var kindNames = map[Kind]string{
-	IntraGroup: "intra",
-	InterGroup: "inter",
-	Delivered:  "delivered",
-	Parasite:   "parasite",
-	Control:    "control",
-	Dropped:    "dropped",
-	RecoverMsg: "recover_msg",
-	Recovered:  "recovered",
-	RecoverReq: "recover_req",
-	RecoverGC:  "recover_gc",
+	IntraGroup:   "intra",
+	InterGroup:   "inter",
+	Delivered:    "delivered",
+	Parasite:     "parasite",
+	Control:      "control",
+	Dropped:      "dropped",
+	RecoverMsg:   "recover_msg",
+	Recovered:    "recovered",
+	RecoverSupp:  "recover_supp",
+	RecoverGC:    "recover_gc",
+	RecoverTrunc: "recover_trunc",
 }
 
 // String names the kind.
@@ -237,11 +241,16 @@ func (r *Registry) IncRecoverMsg(t topic.Topic) { r.Inc(Key{Kind: RecoverMsg, To
 // AddRecovered adds n recovery-path deliveries in group t.
 func (r *Registry) AddRecovered(t topic.Topic, n int64) { r.Add(Key{Kind: Recovered, Topic: t}, n) }
 
-// AddRecoverReq adds n explicitly requested event ids in group t.
-func (r *Registry) AddRecoverReq(t topic.Topic, n int64) { r.Add(Key{Kind: RecoverReq, Topic: t}, n) }
+// AddRecoverSupp adds n digest-suppressed pushes in group t.
+func (r *Registry) AddRecoverSupp(t topic.Topic, n int64) { r.Add(Key{Kind: RecoverSupp, Topic: t}, n) }
 
 // AddRecoverGC adds n recovery-store evictions in group t.
 func (r *Registry) AddRecoverGC(t topic.Topic, n int64) { r.Add(Key{Kind: RecoverGC, Topic: t}, n) }
+
+// AddRecoverTrunc adds n byte-capped digest builds in group t.
+func (r *Registry) AddRecoverTrunc(t topic.Topic, n int64) {
+	r.Add(Key{Kind: RecoverTrunc, Topic: t}, n)
+}
 
 // load sums one slot across all shards. Callers hold r.mu (either
 // mode).

@@ -22,8 +22,9 @@ func TestKindString(t *testing.T) {
 		{Dropped, "dropped"},
 		{RecoverMsg, "recover_msg"},
 		{Recovered, "recovered"},
-		{RecoverReq, "recover_req"},
+		{RecoverSupp, "recover_supp"},
 		{RecoverGC, "recover_gc"},
+		{RecoverTrunc, "recover_trunc"},
 		{Kind(99), "kind(99)"},
 	}
 	for _, tt := range tests {
@@ -261,13 +262,14 @@ func TestRecoveryCounters(t *testing.T) {
 	r.IncRecoverMsg(".t")
 	r.IncRecoverMsg(".t")
 	r.AddRecovered(".t", 3)
-	r.AddRecoverReq(".t", 5)
+	r.AddRecoverSupp(".t", 5)
 	r.AddRecoverGC(".t", 7)
+	r.AddRecoverTrunc(".t", 1)
 	for _, tt := range []struct {
 		kind Kind
 		want int64
 	}{
-		{RecoverMsg, 2}, {Recovered, 3}, {RecoverReq, 5}, {RecoverGC, 7},
+		{RecoverMsg, 2}, {Recovered, 3}, {RecoverSupp, 5}, {RecoverGC, 7}, {RecoverTrunc, 1},
 	} {
 		if got := r.Get(Key{Kind: tt.kind, Topic: ".t"}); got != tt.want {
 			t.Errorf("%s = %d, want %d", tt.kind, got, tt.want)

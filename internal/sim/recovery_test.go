@@ -159,7 +159,9 @@ func TestRecoveryStoreBoundedInSim(t *testing.T) {
 // TestRecoveryFigureDominatesBaseline is the figure-level acceptance
 // gate: at every loss point of the "recovery" sweep the
 // recovery-enabled delivery ratio is at least the best-effort
-// baseline's, and the lossless edge delivers everything in both modes.
+// baseline's, cross-group recovery dominates intra-only on the
+// isolated-root pair (with intra provably stuck at zero), and the
+// lossless edge delivers everything recovery can reach.
 func TestRecoveryFigureDominatesBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full paper-topology sweep")
@@ -170,19 +172,101 @@ func TestRecoveryFigureDominatesBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(fig.Series, []string{"base", "recovery"}) {
-		t.Fatalf("series = %v", fig.Series)
+	want := []string{"base", "recovery", "root_cross", "root_intra"}
+	if !reflect.DeepEqual(fig.Series, want) {
+		t.Fatalf("series = %v, want %v", fig.Series, want)
 	}
 	for _, row := range fig.Rows {
 		base, rec := row.Values["base"], row.Values["recovery"]
 		if rec < base {
 			t.Errorf("psucc=%.2f: recovery %.4f < baseline %.4f", row.Alive, rec, base)
 		}
+		intra, cross := row.Values["root_intra"], row.Values["root_cross"]
+		if cross < intra {
+			t.Errorf("psucc=%.2f: root_cross %.4f < root_intra %.4f", row.Alive, cross, intra)
+		}
 	}
 	last := fig.Rows[len(fig.Rows)-1]
 	if last.Values["base"] < 1 || last.Values["recovery"] < 1 {
 		t.Errorf("lossless point should deliver 1.0/1.0, got %.4f/%.4f",
 			last.Values["base"], last.Values["recovery"])
+	}
+	// The structural guarantee lives at the lossless edge: gossip
+	// quiesces long before the heal, so without cross-group digests no
+	// root member ever holds a copy to exchange (at lossy points the
+	// epidemic can still be sputtering at heal time, and recovery-driven
+	// re-dissemination inside T1 leaks upward through normal gossip).
+	if intra := last.Values["root_intra"]; intra != 0 {
+		t.Errorf("lossless point: root_intra = %.4f, want exactly 0", intra)
+	}
+	if last.Values["root_cross"] < 0.9 {
+		t.Errorf("lossless point: cross-group recovery revived %.4f of the root, want >= 0.9",
+			last.Values["root_cross"])
+	}
+}
+
+// TestRecoveryStoreFigure is the tentpole's scaling gate: at the 100k
+// head of the "recoverystore" sweep the encoded bloom digest frame
+// fits the transport's 1 MiB MaxFrame with room to spare, while the
+// retired raw-id digest provably cannot — the structural reason the
+// v3 codec had to cap digests at 4096 ids and v4 does not.
+func TestRecoveryStoreFigure(t *testing.T) {
+	xs := FigureXs("recoverystore", 3)
+	if got := xs[len(xs)-1]; got != 100000 {
+		t.Fatalf("grid head = %g, want 100000", got)
+	}
+	fig, _, err := GenerateFigure(context.Background(), "recoverystore", xs,
+		FigureOpts{RunsPerPoint: 1, SweepWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bloom_frame", "max_frame", "rawid_frame"}
+	if !reflect.DeepEqual(fig.Series, want) {
+		t.Fatalf("series = %v, want %v", fig.Series, want)
+	}
+	for _, row := range fig.Rows {
+		bloom, raw := row.Values["bloom_frame"], row.Values["rawid_frame"]
+		if bloom >= raw {
+			t.Errorf("n=%.0f: bloom frame %.0f B >= raw-id frame %.0f B", row.Alive, bloom, raw)
+		}
+		if mf := row.Values["max_frame"]; mf != 1<<20 {
+			t.Errorf("n=%.0f: max_frame = %.0f, want %d", row.Alive, mf, 1<<20)
+		}
+	}
+	head := fig.Rows[len(fig.Rows)-1]
+	if bloom := head.Values["bloom_frame"]; bloom > 1<<20 {
+		t.Errorf("100k-event bloom digest frame = %.0f B, does not fit one MaxFrame", bloom)
+	}
+	if raw := head.Values["rawid_frame"]; raw <= 1<<20 {
+		t.Errorf("100k-event raw-id digest frame = %.0f B, unexpectedly fits MaxFrame", raw)
+	}
+}
+
+// TestRecoveryDepthFigure pins the hierarchy-depth axis: at every
+// depth the isolated root group is revived by cross-group recovery
+// (lossless network, so revival is structural, not statistical) while
+// intra-group-only recovery leaves it at exactly zero.
+func TestRecoveryDepthFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-depth hierarchy sweep")
+	}
+	xs := FigureXs("recoverydepth", 3) // depths 1, 2, 3
+	fig, _, err := GenerateFigure(context.Background(), "recoverydepth", xs,
+		FigureOpts{RunsPerPoint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"root_cross", "root_intra"}
+	if !reflect.DeepEqual(fig.Series, want) {
+		t.Fatalf("series = %v, want %v", fig.Series, want)
+	}
+	for _, row := range fig.Rows {
+		if intra := row.Values["root_intra"]; intra != 0 {
+			t.Errorf("depth=%.0f: root_intra = %.4f, want exactly 0", row.Alive, intra)
+		}
+		if cross := row.Values["root_cross"]; cross < 0.9 {
+			t.Errorf("depth=%.0f: root_cross = %.4f, want >= 0.9", row.Alive, cross)
+		}
 	}
 }
 

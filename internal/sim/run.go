@@ -384,21 +384,25 @@ func (r *Runner) harvestRecoveryStats() {
 	}
 	r.harvested = true
 	for _, g := range r.cfg.Groups {
-		var recovered, requested, gcd int64
+		var recovered, suppressed, gcd, truncated int64
 		for _, p := range r.groups[g.Topic] {
 			st := p.RecoveryStats()
 			recovered += int64(st.Recovered)
-			requested += int64(st.Requested)
+			suppressed += int64(st.Suppressed)
 			gcd += int64(st.GCd)
+			truncated += int64(st.Truncated)
 		}
 		if recovered > 0 {
 			r.reg.AddRecovered(g.Topic, recovered)
 		}
-		if requested > 0 {
-			r.reg.AddRecoverReq(g.Topic, requested)
+		if suppressed > 0 {
+			r.reg.AddRecoverSupp(g.Topic, suppressed)
 		}
 		if gcd > 0 {
 			r.reg.AddRecoverGC(g.Topic, gcd)
+		}
+		if truncated > 0 {
+			r.reg.AddRecoverTrunc(g.Topic, truncated)
 		}
 	}
 }

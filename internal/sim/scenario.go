@@ -47,6 +47,11 @@ const (
 	// and Delay extra rounds in flight (per-link latency skew).
 	// Fraction 0 clears any straggler distribution.
 	ScenarioStragglers
+	// ScenarioIsolate cuts every link crossing the boundary of Topic's
+	// group: members keep talking to each other, but nothing flows in
+	// or out until a ScenarioHeal — the "one group cut off at birth"
+	// shape the cross-group recovery figure stresses.
+	ScenarioIsolate
 )
 
 var scenarioKindNames = map[ScenarioKind]string{
@@ -58,6 +63,7 @@ var scenarioKindNames = map[ScenarioKind]string{
 	ScenarioLossBurst:   "loss-burst",
 	ScenarioLossRestore: "loss-restore",
 	ScenarioStragglers:  "stragglers",
+	ScenarioIsolate:     "isolate",
 }
 
 // String names the scenario kind.
@@ -140,6 +146,10 @@ func (s Scenario) Validate() error {
 			if ev.Fraction > 0 && ev.Delay < 1 {
 				return fmt.Errorf("%w: event %d stragglers need Delay >= 1", ErrBadEvent, i)
 			}
+		case ScenarioIsolate:
+			if ev.Topic == "" {
+				return fmt.Errorf("%w: event %d isolate needs a topic", ErrBadEvent, i)
+			}
 		default:
 			return fmt.Errorf("%w: %d", ErrBadEventKind, int(ev.Kind))
 		}
@@ -152,7 +162,7 @@ func (s Scenario) Validate() error {
 	partitioned := false
 	for _, ev := range ordered {
 		switch ev.Kind {
-		case ScenarioPartition:
+		case ScenarioPartition, ScenarioIsolate:
 			partitioned = true
 		case ScenarioHeal:
 			if !partitioned {
@@ -288,6 +298,16 @@ func (r *Runner) applyEvent(ev ScenarioEvent, evs *[]ids.EventID) error {
 			cf, okf := cells[from]
 			ct, okt := cells[to]
 			return okf && okt && cf != ct
+		})
+	case ScenarioIsolate:
+		inGroup := make(map[ids.ProcessID]bool)
+		for _, g := range r.targetGroups(ev.Topic) {
+			for _, p := range r.groups[g.Topic] {
+				inGroup[p.ID()] = true
+			}
+		}
+		r.net.SetLinkDown(func(from, to ids.ProcessID) bool {
+			return inGroup[from] != inGroup[to]
 		})
 	case ScenarioHeal:
 		r.net.SetLinkDown(nil)

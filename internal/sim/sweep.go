@@ -204,18 +204,57 @@ func recoveryRun(psucc float64, seed int64, kernelWorkers int, recovery bool) (*
 	return RunScenario(cfg, sc)
 }
 
+// recoveryRootRun executes the root-revival stress: the root group is
+// isolated from the rest of the hierarchy BEFORE the round-0
+// publication, so it holds zero copies when the partition heals
+// halfway through the run — by then gossip has quiesced, so only the
+// anti-entropy plane can carry the event across the healed boundary.
+// Intra-group recovery provably cannot (root members digest each
+// other's identically empty stores); cross-group recovery revives the
+// root through T1's upward digests.
+func recoveryRootRun(psucc float64, seed int64, kernelWorkers int, cross bool) (*Result, error) {
+	cfg := PaperConfig(1, seed)
+	cfg.FailureMode = FailNone
+	cfg.PSucc = psucc
+	cfg.Workers = kernelWorkers
+	cfg.Params.RecoverPeriod = recoveryPeriod
+	cfg.Params.RecoverMaxAge = recoveryRounds + 1
+	if cross {
+		cfg.Params.CrossRecoverPeriod = recoveryPeriod
+	}
+	t0, _, _ := PaperTopics()
+	sc := Scenario{
+		Name:   "recovery-root",
+		Rounds: recoveryRounds,
+		Events: []ScenarioEvent{
+			{Round: 0, Kind: ScenarioIsolate, Topic: t0},
+			{Round: 0, Kind: ScenarioPublish},
+			{Round: recoveryRounds / 2, Kind: ScenarioHeal},
+		},
+	}
+	return RunScenario(cfg, sc)
+}
+
 // recoverySpec is the anti-entropy figure: delivery ratio of the
 // publish group under channel loss, best-effort baseline vs recovery
-// enabled. x is the channel success probability psucc (loss rate =
-// 1-x), so the right edge is the lossless network, like the other
-// figures. Both sub-runs share the point's seed, which aligns the
-// rounds before the first recovery wave and pairs away most of the
-// outbreak variance; after that wave the recovery run's extra draws
-// and sends shift the per-process and loss streams, so the two
-// epidemics diverge and dominance of the "recovery" series is an
-// empirical property of the paired design (recovery keeps re-offering
-// every held event until it lands), enforced at pinned seeds by
-// TestRecoveryFigureDominatesBaseline — not a per-draw guarantee.
+// enabled, plus the root-revival pair (see recoveryRootRun) showing
+// what cross-group recovery adds over intra-group recovery alone. x is
+// the channel success probability psucc (loss rate = 1-x), so the
+// right edge is the lossless network, like the other figures. All
+// sub-runs share the point's seed, which aligns the rounds before the
+// first recovery wave and pairs away most of the outbreak variance;
+// after that wave the recovery run's extra draws and sends shift the
+// per-process and loss streams, so the epidemics diverge and dominance
+// of the "recovery" series is an empirical property of the paired
+// design (recovery keeps re-offering every held event until it lands),
+// enforced at pinned seeds by TestRecoveryFigureDominatesBaseline —
+// not a per-draw guarantee. The root pair is structural at the
+// lossless edge: gossip quiesces long before the heal, so "root_intra"
+// sits at exactly 0 (no root member ever holds a copy to exchange)
+// while "root_cross" climbs the healed boundary. At lossy points the
+// epidemic can still be sputtering when the partition heals, and
+// recovery-driven re-dissemination inside T1 leaks upward through
+// normal gossip, so there "root_intra" is merely dominated, not zero.
 func recoverySpec() figureSpec {
 	return figureSpec{
 		name:   "recovery",
@@ -230,23 +269,35 @@ func recoverySpec() figureSpec {
 			if err != nil {
 				return pointResult{}, err
 			}
-			_, _, t2 := PaperTopics()
-			// Per-kind counts keep both sub-runs apart so reports
-			// expose the recovery overhead next to the baseline.
-			counts := make(map[string]int64, len(base.KindTotals)+len(rec.KindTotals))
-			for k, v := range base.KindTotals {
-				counts["base:"+k] += v
+			rootIntra, err := recoveryRootRun(x, seed, kernelWorkers, false)
+			if err != nil {
+				return pointResult{}, err
 			}
-			for k, v := range rec.KindTotals {
-				counts["recovery:"+k] += v
+			rootCross, err := recoveryRootRun(x, seed, kernelWorkers, true)
+			if err != nil {
+				return pointResult{}, err
+			}
+			t0, _, t2 := PaperTopics()
+			// Per-kind counts keep the sub-runs apart so reports
+			// expose the recovery overhead next to the baseline.
+			counts := make(map[string]int64, 4*len(rec.KindTotals))
+			for prefix, res := range map[string]*Result{
+				"base": base, "recovery": rec,
+				"root_intra": rootIntra, "root_cross": rootCross,
+			} {
+				for k, v := range res.KindTotals {
+					counts[prefix+":"+k] += v
+				}
 			}
 			return pointResult{
 				values: map[string]float64{
-					"base":     base.ReliabilityAll[t2],
-					"recovery": rec.ReliabilityAll[t2],
+					"base":       base.ReliabilityAll[t2],
+					"recovery":   rec.ReliabilityAll[t2],
+					"root_intra": rootIntra.ReliabilityAll[t0],
+					"root_cross": rootCross.ReliabilityAll[t0],
 				},
 				counts: counts,
-				rounds: base.Rounds + rec.Rounds,
+				rounds: base.Rounds + rec.Rounds + rootIntra.Rounds + rootCross.Rounds,
 			}, nil
 		},
 	}
@@ -255,13 +306,15 @@ func recoverySpec() figureSpec {
 // figureSpecs maps canonical figure names to their sweep specs.
 func figureSpecs() map[string]figureSpec {
 	return map[string]figureSpec{
-		"fig8":      paperSpec("fig8", "events sent within group", 0, extractIntra),
-		"fig9":      paperSpec("fig9", "intergroup events", 0, extractInter),
-		"fig10":     paperSpec("fig10", "fraction of processes receiving", FailStillborn, extractReliabilityAll),
-		"fig11":     paperSpec("fig11", "fraction of processes receiving", FailPerObserver, extractReliabilityAll),
-		"churn":     churnSpec(),
-		"recovery":  recoverySpec(),
-		"baselines": baselinesSpec(),
+		"fig8":          paperSpec("fig8", "events sent within group", 0, extractIntra),
+		"fig9":          paperSpec("fig9", "intergroup events", 0, extractInter),
+		"fig10":         paperSpec("fig10", "fraction of processes receiving", FailStillborn, extractReliabilityAll),
+		"fig11":         paperSpec("fig11", "fraction of processes receiving", FailPerObserver, extractReliabilityAll),
+		"churn":         churnSpec(),
+		"recovery":      recoverySpec(),
+		"recoverystore": recoveryStoreSpec(),
+		"recoverydepth": recoveryDepthSpec(),
+		"baselines":     baselinesSpec(),
 	}
 }
 

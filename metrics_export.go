@@ -42,10 +42,15 @@ func (h *Hub) WriteMetrics(w io.Writer) error {
 	for _, s := range st.Subscriptions {
 		mw.sample("damulticast_recovered_events_total", s.Topic, int64(s.Recovery.Recovered))
 	}
-	mw.counter("damulticast_recovery_requested_total",
-		"Event ids explicitly requested from peers by the recovery exchange.")
+	mw.counter("damulticast_recovery_suppressed_total",
+		"Stored events whose push was suppressed by a peer's bloom digest.")
 	for _, s := range st.Subscriptions {
-		mw.sample("damulticast_recovery_requested_total", s.Topic, int64(s.Recovery.Requested))
+		mw.sample("damulticast_recovery_suppressed_total", s.Topic, int64(s.Recovery.Suppressed))
+	}
+	mw.counter("damulticast_recovery_truncated_digests_total",
+		"Recovery digests built under the hard byte cap at a degraded false-positive rate.")
+	for _, s := range st.Subscriptions {
+		mw.sample("damulticast_recovery_truncated_digests_total", s.Topic, int64(s.Recovery.Truncated))
 	}
 	mw.counter("damulticast_recovery_evictions_total",
 		"Recovery-store entries evicted by age or capacity.")

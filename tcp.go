@@ -226,58 +226,78 @@ func (t *TCPTransport) readFrame(r io.Reader) ([]byte, error) {
 // cached connection. The payload is copied into the connection's write
 // buffer before Send returns (callers may reuse it immediately); the
 // bytes reach the wire within FlushDelay. A failed write poisons and
-// evicts the cached connection so a later Send redials.
+// evicts the cached connection; when the failure hit a *cached*
+// connection — the classic half-dead socket to a peer that restarted
+// since the last exchange — Send retries exactly once on a freshly
+// dialed connection instead of losing the frame, so the first message
+// to a restarted peer does not silently turn into a channel loss.
+// Fresh-dial failures are not retried (the peer is genuinely down),
+// and neither is the retry itself, so a flapping peer costs one extra
+// dial per Send at most.
 func (t *TCPTransport) Send(addr string, payload []byte) error {
 	if frameTooLarge(int64(len(payload)), t.MaxFrame) {
 		return ErrFrameTooLarge
 	}
-	conn, err := t.connFor(addr)
+	conn, cached, err := t.connFor(addr)
 	if err != nil {
 		return err
 	}
-	if err := conn.writeFrame(payload, t.FlushDelay); err != nil {
-		t.evict(addr, conn)
-		return fmt.Errorf("damulticast: write %s: %w", addr, err)
+	werr := conn.writeFrame(payload, t.FlushDelay)
+	if werr == nil {
+		return nil
+	}
+	t.evict(addr, conn)
+	if !cached {
+		return fmt.Errorf("damulticast: write %s: %w", addr, werr)
+	}
+	retry, _, err := t.connFor(addr)
+	if err != nil {
+		return fmt.Errorf("damulticast: write %s: %w (redial failed: %v)", addr, werr, err)
+	}
+	if err := retry.writeFrame(payload, t.FlushDelay); err != nil {
+		t.evict(addr, retry)
+		return fmt.Errorf("damulticast: write %s after redial: %w", addr, err)
 	}
 	return nil
 }
 
-// connFor returns the cached connection to addr, dialing one if
-// needed. Only the transport map is guarded by t.mu; frame writes take
-// the per-connection lock.
-func (t *TCPTransport) connFor(addr string) (*tcpConn, error) {
+// connFor returns the connection to addr, dialing one if needed;
+// cached reports whether it came from the cache (and may therefore be
+// arbitrarily stale). Only the transport map is guarded by t.mu; frame
+// writes take the per-connection lock.
+func (t *TCPTransport) connFor(addr string) (conn *tcpConn, cached bool, err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return nil, ErrTransportClosed
+		return nil, false, ErrTransportClosed
 	}
 	if conn, ok := t.conns[addr]; ok {
 		t.mu.Unlock()
-		return conn, nil
+		return conn, true, nil
 	}
 	t.mu.Unlock()
 
 	raw, err := net.DialTimeout("tcp", addr, t.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("damulticast: dial %s: %w", addr, err)
+		return nil, false, fmt.Errorf("damulticast: dial %s: %w", addr, err)
 	}
-	conn := &tcpConn{conn: raw, w: bufio.NewWriterSize(raw, tcpWriteBuf)}
+	conn = &tcpConn{conn: raw, w: bufio.NewWriterSize(raw, tcpWriteBuf)}
 	conn.evictFn = func() { t.evict(addr, conn) }
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		_ = raw.Close()
-		return nil, ErrTransportClosed
+		return nil, false, ErrTransportClosed
 	}
 	if existing, race := t.conns[addr]; race {
 		// Another Send raced us; keep the existing connection.
 		t.mu.Unlock()
 		_ = raw.Close()
-		return existing, nil
+		return existing, true, nil
 	}
 	t.conns[addr] = conn
 	t.mu.Unlock()
-	return conn, nil
+	return conn, false, nil
 }
 
 // evict drops a failed connection from the cache and closes it.

@@ -200,3 +200,80 @@ func TestTCPSendRejectsOversizedFrame(t *testing.T) {
 		t.Errorf("exact-size send failed: %v", err)
 	}
 }
+
+// TestTCPSendRetriesAfterPeerRestart: a peer that restarts between
+// sends leaves a half-dead cached connection behind; writes to it fail
+// (or vanish into the kernel buffer until the RST lands). Send must
+// absorb the failure by redialing once, so no Send to a live listener
+// ever surfaces an error — without the retry, the first post-restart
+// write error would both lose the frame and bubble up as a loss.
+func TestTCPSendRetriesAfterPeerRestart(t *testing.T) {
+	a, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.FlushDelay = -1 // synchronous flush: write errors surface in Send
+
+	b, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.Addr()
+	var mu sync.Mutex
+	var got []string
+	handler := func(p []byte) {
+		mu.Lock()
+		got = append(got, string(p))
+		mu.Unlock()
+	}
+	b.SetHandler(handler)
+
+	if err := a.Send(addr, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+
+	// Kill the listener and restart it on the same address: a's cached
+	// connection is now talking to a closed socket.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewTCPTransport(addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer func() { _ = b2.Close() }()
+	b2.SetHandler(handler)
+
+	// Depending on timing, the first write after the restart may still
+	// land in the kernel buffer of the dead connection (silently lost)
+	// before the RST poisons it; every subsequent Send then hits the
+	// poisoned connection and must transparently redial. The guarantee
+	// under test: no Send errors, and a frame gets through promptly.
+	deadline := time.Now().Add(3 * time.Second)
+	for i := 0; ; i++ {
+		if err := a.Send(addr, []byte("after")); err != nil {
+			t.Fatalf("Send %d after peer restart: %v", i, err)
+		}
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no frame delivered to the restarted peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[len(got)-1] != "after" {
+		t.Errorf("restarted peer received %q", got[len(got)-1])
+	}
+}
