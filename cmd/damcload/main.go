@@ -1,0 +1,335 @@
+// Command damcload is the live-path load generator and benchmark: it
+// stands up one hub subscribed to many topics, aims a fleet of
+// publisher hubs at it, and measures delivered events per second
+// through the hub's receive path — the number the batched wire path
+// (EVENT_BATCH frames + pooled decode, codec v5) exists to move.
+//
+// Topology: a central hub joins -topics topics; each topic gets -peers
+// publisher hubs (their own endpoints) that know the central hub as a
+// group contact and publish -events events each. Throughput is counted
+// at the central hub's delivery channels (Block overflow policy, so
+// the count is honest), and the clock stops at the last delivery.
+//
+// Usage:
+//
+//	damcload -topics 8 -peers 4 -events 2000 -batch 16
+//	damcload -mode both -check 2.0        # gate: batched >= 2x unbatched
+//	damcload -transport tcp -topics 2 -peers 2 -events 500
+//
+// -mode unbatched publishes one event per call (one loop round-trip
+// and one frame per elected target, the pre-v5 path); -mode batched
+// hands the publisher -batch events per PublishBatch call so events
+// for a shared target coalesce into EVENT_BATCH frames; -mode both
+// runs both and reports the ratio, failing if it is below -check.
+//
+// With -benchfmt the results are printed as Go benchmark lines
+// (ns/op per delivered event, plus an events/sec metric), so a run can
+// be piped through damcbench and land in BENCH_BASELINE.json next to
+// the microbenchmarks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"damulticast"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "damcload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	topics    int
+	peers     int
+	events    int
+	batch     int
+	payload   int
+	mode      string
+	transport string
+	check     float64
+	benchfmt  bool
+	timeout   time.Duration
+}
+
+// result is one measured load run.
+type result struct {
+	published int64
+	delivered int64
+	elapsed   time.Duration
+}
+
+func (r result) rate() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.delivered) / r.elapsed.Seconds()
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("damcload", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	cfg := config{}
+	fs.IntVar(&cfg.topics, "topics", 8, "topics the central hub subscribes to")
+	fs.IntVar(&cfg.peers, "peers", 4, "publisher hubs per topic")
+	fs.IntVar(&cfg.events, "events", 1000, "events published per publisher")
+	fs.IntVar(&cfg.batch, "batch", 16, "events per PublishBatch call in batched mode")
+	fs.IntVar(&cfg.payload, "payload", 100, "payload bytes per event")
+	fs.StringVar(&cfg.mode, "mode", "both", "batched, unbatched, or both")
+	fs.StringVar(&cfg.transport, "transport", "mem", "mem (in-process fabric) or tcp (loopback sockets)")
+	fs.Float64Var(&cfg.check, "check", 0, "with -mode both: fail unless batched/unbatched rate ratio >= this")
+	fs.BoolVar(&cfg.benchfmt, "benchfmt", false, "print Go benchmark lines (damcbench-compatible)")
+	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-run wall clock budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.topics < 1 || cfg.peers < 1 || cfg.events < 1 || cfg.payload < 1 {
+		return fmt.Errorf("topics, peers, events and payload must all be >= 1")
+	}
+	if cfg.batch < 2 {
+		return fmt.Errorf("batch must be >= 2 (1 is what unbatched mode measures), got %d", cfg.batch)
+	}
+	if cfg.transport != "mem" && cfg.transport != "tcp" {
+		return fmt.Errorf("unknown transport %q", cfg.transport)
+	}
+
+	switch cfg.mode {
+	case "batched", "unbatched":
+		batch := 1
+		if cfg.mode == "batched" {
+			batch = cfg.batch
+		}
+		res, err := measure(cfg, batch)
+		if err != nil {
+			return err
+		}
+		report(stdout, cfg, cfg.mode, batch, res)
+		return nil
+	case "both":
+		un, err := measure(cfg, 1)
+		if err != nil {
+			return err
+		}
+		report(stdout, cfg, "unbatched", 1, un)
+		ba, err := measure(cfg, cfg.batch)
+		if err != nil {
+			return err
+		}
+		report(stdout, cfg, "batched", cfg.batch, ba)
+		ratio := 0.0
+		if un.rate() > 0 {
+			ratio = ba.rate() / un.rate()
+		}
+		fmt.Fprintf(stdout, "damcload: batched/unbatched throughput ratio = %.2fx\n", ratio)
+		if cfg.check > 0 && ratio < cfg.check {
+			return fmt.Errorf("ratio %.2fx below required %.2fx", ratio, cfg.check)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q", cfg.mode)
+	}
+}
+
+func report(w io.Writer, cfg config, mode string, batch int, r result) {
+	total := int64(cfg.topics) * int64(cfg.peers) * int64(cfg.events)
+	if cfg.benchfmt {
+		nsPerEvent := float64(r.elapsed.Nanoseconds()) / float64(max64(r.delivered, 1))
+		fmt.Fprintf(w, "BenchmarkLiveLoad%s \t%8d\t%12.1f ns/op\t%12.0f events/sec\n",
+			titleCase(mode), r.delivered, nsPerEvent, r.rate())
+		return
+	}
+	fmt.Fprintf(w, "damcload: %-9s topics=%d peers=%d events=%d batch=%d transport=%s: %d/%d delivered in %v (%.0f events/sec)\n",
+		mode, cfg.topics, cfg.peers, cfg.events, batch, cfg.transport,
+		r.delivered, total, r.elapsed.Round(time.Millisecond), r.rate())
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// measure runs one full load round at the given publish batch size
+// (1 = the single-Publish path) and reports delivered throughput at
+// the central hub.
+func measure(cfg config, batch int) (result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+
+	// Transport factory: a fresh fabric (or fresh loopback sockets)
+	// per run, so runs never share queues.
+	var mem *damulticast.MemNetwork
+	if cfg.transport == "mem" {
+		mem = damulticast.NewMemNetwork()
+	}
+	newTransport := func(name string) (damulticast.Transport, string, error) {
+		if mem != nil {
+			tr, err := mem.AddTransport(name)
+			return tr, name, err
+		}
+		tr, err := damulticast.NewTCPTransport("127.0.0.1:0")
+		if err != nil {
+			return nil, "", err
+		}
+		return tr, tr.Addr(), nil
+	}
+
+	params := damulticast.DefaultParams()
+	params.GroupSizeHint = cfg.peers + 1
+
+	centralTr, centralAddr, err := newTransport("central")
+	if err != nil {
+		return result{}, err
+	}
+	central, err := damulticast.NewHub(centralTr,
+		damulticast.WithParams(params),
+		damulticast.WithTickInterval(100*time.Millisecond))
+	if err != nil {
+		return result{}, err
+	}
+	defer central.Stop()
+
+	var delivered atomic.Int64
+	var lastDelivery atomic.Int64 // ns since start, stamped per event
+	start := time.Now()
+	var drainers sync.WaitGroup
+	topicName := func(i int) string { return fmt.Sprintf(".load%d", i) }
+	for t := 0; t < cfg.topics; t++ {
+		sub, err := central.Join(ctx, topicName(t),
+			damulticast.WithOverflow(damulticast.Block),
+			damulticast.WithEventBuffer(4096))
+		if err != nil {
+			return result{}, err
+		}
+		drainers.Add(1)
+		go func() {
+			defer drainers.Done()
+			for range sub.Events() {
+				delivered.Add(1)
+				lastDelivery.Store(int64(time.Since(start)))
+			}
+		}()
+	}
+
+	// The publisher fleet: one hub per (topic, peer), all aimed at the
+	// central hub.
+	type pubHandle struct {
+		hub *damulticast.Hub
+		sub *damulticast.Subscription
+	}
+	pubs := make([]pubHandle, 0, cfg.topics*cfg.peers)
+	defer func() {
+		for _, p := range pubs {
+			_ = p.hub.Stop()
+		}
+	}()
+	for t := 0; t < cfg.topics; t++ {
+		for p := 0; p < cfg.peers; p++ {
+			tr, _, err := newTransport(fmt.Sprintf("pub-t%d-p%d", t, p))
+			if err != nil {
+				return result{}, err
+			}
+			hub, err := damulticast.NewHub(tr,
+				damulticast.WithParams(params),
+				damulticast.WithTickInterval(100*time.Millisecond))
+			if err != nil {
+				return result{}, err
+			}
+			sub, err := hub.Join(ctx, topicName(t), damulticast.WithGroupContacts(centralAddr))
+			if err != nil {
+				_ = hub.Stop()
+				return result{}, err
+			}
+			pubs = append(pubs, pubHandle{hub: hub, sub: sub})
+		}
+	}
+
+	payload := make([]byte, cfg.payload)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	var published atomic.Int64
+	var publishers sync.WaitGroup
+	var firstErr atomic.Value
+	start = time.Now()
+	for _, p := range pubs {
+		publishers.Add(1)
+		go func(sub *damulticast.Subscription) {
+			defer publishers.Done()
+			if batch <= 1 {
+				for i := 0; i < cfg.events; i++ {
+					if _, err := sub.Publish(ctx, payload); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					published.Add(1)
+				}
+				return
+			}
+			chunk := make([][]byte, 0, batch)
+			for done := 0; done < cfg.events; {
+				n := min(batch, cfg.events-done)
+				chunk = chunk[:0]
+				for i := 0; i < n; i++ {
+					chunk = append(chunk, payload)
+				}
+				if _, err := sub.PublishBatch(ctx, chunk); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				published.Add(int64(n))
+				done += n
+			}
+		}(p.sub)
+	}
+	publishers.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return result{}, err
+	}
+
+	// Let in-flight deliveries settle: done when every published event
+	// arrived, or nothing new has arrived for a while (frames shed
+	// under overload are counted losses, not hangs).
+	expected := published.Load()
+	settle := time.NewTicker(20 * time.Millisecond)
+	defer settle.Stop()
+	stable := 0
+	last := int64(-1)
+	for delivered.Load() < expected && stable < 25 && ctx.Err() == nil {
+		<-settle.C
+		if d := delivered.Load(); d == last {
+			stable++
+		} else {
+			stable, last = 0, d
+		}
+	}
+
+	res := result{
+		published: published.Load(),
+		delivered: delivered.Load(),
+		elapsed:   time.Duration(lastDelivery.Load()),
+	}
+	// Tear down before the drainers are waited on: Stop closes every
+	// subscription channel.
+	_ = central.Stop()
+	drainers.Wait()
+	return res, nil
+}

@@ -48,6 +48,15 @@ func codecSeedMessages() []*core.Message {
 				{ID: ids.EventID{Origin: "p2", Seq: 1}, Topic: ".a.b", Payload: nil},
 			},
 		},
+		// Appended last: BenchmarkCodecRoundTrip indexes this list.
+		{
+			Type: core.MsgEventBatch, From: "p13", FromTopic: ".a.b", Dest: ".a",
+			Events: []*core.Event{
+				{ID: ids.EventID{Origin: "p13", Seq: 41}, Topic: ".a.b", Payload: []byte("batched-1")},
+				{ID: ids.EventID{Origin: "p13", Seq: 42}, Topic: ".a.b", Payload: []byte("batched-2")},
+				{ID: ids.EventID{Origin: "p9", Seq: 5}, Topic: ".a.b.c", Payload: nil},
+			},
+		},
 	}
 }
 
@@ -90,7 +99,8 @@ func FuzzMessageCodec(f *testing.F) {
 	f.Add([]byte{0x01, 1, 0, 0, 0})                              // retired version 1
 	f.Add([]byte{0x02, 1, 0, 0, 0})                              // retired version 2
 	f.Add([]byte{0x03, 1, 0, 0, 0})                              // retired version 3 (id-list digests)
-	f.Add([]byte{0x05, 1, 0, 0, 0})                              // future version
+	f.Add([]byte{0x04, 1, 0, 0, 0})                              // retired version 4 (no EVENT_BATCH)
+	f.Add([]byte{0x06, 1, 0, 0, 0})                              // future version
 	f.Add([]byte{codecVersion, 1, 0xff, 0xff, 0xff, 0xff, 0xff}) // runaway varint
 	f.Add([]byte(``))
 

@@ -158,20 +158,20 @@ func TestDecodeOversizedCounts(t *testing.T) {
 }
 
 // TestDecodeBadVersionAndType: other versions (the retired versions
-// 1-3 as well as future ones) and unknown types are refused outright.
+// 1-4 as well as future ones) and unknown types are refused outright.
 func TestDecodeBadVersionAndType(t *testing.T) {
 	good, err := encodeMessage(&core.Message{Type: core.MsgPong, From: "p"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, version := range []byte{0x01, 0x02, 0x03, 0x05} {
+	for _, version := range []byte{0x01, 0x02, 0x03, 0x04, 0x06} {
 		bad := append([]byte{}, good...)
 		bad[0] = version
 		if _, err := decodeMessage(bad); err == nil {
 			t.Errorf("version byte %#x accepted", version)
 		}
 	}
-	for _, typ := range []uint64{0, 14, 99} {
+	for _, typ := range []uint64{0, 13, 15, 99} {
 		frame := append([]byte{codecVersion, byte(typ)}, good[2:]...)
 		if _, err := decodeMessage(frame); err == nil {
 			t.Errorf("unknown type %d accepted", typ)
@@ -182,7 +182,9 @@ func TestDecodeBadVersionAndType(t *testing.T) {
 // TestDecodeRejectsRetiredVersionFrames pins the cross-version policy:
 // retired layouts under any message type must be rejected by the
 // version byte alone — peers from different generations can never
-// silently misparse each other. A v3 frame is the v4 frame with the
+// silently misparse each other. A v4 frame is byte-identical to the
+// v5 frame apart from the version byte (v5 only added the EVENT_BATCH
+// type); a v3 frame is the v4 frame with the
 // three zero bytes of the empty bloom digest collapsed to the one
 // zero-count byte of the id-list digest it replaced; a v2 frame is the
 // v3 frame minus the dest demux field (one zero byte after the type,
@@ -196,6 +198,11 @@ func TestDecodeRejectsRetiredVersionFrames(t *testing.T) {
 		frame, err := encodeMessage(m)
 		if err != nil {
 			t.Fatal(err)
+		}
+		v4 := append([]byte{}, frame...)
+		v4[0] = 0x04
+		if _, err := decodeMessage(v4); err == nil {
+			t.Errorf("%s: version-4 frame accepted", m.Type)
 		}
 		// The frame tail is superTopic(0) bloom(0,0,0) events(0); the
 		// v3 tail was superTopic(0) digestIDs(0) events(0) — two fewer

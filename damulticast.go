@@ -82,12 +82,6 @@ var (
 	ErrDuplicateTopic = errors.New("damulticast: already subscribed to topic")
 )
 
-// ErrAlreadyRunned is the old misspelled name of ErrAlreadyStarted.
-//
-// Deprecated: use ErrAlreadyStarted. Kept as an alias (same value, so
-// errors.Is matches either) for code written against the v1 API.
-var ErrAlreadyRunned = ErrAlreadyStarted
-
 // Config configures a Node.
 //
 // Deprecated: new code should use NewHub with HubOption/JoinOption
@@ -138,12 +132,15 @@ type Node struct {
 	hub *Hub
 	sub *Subscription
 
-	// inbox aliases the hub's decoded-frame queue (tests inspect its
+	// inbox aliases the hub's raw-frame queue (tests inspect its
 	// capacity and overflow behavior).
-	inbox chan *core.Message
+	inbox chan []byte
 }
 
 // NewNode validates the configuration and builds a stopped node.
+//
+// Deprecated: use NewHub and Hub.Join; the README's "Migrating from
+// the v1 Node API" table maps every Node call to its Hub equivalent.
 func NewNode(cfg Config) (*Node, error) {
 	if cfg.Transport == nil {
 		return nil, ErrNoTransport
@@ -229,7 +226,7 @@ type NodeStats struct {
 	DroppedDeliveries int64
 	// MalformedFrames counts inbound frames the wire decoder rejected.
 	MalformedFrames int64
-	// OverflowFrames counts decoded messages dropped on inbox overflow.
+	// OverflowFrames counts frames dropped on receive-queue overflow.
 	OverflowFrames int64
 	// Recovery holds the anti-entropy recovery counters.
 	Recovery core.RecoveryStats

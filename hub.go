@@ -13,6 +13,7 @@ import (
 	"damulticast/internal/core"
 	"damulticast/internal/ids"
 	"damulticast/internal/topic"
+	"damulticast/internal/wire"
 	"damulticast/internal/xrand"
 )
 
@@ -25,10 +26,15 @@ import (
 // runs one endpoint instead of three.
 //
 // Inbound frames carry the destination group's topic (the wire demux
-// field introduced in codec v3) and are routed to the matching subscription's
-// protocol process; frames for groups the hub is not subscribed to are
-// counted and dropped, never misdelivered. All methods are safe for
-// concurrent use.
+// field introduced in codec v3). The receive path peeks that prefix,
+// fans frames into bounded per-subscription queues, and drains the
+// queues round-robin with a per-subscription quota, so one hot topic
+// cannot monopolize the loop while a cold sibling's frames rot in a
+// shared inbox. Decoding happens on the loop goroutine against a
+// single pooled wire.Decoder (zero steady-state allocations per
+// frame); frames for groups the hub is not subscribed to are counted
+// and dropped, never misdelivered. All methods are safe for concurrent
+// use.
 //
 // A Hub returned by NewHub is live immediately: Join subscriptions,
 // Publish through them, and Stop the hub when done. Note that
@@ -44,9 +50,11 @@ type Hub struct {
 	baseSeed  int64
 	tick      time.Duration
 	eventBuf  int
+	overflow  OverflowPolicy
 	baseCtx   context.Context
+	loopCtx   context.Context
 
-	inbox   chan *core.Message
+	inbox   chan []byte
 	pubCh   chan pubReq
 	joinCh  chan joinReq
 	leaveCh chan leaveReq
@@ -56,8 +64,9 @@ type Hub struct {
 	done    chan struct{}
 	cancel  context.CancelFunc
 
-	// Receive-path loss counters: frames the decoder rejected, decoded
-	// messages discarded on inbox overflow, and decoded messages no
+	// Receive-path loss counters: frames whose routing prefix or body
+	// the decoder rejected, frames discarded because the inbox or a
+	// subscription's fairness queue was full, and frames no
 	// subscription claimed (traffic for groups this hub is not in).
 	// All best-effort losses by design, all counted, never silent.
 	malformedFrames atomic.Int64
@@ -80,21 +89,30 @@ type Subscription struct {
 	rng       *rand.Rand
 	seeds     []ids.ProcessID
 	events    chan Event
+	overflow  OverflowPolicy
 	findSuper bool
 	closeOnce sync.Once
 
-	mu      sync.Mutex
-	dropped int64 // deliveries dropped because the app fell behind
+	mu sync.Mutex
+	// Per-policy delivery-drop counters (see OverflowPolicy). Which
+	// one a full Events channel bumps depends on the subscription's
+	// policy; their sum is DroppedDeliveries.
+	droppedNewest int64
+	droppedOldest int64
 }
 
 type pubReq struct {
 	sub     *Subscription
 	payload []byte
-	reply   chan pubResult
+	batch   bool
+	// payloads is the batch form; only read when batch is set.
+	payloads [][]byte
+	reply    chan pubResult
 }
 
 type pubResult struct {
 	id  string
+	ids []string
 	err error
 }
 
@@ -156,8 +174,9 @@ func newHub(transport Transport, opts ...HubOption) (*Hub, error) {
 		baseSeed:  cfg.seed,
 		tick:      cfg.tick,
 		eventBuf:  cfg.eventBuf,
+		overflow:  cfg.overflow,
 		baseCtx:   cfg.ctx,
-		inbox:     make(chan *core.Message, 1024),
+		inbox:     make(chan []byte, 1024),
 		pubCh:     make(chan pubReq),
 		joinCh:    make(chan joinReq),
 		leaveCh:   make(chan leaveReq),
@@ -180,6 +199,7 @@ func (h *Hub) start(ctx context.Context) error {
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	h.cancel = cancel
+	h.loopCtx = ctx
 	h.transport.SetHandler(h.onRaw)
 	go h.loop(ctx)
 	return nil
@@ -246,6 +266,10 @@ func (h *Hub) prepare(topicStr string, jc joinConfig) (*Subscription, error) {
 	if jc.eventBuf > 0 {
 		eventBuf = jc.eventBuf
 	}
+	overflow := h.overflow
+	if jc.overflow != nil {
+		overflow = *jc.overflow
+	}
 	seed := jc.seed
 	if seed == 0 {
 		if h.baseSeed != 0 {
@@ -256,10 +280,11 @@ func (h *Hub) prepare(topicStr string, jc joinConfig) (*Subscription, error) {
 		}
 	}
 	sub := &Subscription{
-		hub:    h,
-		topic:  tp,
-		rng:    rand.New(rand.NewSource(seed)),
-		events: make(chan Event, eventBuf),
+		hub:      h,
+		topic:    tp,
+		rng:      rand.New(rand.NewSource(seed)),
+		events:   make(chan Event, eventBuf),
+		overflow: overflow,
 	}
 	for _, s := range jc.seeds {
 		if s != string(h.id) {
@@ -321,26 +346,95 @@ func (h *Hub) register(ctx context.Context, sub *Subscription) error {
 	}
 }
 
-// onRaw is the transport receive callback: decode and enqueue,
-// dropping when the inbox overflows (channels are best-effort). Drops
-// are counted, never silent: see Stats.
+// onRaw is the transport receive callback: validate the frame's
+// routing prefix (version byte, type, dest) and enqueue the raw frame
+// for the loop to demux, decode and dispatch. Both bundled transports
+// hand the handler a buffer it owns (fresh per frame), so the frame is
+// queued as-is — no copy, no decode, nothing slow on the transport
+// goroutine. Prefix-invalid frames and inbox overflow are counted,
+// never silent: see Stats.
 func (h *Hub) onRaw(payload []byte) {
-	m, err := decodeMessage(payload)
-	if err != nil {
+	if _, _, err := wire.PeekDest(payload); err != nil {
 		h.malformedFrames.Add(1)
 		return
 	}
 	select {
-	case h.inbox <- m:
+	case h.inbox <- payload:
 	default:
 		h.overflowFrames.Add(1)
 	}
 }
 
+// Receive-path tuning. Frames queue per subscription (bounded by
+// maxQueuedFrames each); every drain quantum serves at most drainQuota
+// frames per subscription, so a topic being flooded shares the loop
+// with its siblings at worst drainQuota-to-drainQuota; intakeQuota
+// bounds how many control-channel operations are serviced between
+// quanta so a saturated inbox cannot postpone draining forever.
+const (
+	maxQueuedFrames = 1024
+	drainQuota      = 32
+	intakeQuota     = 256
+)
+
+// frameQueue is a FIFO of raw frames with O(1) push/pop and reusable
+// backing storage (popped slots are nil'd; the slice rewinds when the
+// queue empties).
+type frameQueue struct {
+	frames [][]byte
+	head   int
+}
+
+func (q *frameQueue) len() int { return len(q.frames) - q.head }
+
+func (q *frameQueue) push(frame []byte, bound int) bool {
+	if q.len() >= bound {
+		return false
+	}
+	q.frames = append(q.frames, frame)
+	return true
+}
+
+func (q *frameQueue) pop() []byte {
+	frame := q.frames[q.head]
+	q.frames[q.head] = nil
+	q.head++
+	if q.head == len(q.frames) {
+		q.frames = q.frames[:0]
+		q.head = 0
+	}
+	return frame
+}
+
+// hubLoop is the loop goroutine's private state: the process registry,
+// the pooled frame decoder, and the fairness queues. Nothing here is
+// touched off the loop goroutine.
+type hubLoop struct {
+	h   *Hub
+	reg *core.Registry
+	dec *wire.Decoder
+	// queues fans raw frames out by their dest prefix, one bounded
+	// queue per subscription (keyed by topic) plus one for dest-less
+	// bootstrap traffic; rr is the round-robin drain order over the
+	// subscription queues and pending the total frames queued.
+	queues  map[string]*frameQueue
+	control frameQueue
+	rr      []string
+	cursor  int
+	pending int
+}
+
 // loop owns every subscription's core.Process (via the registry): all
-// protocol state is touched only here.
+// protocol state is touched only here. Raw frames from the inbox are
+// fanned into per-subscription queues and drained round-robin, one
+// quantum between control-channel polls.
 func (h *Hub) loop(ctx context.Context) {
-	reg := core.NewRegistry()
+	l := &hubLoop{
+		h:      h,
+		reg:    core.NewRegistry(),
+		dec:    wire.NewDecoder(),
+		queues: make(map[string]*frameQueue),
+	}
 	defer func() {
 		h.mu.Lock()
 		subs := make([]*Subscription, 0, len(h.subs))
@@ -357,71 +451,222 @@ func (h *Hub) loop(ctx context.Context) {
 	ticker := time.NewTicker(h.tick)
 	defer ticker.Stop()
 	for {
-		select {
-		case <-ctx.Done():
+		if l.pending == 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case frame := <-h.inbox:
+				l.demux(frame)
+			case req := <-h.pubCh:
+				l.publish(req)
+			case req := <-h.joinCh:
+				l.join(req)
+			case req := <-h.leaveCh:
+				l.leave(req)
+			case <-ticker.C:
+				l.reg.Tick()
+			}
+			continue
+		}
+		// Frames are pending: poll the control channels first (bounded,
+		// so a saturated inbox cannot starve the drain), then spend one
+		// round-robin quantum on the queues.
+	intake:
+		for i := 0; i < intakeQuota; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case frame := <-h.inbox:
+				l.demux(frame)
+			case req := <-h.pubCh:
+				l.publish(req)
+			case req := <-h.joinCh:
+				l.join(req)
+			case req := <-h.leaveCh:
+				l.leave(req)
+			case <-ticker.C:
+				l.reg.Tick()
+			default:
+				break intake
+			}
+		}
+		l.drainQuantum()
+	}
+}
+
+// demux routes one raw frame into its subscription's queue by the dest
+// prefix (validated in onRaw; re-peeking costs a few ns). Frames for
+// unknown groups are dropped here, before any decode is paid for them.
+func (l *hubLoop) demux(frame []byte) {
+	_, dest, err := wire.PeekDest(frame)
+	if err != nil {
+		l.h.malformedFrames.Add(1)
+		return
+	}
+	q := &l.control
+	if len(dest) > 0 {
+		q = l.queues[string(dest)] // zero-alloc map lookup
+		if q == nil {
+			l.h.unroutedFrames.Add(1)
 			return
-		case m := <-h.inbox:
-			if !reg.Handle(m) {
-				h.unroutedFrames.Add(1)
-			}
-		case req := <-h.pubCh:
-			ev, err := req.sub.proc.Publish(req.payload)
-			if err != nil {
-				// The engine's stopped sentinel is internal; surface the
-				// exported lifecycle sentinel so callers outside this
-				// module can errors.Is it.
-				if errors.Is(err, core.ErrStopped) {
-					err = fmt.Errorf("%w: subscription has left", ErrNotRunning)
-				}
-				req.reply <- pubResult{err: err}
-				continue
-			}
-			req.reply <- pubResult{id: ev.ID.String()}
-		case req := <-h.joinCh:
-			sub := req.sub
-			if err := reg.Add(sub.proc); err != nil {
-				req.reply <- fmt.Errorf("%w: %s", ErrDuplicateTopic, sub.topic)
-				continue
-			}
-			h.mu.Lock()
-			h.subs[sub.topic] = sub
-			h.mu.Unlock()
-			if sub.findSuper {
-				sub.proc.StartFindSuperContact()
-			}
-			req.reply <- nil
-		case req := <-h.leaveCh:
-			sub := req.sub
-			if reg.Get(sub.topic) != sub.proc {
-				req.reply <- ErrNotRunning // already left
-				continue
-			}
-			sub.proc.Leave()
-			reg.Remove(sub.topic)
-			h.mu.Lock()
-			delete(h.subs, sub.topic)
-			h.mu.Unlock()
-			sub.closeEvents()
-			req.reply <- nil
-		case <-ticker.C:
-			reg.Tick()
 		}
 	}
+	if !q.push(frame, maxQueuedFrames) {
+		l.h.overflowFrames.Add(1)
+		return
+	}
+	l.pending++
+}
+
+// drainQuantum serves one fairness round: the control queue fully
+// (dest-less bootstrap floods are rare and never bulky), then up to
+// drainQuota frames from each subscription queue, starting after where
+// the previous round left off.
+func (l *hubLoop) drainQuantum() {
+	for l.control.len() > 0 {
+		l.pending--
+		l.handleFrame(l.control.pop())
+	}
+	n := len(l.rr)
+	for i := 0; i < n; i++ {
+		if l.cursor >= len(l.rr) {
+			l.cursor = 0
+		}
+		q := l.queues[l.rr[l.cursor]]
+		l.cursor++
+		for served := 0; served < drainQuota && q.len() > 0; served++ {
+			l.pending--
+			l.handleFrame(q.pop())
+		}
+	}
+}
+
+// handleFrame decodes one frame against the loop's pooled decoder and
+// feeds it to the routed process. The decoded message and its events
+// are scratch, valid only until the next decode — fine for every
+// handler (they consume synchronously, cloning what they deliver) —
+// except a process whose recovery store retains events, which gets
+// deep copies.
+func (l *hubLoop) handleFrame(frame []byte) {
+	m, err := l.dec.Decode(frame)
+	if err != nil {
+		l.h.malformedFrames.Add(1)
+		return
+	}
+	p := l.reg.Route(m)
+	if p == nil {
+		l.h.unroutedFrames.Add(1)
+		return
+	}
+	if p.RetainsEvents() {
+		if m.Event != nil {
+			m.Event = m.Event.Clone()
+		}
+		if len(m.Events) > 0 {
+			evs := make([]*core.Event, len(m.Events))
+			for i, ev := range m.Events {
+				evs[i] = ev.Clone()
+			}
+			m.Events = evs
+		}
+	}
+	p.HandleMessage(m)
+}
+
+func (l *hubLoop) publish(req pubReq) {
+	// The engine's stopped sentinel is internal; surface the exported
+	// lifecycle sentinel so callers outside this module can errors.Is
+	// it.
+	if req.batch {
+		evs, err := req.sub.proc.PublishBatch(req.payloads)
+		if err != nil {
+			if errors.Is(err, core.ErrStopped) {
+				err = fmt.Errorf("%w: subscription has left", ErrNotRunning)
+			}
+			req.reply <- pubResult{err: err}
+			return
+		}
+		eids := make([]string, len(evs))
+		for i, ev := range evs {
+			eids[i] = ev.ID.String()
+		}
+		req.reply <- pubResult{ids: eids}
+		return
+	}
+	ev, err := req.sub.proc.Publish(req.payload)
+	if err != nil {
+		if errors.Is(err, core.ErrStopped) {
+			err = fmt.Errorf("%w: subscription has left", ErrNotRunning)
+		}
+		req.reply <- pubResult{err: err}
+		return
+	}
+	req.reply <- pubResult{id: ev.ID.String()}
+}
+
+func (l *hubLoop) join(req joinReq) {
+	sub := req.sub
+	if err := l.reg.Add(sub.proc); err != nil {
+		req.reply <- fmt.Errorf("%w: %s", ErrDuplicateTopic, sub.topic)
+		return
+	}
+	key := string(sub.topic)
+	l.queues[key] = &frameQueue{}
+	l.rr = append(l.rr, key)
+	l.h.mu.Lock()
+	l.h.subs[sub.topic] = sub
+	l.h.mu.Unlock()
+	if sub.findSuper {
+		sub.proc.StartFindSuperContact()
+	}
+	req.reply <- nil
+}
+
+func (l *hubLoop) leave(req leaveReq) {
+	sub := req.sub
+	if l.reg.Get(sub.topic) != sub.proc {
+		req.reply <- ErrNotRunning // already left
+		return
+	}
+	sub.proc.Leave()
+	l.reg.Remove(sub.topic)
+	key := string(sub.topic)
+	if q := l.queues[key]; q != nil {
+		// Frames still queued for the departed group are routing
+		// losses now.
+		if n := q.len(); n > 0 {
+			l.h.unroutedFrames.Add(int64(n))
+			l.pending -= n
+		}
+		delete(l.queues, key)
+		for i, k := range l.rr {
+			if k == key {
+				l.rr = append(l.rr[:i], l.rr[i+1:]...)
+				break
+			}
+		}
+	}
+	l.h.mu.Lock()
+	delete(l.h.subs, sub.topic)
+	l.h.mu.Unlock()
+	sub.closeEvents()
+	req.reply <- nil
 }
 
 // Topic returns the subscription's topic.
 func (s *Subscription) Topic() string { return string(s.topic) }
 
 // Events returns the subscription's delivery channel. It is closed
-// when the subscription leaves or the hub stops.
+// when the subscription leaves or the hub stops. What happens when the
+// application stops reading it is the subscription's OverflowPolicy.
 func (s *Subscription) Events() <-chan Event { return s.events }
 
-// DroppedDeliveries reports how many events were discarded because the
-// Events channel was full.
+// DroppedDeliveries reports how many events were discarded at the full
+// Events channel, under any policy.
 func (s *Subscription) DroppedDeliveries() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.dropped
+	return s.droppedNewest + s.droppedOldest
 }
 
 // RecoveryStats returns the subscription's anti-entropy recovery
@@ -431,33 +676,56 @@ func (s *Subscription) RecoveryStats() core.RecoveryStats { return s.proc.Recove
 // Publish disseminates an event of the subscription's topic and
 // returns its id. It blocks until the hub's loop accepts the
 // publication, ctx is done, or the hub stops — a publish stuck behind
-// a wedged loop returns promptly with ctx.Err().
+// a wedged loop returns promptly with ctx.Err(). Publish is sugar for
+// a one-payload PublishBatch: same bookkeeping, same dissemination,
+// one loop round-trip and at least one frame per event — producers
+// with several events in hand should batch them.
 func (s *Subscription) Publish(ctx context.Context, payload []byte) (string, error) {
+	res, err := s.publish(ctx, pubReq{sub: s, payload: payload})
+	return res.id, err
+}
+
+// PublishBatch disseminates one event per payload, in order, and
+// returns their ids. The whole batch is handed to the loop in one
+// round-trip, and events elected for the same (peer, group) pair ride
+// one EVENT_BATCH frame instead of one frame each — the batched path
+// the live throughput numbers come from. Event ids, ordering and
+// recovery bookkeeping are identical to the same sequence of Publish
+// calls. An empty batch returns (nil, nil).
+func (s *Subscription) PublishBatch(ctx context.Context, payloads [][]byte) ([]string, error) {
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	res, err := s.publish(ctx, pubReq{sub: s, batch: true, payloads: payloads})
+	return res.ids, err
+}
+
+func (s *Subscription) publish(ctx context.Context, req pubReq) (pubResult, error) {
 	h := s.hub
 	if !h.started.Load() {
-		return "", ErrNotRunning
+		return pubResult{}, ErrNotRunning
 	}
-	req := pubReq{sub: s, payload: payload, reply: make(chan pubResult, 1)}
+	req.reply = make(chan pubResult, 1)
 	select {
 	case h.pubCh <- req:
 	case <-ctx.Done():
-		return "", ctx.Err()
+		return pubResult{}, ctx.Err()
 	case <-h.done:
-		return "", ErrNotRunning
+		return pubResult{}, ErrNotRunning
 	}
 	select {
 	case res := <-req.reply:
-		return res.id, res.err
+		return res, res.err
 	case <-ctx.Done():
-		return "", ctx.Err()
+		return pubResult{}, ctx.Err()
 	case <-h.done:
 		// The reply is buffered, so a service that raced the shutdown
 		// may still have landed; prefer it over reporting failure.
 		select {
 		case res := <-req.reply:
-			return res.id, res.err
+			return res, res.err
 		default:
-			return "", ErrNotRunning
+			return pubResult{}, ErrNotRunning
 		}
 	}
 }
@@ -501,18 +769,32 @@ func (s *Subscription) closeEvents() {
 type SubscriptionStats struct {
 	// Topic is the subscription's topic.
 	Topic string
-	// DroppedDeliveries counts events discarded because the
-	// application fell behind the Events channel.
+	// Overflow is the subscription's configured overflow policy.
+	Overflow OverflowPolicy
+	// DroppedDeliveries counts events discarded at the full Events
+	// channel under any policy: DroppedNewest + DroppedOldest.
 	DroppedDeliveries int64
+	// DroppedNewest counts arriving events discarded (DropNewest, and
+	// Block deliveries abandoned at hub shutdown).
+	DroppedNewest int64
+	// DroppedOldest counts buffered events evicted to admit newer
+	// ones (DropOldest).
+	DroppedOldest int64
 	// Recovery holds the anti-entropy recovery counters.
 	Recovery core.RecoveryStats
 }
 
 // Stats snapshots the subscription's counters.
 func (s *Subscription) Stats() SubscriptionStats {
+	s.mu.Lock()
+	newest, oldest := s.droppedNewest, s.droppedOldest
+	s.mu.Unlock()
 	return SubscriptionStats{
 		Topic:             string(s.topic),
-		DroppedDeliveries: s.DroppedDeliveries(),
+		Overflow:          s.overflow,
+		DroppedDeliveries: newest + oldest,
+		DroppedNewest:     newest,
+		DroppedOldest:     oldest,
 		Recovery:          s.proc.RecoveryStats(),
 	}
 }
@@ -520,13 +802,15 @@ func (s *Subscription) Stats() SubscriptionStats {
 // HubStats aggregates every counter of a hub and its live
 // subscriptions in one call.
 type HubStats struct {
-	// MalformedFrames counts inbound frames the wire decoder rejected.
+	// MalformedFrames counts inbound frames the wire decoder rejected
+	// (bad routing prefix at the transport callback, or bad body at
+	// the loop's full decode).
 	MalformedFrames int64
-	// OverflowFrames counts decoded messages dropped on inbox
-	// overflow.
+	// OverflowFrames counts raw frames dropped because the inbox or a
+	// subscription's fairness queue was full.
 	OverflowFrames int64
-	// UnroutedFrames counts decoded messages no subscription claimed
-	// (traffic for groups this hub is not — or no longer — in).
+	// UnroutedFrames counts frames no subscription claimed (traffic
+	// for groups this hub is not — or no longer — in).
 	UnroutedFrames int64
 	// DroppedDeliveries sums the per-subscription delivery drops.
 	DroppedDeliveries int64
@@ -582,18 +866,53 @@ func (e *subEnv) SendBatch(targets []ids.ProcessID, m *core.Message) {
 	putEncBuf(buf)
 }
 
+// Deliver hands one event to the application, applying the
+// subscription's overflow policy when the Events channel is full. It
+// runs on the loop goroutine — the same goroutine that closes the
+// channel — so sends never race a close.
 func (e *subEnv) Deliver(ev *core.Event) {
 	out := Event{
 		ID:      ev.ID.String(),
 		Topic:   string(ev.Topic),
 		Payload: ev.Payload,
 	}
-	select {
-	case e.events <- out:
-	default:
-		e.mu.Lock()
-		e.dropped++
-		e.mu.Unlock()
+	switch e.overflow {
+	case Block:
+		select {
+		case e.events <- out:
+		case <-e.hub.loopCtx.Done():
+			// Hub shutdown unblocks the delivery; the abandoned event
+			// counts as a newest-drop.
+			e.mu.Lock()
+			e.droppedNewest++
+			e.mu.Unlock()
+		}
+	case DropOldest:
+		for {
+			select {
+			case e.events <- out:
+				return
+			default:
+			}
+			// Full: evict the oldest unread event and retry. Converges
+			// because only this goroutine sends and capacity is ≥ 1;
+			// a concurrent reader only makes room faster.
+			select {
+			case <-e.events:
+				e.mu.Lock()
+				e.droppedOldest++
+				e.mu.Unlock()
+			default:
+			}
+		}
+	default: // DropNewest
+		select {
+		case e.events <- out:
+		default:
+			e.mu.Lock()
+			e.droppedNewest++
+			e.mu.Unlock()
+		}
 	}
 }
 

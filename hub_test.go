@@ -425,10 +425,6 @@ func TestHubJoinValidation(t *testing.T) {
 	if _, err := NewHub(nil); !errors.Is(err, ErrNoTransport) {
 		t.Errorf("nil transport err = %v, want ErrNoTransport", err)
 	}
-	// The deprecated alias still matches the renamed sentinel.
-	if !errors.Is(ErrAlreadyRunned, ErrAlreadyStarted) {
-		t.Error("ErrAlreadyRunned no longer aliases ErrAlreadyStarted")
-	}
 }
 
 // TestHubContextLifecycle: a hub built WithContext stops when the
@@ -493,6 +489,8 @@ func TestHubWriteMetrics(t *testing.T) {
 		"damulticast_subscriptions 2",
 		`damulticast_dropped_deliveries_total{topic=".market"} 0`,
 		`damulticast_dropped_deliveries_total{topic=".news"} 0`,
+		`damulticast_dropped_newest_total{topic=".news"} 0`,
+		`damulticast_dropped_oldest_total{topic=".news"} 0`,
 		`damulticast_recovered_events_total{topic=".news"} 0`,
 	} {
 		if !strings.Contains(out, want) {

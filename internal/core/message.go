@@ -75,7 +75,7 @@ func (t MsgType) Known() bool {
 
 // IsEvent reports whether messages of this type carry application
 // events (and therefore count toward the paper's message complexity).
-func (t MsgType) IsEvent() bool { return t == MsgEvent }
+func (t MsgType) IsEvent() bool { return t == MsgEvent || t == MsgEventBatch }
 
 // Event is a published application event. Topic is the topic it was
 // published on; by topic inclusion it is implicitly also an event of

@@ -118,6 +118,9 @@ type Process struct {
 	// supergroup, leave announcements) carry a different wire Dest per
 	// group, so the batch is sent one contiguous segment per group.
 	segs []groupSeg
+	// accum is the reusable multi-event coalescing accumulator for the
+	// batched dissemination paths (batch.go); nil while one is in use.
+	accum *batchAccum
 
 	findSuper *findSuperState
 
@@ -370,6 +373,8 @@ func (p *Process) HandleMessage(m *Message) {
 	switch m.Type {
 	case MsgEvent:
 		p.onEvent(m)
+	case MsgEventBatch:
+		p.onEventBatch(m)
 	case MsgReqContact:
 		p.onReqContact(m)
 	case MsgAnsContact:

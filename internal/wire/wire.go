@@ -1,7 +1,7 @@
 // Package wire is the binary codec for protocol frames, format
-// version 4.
+// version 5.
 //
-// Every frame starts with a version byte (0x04) followed by the
+// Every frame starts with a version byte (0x05) followed by the
 // message type as an unsigned varint, the destination-group demux
 // topic, and the envelope fields in a fixed order:
 //
@@ -33,19 +33,28 @@
 // garbage must never reach the protocol state machine.
 //
 // The dest field sits right after the type: it is the demultiplex key
-// multi-topic endpoints route on (see core.Registry), so it leads the
-// frame ahead of the bulkier envelope fields.
+// multi-topic endpoints route on (see core.Registry), cheap to peek at
+// without parsing the body (PeekDest), so it leads the frame ahead of
+// the bulkier envelope fields.
+//
+// Version 5 introduces the EVENT_BATCH message type: the events list
+// that v4 reserved for recovery answers now also carries live
+// event-batch frames (N events for one destination group in one
+// frame). The field layout is unchanged from v4; the version bump
+// exists because a v4 peer would reject the new type id, and the
+// policy is that decoders never partially understand a generation.
 //
 // Compatibility policy: the version byte is the whole negotiation.
-// Version 4 frames begin with 0x04; version-3 frames (whose recovery
-// digest was an explicit event-id list where v4 carries a bloom
-// filter) began with 0x03, version-2 frames (which lacked the dest
-// demux field) began with 0x02, version-1 frames (which also lacked
-// the recovery tail) began with 0x01, and all are rejected outright,
-// as are the legacy JSON codec's frames, which begin with '{' (0x7b) —
-// see the cross-decode tests. Any incompatible layout change must bump
-// Version, and decoders only ever accept versions they were built to
-// understand.
+// Version 5 frames begin with 0x05; version-4 frames (same layout,
+// without the EVENT_BATCH type) began with 0x04, version-3 frames
+// (whose recovery digest was an explicit event-id list where v4 grew a
+// bloom filter) began with 0x03, version-2 frames (which lacked the
+// dest demux field) began with 0x02, version-1 frames (which also
+// lacked the recovery tail) began with 0x01, and all are rejected
+// outright, as are the legacy JSON codec's frames, which begin with
+// '{' (0x7b) — see the cross-decode tests. Any incompatible layout
+// change must bump Version, and decoders only ever accept versions
+// they were built to understand.
 package wire
 
 import (
@@ -60,7 +69,7 @@ import (
 )
 
 // Version is the wire format version byte leading every frame.
-const Version = 0x04
+const Version = 0x05
 
 // ErrCodec is the base error wrapped by all decode failures.
 var ErrCodec = errors.New("damulticast: decode")
@@ -109,8 +118,8 @@ func AppendMessage(dst []byte, m *core.Message) []byte {
 }
 
 // appendEventBody appends one event's wire form (origin, seq, topic,
-// payload) — shared by the single-event field and the recovery bulk
-// list.
+// payload) — shared by the single-event field, the live event-batch
+// list and the recovery bulk list.
 func appendEventBody(dst []byte, ev *core.Event) []byte {
 	dst = appendWireString(dst, string(ev.ID.Origin))
 	dst = binary.AppendUvarint(dst, ev.ID.Seq)
@@ -143,10 +152,18 @@ func EncodeMessage(m *core.Message) ([]byte, error) {
 // decoder is a strict cursor over one frame. The first failed read
 // latches err; subsequent reads return zero values, so parse code
 // reads straight through and checks once at the end.
+//
+// With a nil scratch the cursor decodes into fresh allocations (the
+// DecodeMessage path: every string, slice and payload is its own heap
+// copy). With a scratch Decoder attached it decodes into the Decoder's
+// reusable buffers instead: strings go through the intern table, byte
+// fields alias the frame, and slices reuse the Decoder's backing
+// arrays — see Decoder for the resulting lifetime contract.
 type decoder struct {
-	buf []byte
-	off int
-	err error
+	buf     []byte
+	off     int
+	err     error
+	scratch *Decoder
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -220,14 +237,18 @@ func (d *decoder) str() string {
 		d.fail("string length %d exceeds remaining %d bytes", n, d.remaining())
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
+	b := d.buf[d.off : d.off+int(n)]
 	d.off += int(n)
-	return s
+	if d.scratch != nil {
+		return d.scratch.intern(b)
+	}
+	return string(b)
 }
 
-// bytes reads a length-prefixed byte field into a fresh buffer (the
-// frame may alias a transport buffer; decoded messages must not).
-// Zero length decodes as nil.
+// bytes reads a length-prefixed byte field. The allocating path copies
+// into a fresh buffer (the frame may alias a transport buffer; decoded
+// messages must not); the pooled path returns a subslice of the frame
+// itself — Decoder's lifetime contract. Zero length decodes as nil.
 func (d *decoder) bytes() []byte {
 	n := d.uvarint()
 	if d.err != nil {
@@ -240,28 +261,40 @@ func (d *decoder) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
+	if d.scratch != nil {
+		out := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+		d.off += int(n)
+		return out
+	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.off:])
 	d.off += int(n)
 	return out
 }
 
-// eventBody reads one event's wire form (see appendEventBody).
-func (d *decoder) eventBody() *core.Event {
-	ev := &core.Event{}
+// eventBodyInto reads one event's wire form (see appendEventBody) into
+// a caller-provided struct.
+func (d *decoder) eventBodyInto(ev *core.Event) {
 	ev.ID.Origin = ids.ProcessID(d.str())
 	ev.ID.Seq = d.uvarint()
 	ev.Topic = topic.Topic(d.str())
 	ev.Payload = d.bytes()
-	return ev
 }
 
-func (d *decoder) entries() []membership.Entry {
+func (d *decoder) entries(scratch *[]membership.Entry) []membership.Entry {
 	n := d.count(2) // id length byte + age byte minimum
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	out := make([]membership.Entry, n)
+	var out []membership.Entry
+	if scratch != nil {
+		if cap(*scratch) < n {
+			*scratch = make([]membership.Entry, n)
+		}
+		out = (*scratch)[:n]
+	} else {
+		out = make([]membership.Entry, n)
+	}
 	for i := range out {
 		out[i].ID = ids.ProcessID(d.str())
 		out[i].Age = int(d.varint())
@@ -269,19 +302,16 @@ func (d *decoder) entries() []membership.Entry {
 	return out
 }
 
-// DecodeMessage parses a binary frame produced by AppendMessage.
-// Frames with an unknown version byte (including retired versions and
-// legacy JSON frames, which start with '{'), an unknown message type,
-// truncated or oversized fields, or trailing bytes are rejected.
-func DecodeMessage(payload []byte) (*core.Message, error) {
-	d := &decoder{buf: payload}
+// message parses one whole frame into m; shared by the allocating
+// DecodeMessage and the pooled Decoder.Decode (which differ only in
+// where the cursor's primitive reads put their results).
+func (d *decoder) message(m *core.Message) error {
 	if v := d.byte(); d.err == nil && v != Version {
-		return nil, fmt.Errorf("%w: unsupported wire version %d (want %d)", ErrCodec, v, Version)
+		return fmt.Errorf("%w: unsupported wire version %d (want %d)", ErrCodec, v, Version)
 	}
-	var m core.Message
 	m.Type = core.MsgType(d.uvarint())
 	if d.err == nil && !m.Type.Known() {
-		return nil, fmt.Errorf("%w: unknown message type %d", ErrCodec, int(m.Type))
+		return fmt.Errorf("%w: unknown message type %d", ErrCodec, int(m.Type))
 	}
 	m.Dest = topic.Topic(d.str())
 	m.From = ids.ProcessID(d.str())
@@ -289,14 +319,24 @@ func DecodeMessage(payload []byte) (*core.Message, error) {
 	switch flag := d.byte(); {
 	case d.err != nil:
 	case flag == 1:
-		m.Event = d.eventBody()
+		if d.scratch != nil {
+			d.scratch.ev = core.Event{}
+			m.Event = &d.scratch.ev
+		} else {
+			m.Event = &core.Event{}
+		}
+		d.eventBodyInto(m.Event)
 	case flag != 0:
 		d.fail("bad event flag %d", flag)
 	}
 	m.Origin = ids.ProcessID(d.str())
 	m.OriginTopic = topic.Topic(d.str())
 	if n := d.count(1); d.err == nil && n > 0 {
-		m.SearchTopics = make([]topic.Topic, n)
+		if d.scratch != nil {
+			m.SearchTopics = d.scratch.topicSlots(n)
+		} else {
+			m.SearchTopics = make([]topic.Topic, n)
+		}
 		for i := range m.SearchTopics {
 			m.SearchTopics[i] = topic.Topic(d.str())
 		}
@@ -304,30 +344,191 @@ func DecodeMessage(payload []byte) (*core.Message, error) {
 	m.TTL = int(d.varint())
 	m.ReqID = d.uvarint()
 	if n := d.count(1); d.err == nil && n > 0 {
-		m.Contacts = make([]ids.ProcessID, n)
+		if d.scratch != nil {
+			m.Contacts = d.scratch.contactSlots(n)
+		} else {
+			m.Contacts = make([]ids.ProcessID, n)
+		}
 		for i := range m.Contacts {
 			m.Contacts[i] = ids.ProcessID(d.str())
 		}
 	}
 	m.ContactsTopic = topic.Topic(d.str())
 	m.Digest.From = ids.ProcessID(d.str())
-	m.Digest.Entries = d.entries()
-	m.SuperEntries = d.entries()
+	var dEnt, sEnt *[]membership.Entry
+	if d.scratch != nil {
+		dEnt, sEnt = &d.scratch.dEntries, &d.scratch.sEntries
+	}
+	m.Digest.Entries = d.entries(dEnt)
+	m.SuperEntries = d.entries(sEnt)
 	m.SuperTopic = topic.Topic(d.str())
 	m.BloomBits = d.bytes()
 	m.BloomK = int(d.uvarint())
 	m.BloomSeed = d.uvarint()
 	if n := d.count(4); d.err == nil && n > 0 { // origin+topic+payload length bytes + seq byte
-		m.Events = make([]*core.Event, n)
-		for i := range m.Events {
-			m.Events[i] = d.eventBody()
+		if d.scratch != nil {
+			evs, ptrs := d.scratch.eventSlots(n)
+			for i := range evs {
+				d.eventBodyInto(&evs[i])
+				ptrs[i] = &evs[i]
+			}
+			m.Events = ptrs
+		} else {
+			m.Events = make([]*core.Event, n)
+			for i := range m.Events {
+				m.Events[i] = &core.Event{}
+				d.eventBodyInto(m.Events[i])
+			}
 		}
 	}
 	if d.err != nil {
-		return nil, d.err
+		return d.err
 	}
 	if d.remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after message", ErrCodec, d.remaining())
+		return fmt.Errorf("%w: %d trailing bytes after message", ErrCodec, d.remaining())
+	}
+	return nil
+}
+
+// DecodeMessage parses a binary frame produced by AppendMessage into
+// freshly allocated structures (nothing aliases the frame; the result
+// may be retained indefinitely). Frames with an unknown version byte
+// (including retired versions and legacy JSON frames, which start with
+// '{'), an unknown message type, truncated or oversized fields, or
+// trailing bytes are rejected. Steady-state receive paths use Decoder
+// instead.
+func DecodeMessage(payload []byte) (*core.Message, error) {
+	d := decoder{buf: payload}
+	var m core.Message
+	if err := d.message(&m); err != nil {
+		return nil, err
 	}
 	return &m, nil
+}
+
+// maxInternedStrings bounds the Decoder's string intern table; a peer
+// cycling through unbounded distinct ids or topics costs a table reset,
+// not unbounded memory.
+const maxInternedStrings = 4096
+
+// Decoder is a reusable frame decoder for a single receive loop: all
+// decode scratch — the Message, event structs, slice backing arrays —
+// is owned by the Decoder and reused across calls, and strings are
+// interned in a bounded table, so steady-state decoding of live
+// traffic performs zero allocations per frame.
+//
+// The contract is strict in exchange:
+//
+//   - The returned Message and everything reachable from it (events,
+//     slices) is valid only until the next Decode call. Callers that
+//     retain events past the handling of one frame must Clone them
+//     first (the hub does, for processes whose recovery store retains
+//     events).
+//   - Byte fields (event payloads, bloom filter bits) alias the frame
+//     itself, so the frame buffer must stay untouched while the decoded
+//     message is in use, and the caller must own it (both bundled
+//     transports hand the receive callback a fresh buffer per frame).
+//   - Interned strings are ordinary heap strings; retaining them (ids
+//     in membership views, seen-set keys) is safe and is exactly what
+//     the interning exists for.
+//
+// A Decoder is not safe for concurrent use; one goroutine owns it.
+type Decoder struct {
+	msg      core.Message
+	ev       core.Event
+	events   []core.Event
+	evPtrs   []*core.Event
+	topics   []topic.Topic
+	contacts []ids.ProcessID
+	dEntries []membership.Entry
+	sEntries []membership.Entry
+	strings  map[string]string
+}
+
+// NewDecoder returns an empty Decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{strings: make(map[string]string, 64)}
+}
+
+// Decode parses one frame into the Decoder's reusable scratch. See the
+// type comment for the lifetime contract; errors match DecodeMessage's.
+func (dec *Decoder) Decode(frame []byte) (*core.Message, error) {
+	dec.msg = core.Message{}
+	d := decoder{buf: frame, scratch: dec}
+	if err := d.message(&dec.msg); err != nil {
+		return nil, err
+	}
+	return &dec.msg, nil
+}
+
+// intern maps raw string bytes to a stable heap string, allocating only
+// on first sight (the map lookup on []byte-to-string conversion does
+// not allocate). The table is reset when it reaches its bound.
+func (dec *Decoder) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := dec.strings[string(b)]; ok {
+		return s
+	}
+	if len(dec.strings) >= maxInternedStrings {
+		clear(dec.strings)
+	}
+	s := string(b)
+	dec.strings[s] = s
+	return s
+}
+
+func (dec *Decoder) topicSlots(n int) []topic.Topic {
+	if cap(dec.topics) < n {
+		dec.topics = make([]topic.Topic, n)
+	}
+	return dec.topics[:n]
+}
+
+func (dec *Decoder) contactSlots(n int) []ids.ProcessID {
+	if cap(dec.contacts) < n {
+		dec.contacts = make([]ids.ProcessID, n)
+	}
+	return dec.contacts[:n]
+}
+
+// eventSlots returns n zeroable event structs and a parallel pointer
+// slice. The structs are sized up front so taking their addresses is
+// stable (no append-regrowth after pointers are handed out).
+func (dec *Decoder) eventSlots(n int) ([]core.Event, []*core.Event) {
+	if cap(dec.events) < n {
+		dec.events = make([]core.Event, n)
+	}
+	if cap(dec.evPtrs) < n {
+		dec.evPtrs = make([]*core.Event, n)
+	}
+	return dec.events[:n], dec.evPtrs[:n]
+}
+
+// PeekDest reads a frame's routing prefix — version byte, message type
+// and destination-group demux topic — without touching the body. The
+// returned dest subslices the frame (no allocation); an empty dest is
+// returned as an empty slice. Receive loops use it to fan frames into
+// per-subscription queues before paying for a full decode, and to
+// reject frames of foreign wire generations (version byte) or unknown
+// type at the door. A valid prefix does not imply a valid body; the
+// full decode still validates everything it reads.
+func PeekDest(frame []byte) (core.MsgType, []byte, error) {
+	d := decoder{buf: frame}
+	if v := d.byte(); d.err == nil && v != Version {
+		return 0, nil, fmt.Errorf("%w: unsupported wire version %d (want %d)", ErrCodec, v, Version)
+	}
+	t := core.MsgType(d.uvarint())
+	if d.err == nil && !t.Known() {
+		return 0, nil, fmt.Errorf("%w: unknown message type %d", ErrCodec, int(t))
+	}
+	n := d.uvarint()
+	if d.err == nil && n > uint64(d.remaining()) {
+		d.fail("string length %d exceeds remaining %d bytes", n, d.remaining())
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return t, frame[d.off : d.off+int(n)], nil
 }

@@ -22,10 +22,10 @@ func (h *Hub) WriteMetrics(w io.Writer) error {
 		"Inbound frames rejected by the wire decoder.")
 	mw.sample("damulticast_malformed_frames_total", "", st.MalformedFrames)
 	mw.counter("damulticast_overflow_frames_total",
-		"Decoded messages dropped because the inbox overflowed.")
+		"Frames dropped because the inbox or a subscription's fairness queue was full.")
 	mw.sample("damulticast_overflow_frames_total", "", st.OverflowFrames)
 	mw.counter("damulticast_unrouted_frames_total",
-		"Decoded messages addressed to a group this hub is not subscribed to.")
+		"Frames addressed to a group this hub is not subscribed to.")
 	mw.sample("damulticast_unrouted_frames_total", "", st.UnroutedFrames)
 
 	mw.gauge("damulticast_subscriptions",
@@ -33,9 +33,19 @@ func (h *Hub) WriteMetrics(w io.Writer) error {
 	mw.sample("damulticast_subscriptions", "", int64(len(st.Subscriptions)))
 
 	mw.counter("damulticast_dropped_deliveries_total",
-		"Events discarded because the application fell behind the Events channel.")
+		"Events discarded because the application fell behind the Events channel (all policies).")
 	for _, s := range st.Subscriptions {
 		mw.sample("damulticast_dropped_deliveries_total", s.Topic, s.DroppedDeliveries)
+	}
+	mw.counter("damulticast_dropped_newest_total",
+		"Arriving events discarded at a full Events channel (DropNewest policy, plus Block deliveries abandoned at shutdown).")
+	for _, s := range st.Subscriptions {
+		mw.sample("damulticast_dropped_newest_total", s.Topic, s.DroppedNewest)
+	}
+	mw.counter("damulticast_dropped_oldest_total",
+		"Buffered events evicted to admit newer ones (DropOldest policy).")
+	for _, s := range st.Subscriptions {
+		mw.sample("damulticast_dropped_oldest_total", s.Topic, s.DroppedOldest)
 	}
 	mw.counter("damulticast_recovered_events_total",
 		"First-time events obtained through the anti-entropy recovery exchange.")

@@ -82,7 +82,7 @@ func TestNodeLifecycle(t *testing.T) {
 	if err := n.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Start(ctx); !errors.Is(err, ErrAlreadyRunned) {
+	if err := n.Start(ctx); !errors.Is(err, ErrAlreadyStarted) {
 		t.Errorf("second Start = %v", err)
 	}
 	id, err := n.Publish([]byte("x"))

@@ -33,6 +33,7 @@ type hubConfig struct {
 	seed     int64
 	tick     time.Duration
 	eventBuf int
+	overflow OverflowPolicy
 	ctx      context.Context
 }
 
@@ -41,6 +42,7 @@ type joinConfig struct {
 	params        *Params
 	seed          int64
 	eventBuf      int
+	overflow      *OverflowPolicy
 	seeds         []string
 	groupContacts []string
 	superTopic    string
@@ -72,14 +74,66 @@ func (o seedOption) applyHub(c *hubConfig)   { c.seed = int64(o) }
 func (o seedOption) applyJoin(c *joinConfig) { c.seed = int64(o) }
 
 // WithEventBuffer sets the capacity of the Events delivery channel
-// (default 256). When the application falls behind, further deliveries
-// are dropped and counted (best-effort, like the underlying channels).
+// (default 256). What happens when the application falls behind and
+// the buffer fills is governed by WithOverflow.
 func WithEventBuffer(n int) HubJoinOption { return eventBufferOption(n) }
 
 type eventBufferOption int
 
 func (o eventBufferOption) applyHub(c *hubConfig)   { c.eventBuf = int(o) }
 func (o eventBufferOption) applyJoin(c *joinConfig) { c.eventBuf = int(o) }
+
+// OverflowPolicy says what a subscription does when an event arrives
+// and its Events channel is full: the application is not keeping up
+// and something has to give. Every policy counts what it sacrificed in
+// SubscriptionStats (and the Prometheus export).
+type OverflowPolicy int
+
+const (
+	// DropNewest (the default) discards the arriving event, keeping
+	// the backlog the application has not read yet. Cheapest and
+	// never blocks the hub: losses are ordinary gossip losses, which
+	// the recovery layer already repairs.
+	DropNewest OverflowPolicy = iota
+	// DropOldest discards the oldest unread event to make room for
+	// the arriving one — a "latest wins" window for applications that
+	// only care about fresh state.
+	DropOldest
+	// Block makes the hub's delivery loop wait until the application
+	// reads an event. Lossless, but a stalled consumer stalls every
+	// subscription on the hub — protocol traffic keeps flowing
+	// (frames queue, bounded, in the fairness queues), yet sibling
+	// deliveries wait their turn behind the block. Use with a
+	// consumer that is guaranteed to drain.
+	Block
+)
+
+// String names the policy.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	case Block:
+		return "block"
+	default:
+		return "overflow-policy(?)"
+	}
+}
+
+// WithOverflow sets the subscription overflow policy — for every
+// subscription when passed to NewHub, for one subscription when passed
+// to Join. Default DropNewest.
+func WithOverflow(p OverflowPolicy) HubJoinOption { return overflowOption(p) }
+
+type overflowOption OverflowPolicy
+
+func (o overflowOption) applyHub(c *hubConfig) { c.overflow = OverflowPolicy(o) }
+func (o overflowOption) applyJoin(c *joinConfig) {
+	p := OverflowPolicy(o)
+	c.overflow = &p
+}
 
 // WithTickInterval sets the period of the hub's shared protocol
 // maintenance tick (membership shuffles, link maintenance, recovery

@@ -41,6 +41,8 @@ type TCPTransport struct {
 	// FlushDelay is how long written frames may linger in a
 	// connection's buffer waiting for companions before being flushed
 	// (default 200µs). Negative flushes synchronously on every Send.
+	// Complementary to wire-level batching: EVENT_BATCH frames pack
+	// events into one frame, FlushDelay packs frames into one syscall.
 	FlushDelay time.Duration
 }
 
@@ -206,6 +208,10 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
+// readFrame reads one length-prefixed frame into a fresh buffer — the
+// allocation is deliberate: the handler owns the buffer (see the
+// Transport receive contract), and the hub's pooled decoder aliases
+// payload bytes into it.
 func (t *TCPTransport) readFrame(r io.Reader) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {

@@ -19,6 +19,13 @@ import (
 // call: the sender fans the same pooled buffer out to many peers and
 // reuses it afterwards, so implementations that deliver or transmit
 // asynchronously must copy first.
+//
+// On receive the ownership flips: the buffer passed to the handler
+// belongs to the handler — the transport must hand it a fresh buffer
+// per frame and never touch it again. The hub relies on this to queue
+// raw frames and decode them in place without copying; both bundled
+// transports comply (TCPTransport reads each frame into a new buffer,
+// MemTransport copies before enqueueing).
 type Transport interface {
 	// Addr returns the address other nodes use to reach this
 	// transport; it doubles as the node's default process id.
@@ -27,7 +34,8 @@ type Transport interface {
 	// retain payload past its return.
 	Send(addr string, payload []byte) error
 	// SetHandler installs the receive callback. Must be called before
-	// any delivery; Node.Start does this.
+	// any delivery; Node.Start does this. Each call to the handler
+	// transfers ownership of the payload buffer to the handler.
 	SetHandler(func(payload []byte))
 	// Close releases resources; subsequent Sends fail.
 	Close() error
