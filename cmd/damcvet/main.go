@@ -1,0 +1,127 @@
+// Command damcvet is the project's invariant multichecker: it runs
+// the internal/vet analyzers — detrand (determinism contract),
+// framealias (wire.Decoder buffer lifetime), wiresym (codec
+// round-trip symmetry and retired MsgType slots) and loopblock (hub
+// demux loop never blocks) — over the packages matched by its
+// arguments (default ./...), honoring each analyzer's package scope
+// and the //damcvet:allow suppression grammar.
+//
+//	go run ./cmd/damcvet ./...
+//
+// Findings print as path:line:col: [analyzer] message, sorted by
+// position; the exit status is 1 when there are findings (or malformed
+// //damcvet: directives, which are findings themselves) and 0 on a
+// clean tree. CI runs this next to go vet and staticcheck.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"damulticast/internal/vet/analysis"
+	"damulticast/internal/vet/detrand"
+	"damulticast/internal/vet/framealias"
+	"damulticast/internal/vet/loadpkg"
+	"damulticast/internal/vet/loopblock"
+	"damulticast/internal/vet/wiresym"
+)
+
+// suite is the registered analyzer set. Order is presentation-only;
+// diagnostics are sorted by position before printing.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		framealias.Analyzer,
+		wiresym.Analyzer,
+		loopblock.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// run executes the multichecker and returns the process exit code:
+// 0 clean, 1 findings, 2 operational failure.
+func run(stdout, stderr io.Writer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "damcvet:", err)
+		return 2
+	}
+
+	pkgs, err := loadpkg.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "damcvet:", err)
+		return 2
+	}
+
+	broken := false
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			broken = true
+			fmt.Fprintf(stderr, "damcvet: %s: %v\n", p.PkgPath, e)
+		}
+	}
+	if broken {
+		fmt.Fprintln(stderr, "damcvet: type errors above; fix the build first")
+		return 2
+	}
+
+	diags := collect(pkgs)
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := loadpkg.Fset().Position(diags[i].Pos), loadpkg.Fset().Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+
+	for _, d := range diags {
+		pos := loadpkg.Fset().Position(d.Pos)
+		rel, err := filepath.Rel(cwd, pos.Filename)
+		if err != nil || len(rel) > len(pos.Filename) {
+			rel = pos.Filename
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "damcvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// collect runs every applicable analyzer over every package.
+func collect(pkgs []*loadpkg.Package) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		allow := analysis.BuildAllowIndex(p.Fset, p.Files)
+		diags = append(diags, allow.Malformed...)
+		for _, a := range suite() {
+			if a.AppliesTo != nil && !a.AppliesTo(p.PkgPath) {
+				continue
+			}
+			ds, err := analysis.Run(a, p.Fset, p.Files, p.Types, p.TypesInfo, allow)
+			if err != nil {
+				diags = append(diags, analysis.Diagnostic{
+					Pos: p.Files[0].Pos(), Analyzer: a.Name,
+					Message: fmt.Sprintf("analyzer failed: %v", err),
+				})
+				continue
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	return diags
+}

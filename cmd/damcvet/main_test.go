@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteRegistersAllAnalyzers pins the multichecker's analyzer set:
+// dropping one silently un-enforces a standing contract.
+func TestSuiteRegistersAllAnalyzers(t *testing.T) {
+	want := map[string]bool{
+		"detrand":    true,
+		"framealias": true,
+		"wiresym":    true,
+		"loopblock":  true,
+	}
+	got := suite()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		delete(want, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no documentation", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("analyzer %q not registered", name)
+	}
+}
+
+// TestRunCleanPackage drives the checker end-to-end over a package
+// that must be finding-free (internal/wire is wiresym's home turf and
+// exempt from framealias by scope).
+func TestRunCleanPackage(t *testing.T) {
+	restoreWd(t)
+	var stdout, stderr bytes.Buffer
+	if code := run(&stdout, &stderr, []string{"./internal/wire"}); code != 0 {
+		t.Fatalf("exit %d on internal/wire\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+// TestRunFlagsSeededViolations drives the checker over the loopblock
+// bad-case fixture and demands a non-zero exit with findings from the
+// expected analyzer — the end-to-end proof that reverting a guarded
+// invariant fails the lint gate.
+func TestRunFlagsSeededViolations(t *testing.T) {
+	restoreWd(t)
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, []string{"./internal/vet/loopblock/testdata/src/loopblockbad"})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[loopblock]") {
+		t.Errorf("expected loopblock findings, got:\n%s", stdout.String())
+	}
+}
+
+// restoreWd moves the test process to the module root so ./... style
+// patterns resolve, restoring the original directory afterwards.
+func restoreWd(t *testing.T) {
+	t.Helper()
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := orig
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Fatal("go.mod not found above test directory")
+		}
+		root = parent
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(orig) })
+}

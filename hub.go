@@ -428,6 +428,8 @@ type hubLoop struct {
 // protocol state is touched only here. Raw frames from the inbox are
 // fanned into per-subscription queues and drained round-robin, one
 // quantum between control-channel polls.
+//
+//damcvet:nonblocking
 func (h *Hub) loop(ctx context.Context) {
 	l := &hubLoop{
 		h:      h,
@@ -497,6 +499,8 @@ func (h *Hub) loop(ctx context.Context) {
 // demux routes one raw frame into its subscription's queue by the dest
 // prefix (validated in onRaw; re-peeking costs a few ns). Frames for
 // unknown groups are dropped here, before any decode is paid for them.
+//
+//damcvet:nonblocking
 func (l *hubLoop) demux(frame []byte) {
 	_, dest, err := wire.PeekDest(frame)
 	if err != nil {
@@ -522,6 +526,8 @@ func (l *hubLoop) demux(frame []byte) {
 // (dest-less bootstrap floods are rare and never bulky), then up to
 // drainQuota frames from each subscription queue, starting after where
 // the previous round left off.
+//
+//damcvet:nonblocking
 func (l *hubLoop) drainQuantum() {
 	for l.control.len() > 0 {
 		l.pending--
@@ -547,6 +553,8 @@ func (l *hubLoop) drainQuantum() {
 // handler (they consume synchronously, cloning what they deliver) —
 // except a process whose recovery store retains events, which gets
 // deep copies.
+//
+//damcvet:nonblocking
 func (l *hubLoop) handleFrame(frame []byte) {
 	m, err := l.dec.Decode(frame)
 	if err != nil {
@@ -583,14 +591,14 @@ func (l *hubLoop) publish(req pubReq) {
 			if errors.Is(err, core.ErrStopped) {
 				err = fmt.Errorf("%w: subscription has left", ErrNotRunning)
 			}
-			req.reply <- pubResult{err: err}
+			req.reply <- pubResult{err: err} //damcvet:allow loopblock(reply is buffered cap 1, written once per request)
 			return
 		}
 		eids := make([]string, len(evs))
 		for i, ev := range evs {
 			eids[i] = ev.ID.String()
 		}
-		req.reply <- pubResult{ids: eids}
+		req.reply <- pubResult{ids: eids} //damcvet:allow loopblock(reply is buffered cap 1, written once per request)
 		return
 	}
 	ev, err := req.sub.proc.Publish(req.payload)
@@ -598,16 +606,16 @@ func (l *hubLoop) publish(req pubReq) {
 		if errors.Is(err, core.ErrStopped) {
 			err = fmt.Errorf("%w: subscription has left", ErrNotRunning)
 		}
-		req.reply <- pubResult{err: err}
+		req.reply <- pubResult{err: err} //damcvet:allow loopblock(reply is buffered cap 1, written once per request)
 		return
 	}
-	req.reply <- pubResult{id: ev.ID.String()}
+	req.reply <- pubResult{id: ev.ID.String()} //damcvet:allow loopblock(reply is buffered cap 1, written once per request)
 }
 
 func (l *hubLoop) join(req joinReq) {
 	sub := req.sub
 	if err := l.reg.Add(sub.proc); err != nil {
-		req.reply <- fmt.Errorf("%w: %s", ErrDuplicateTopic, sub.topic)
+		req.reply <- fmt.Errorf("%w: %s", ErrDuplicateTopic, sub.topic) //damcvet:allow loopblock(reply is buffered cap 1, written once per request)
 		return
 	}
 	key := string(sub.topic)
@@ -619,13 +627,13 @@ func (l *hubLoop) join(req joinReq) {
 	if sub.findSuper {
 		sub.proc.StartFindSuperContact()
 	}
-	req.reply <- nil
+	req.reply <- nil //damcvet:allow loopblock(reply is buffered cap 1, written once per request)
 }
 
 func (l *hubLoop) leave(req leaveReq) {
 	sub := req.sub
 	if l.reg.Get(sub.topic) != sub.proc {
-		req.reply <- ErrNotRunning // already left
+		req.reply <- ErrNotRunning //damcvet:allow loopblock(already left; reply is buffered cap 1, written once per request)
 		return
 	}
 	sub.proc.Leave()
@@ -650,7 +658,7 @@ func (l *hubLoop) leave(req leaveReq) {
 	delete(l.h.subs, sub.topic)
 	l.h.mu.Unlock()
 	sub.closeEvents()
-	req.reply <- nil
+	req.reply <- nil //damcvet:allow loopblock(reply is buffered cap 1, written once per request)
 }
 
 // Topic returns the subscription's topic.
@@ -870,6 +878,9 @@ func (e *subEnv) SendBatch(targets []ids.ProcessID, m *core.Message) {
 // subscription's overflow policy when the Events channel is full. It
 // runs on the loop goroutine — the same goroutine that closes the
 // channel — so sends never race a close.
+//
+//damcvet:nonblocking
+//damcvet:allow framealias(Payload aliases the per-frame inbox buffer, which both transports hand over fresh and the hub never reuses; the pooled Event struct is copied field-by-field here)
 func (e *subEnv) Deliver(ev *core.Event) {
 	out := Event{
 		ID:      ev.ID.String(),

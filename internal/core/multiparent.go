@@ -71,13 +71,11 @@ func (p *Process) RemoveExtraSuperTable(sup topic.Topic) {
 	delete(p.extraSeen, sup)
 }
 
-// ExtraSuperTopics lists the declared extra supertopics.
+// ExtraSuperTopics lists the declared extra supertopics in sorted
+// order.
 func (p *Process) ExtraSuperTopics() []topic.Topic {
-	out := make([]topic.Topic, 0, len(p.extras))
-	for t := range p.extras {
-		out = append(out, t)
-	}
-	return out
+	out := make([]topic.Topic, 0, len(p.extraOrder))
+	return append(out, p.extraOrder...)
 }
 
 // ExtraSuperTable returns the contacts of one extra supertopic table.
@@ -132,8 +130,8 @@ func (p *Process) pingExtras() {
 // recordExtraPong credits a pong against every extra table containing
 // the sender.
 func (p *Process) recordExtraPong(from ids.ProcessID) {
-	for sup, v := range p.extras {
-		if v.Contains(from) {
+	for _, sup := range p.extraOrder {
+		if p.extras[sup].Contains(from) {
 			p.extraSeen[sup][from] = p.tick
 		}
 	}

@@ -275,3 +275,29 @@ func TestExtraTablesDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestExtraSuperTopicsSortedOrder pins the determinism contract on the
+// listing: whatever the declaration order, ExtraSuperTopics reports
+// the extras in sorted order, never in map-iteration order (caught by
+// damcvet's detrand analyzer).
+func TestExtraSuperTopicsSortedOrder(t *testing.T) {
+	env := newFakeEnv(1)
+	p := MustNewProcess("p0", ".sports.football", testParams(), env)
+	for _, sup := range []topic.Topic{".zoo", ".entertainment", ".market"} {
+		if err := p.AddExtraSuperTable(sup, []ids.ProcessID{"c1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []topic.Topic{".entertainment", ".market", ".zoo"}
+	for i := 0; i < 16; i++ {
+		got := p.ExtraSuperTopics()
+		if len(got) != len(want) {
+			t.Fatalf("ExtraSuperTopics = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("ExtraSuperTopics = %v, want sorted %v", got, want)
+			}
+		}
+	}
+}

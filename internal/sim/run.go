@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"damulticast/internal/core"
 	"damulticast/internal/ids"
@@ -212,13 +213,20 @@ func NewRunner(cfg Config) (*Runner, error) {
 
 // nearestSupergroup finds the deepest configured group whose topic
 // strictly includes t (the topic that "induces" t), with its members.
+// Depth ties break to the lexicographically smallest topic so the
+// choice never depends on map iteration order.
 func (r *Runner) nearestSupergroup(t topic.Topic) (topic.Topic, []ids.ProcessID) {
-	best := topic.Topic("")
+	cands := make([]topic.Topic, 0, len(r.groups))
 	for gt := range r.groups {
 		if gt.StrictlyIncludes(t) {
-			if best == "" || gt.Depth() > best.Depth() {
-				best = gt
-			}
+			cands = append(cands, gt)
+		}
+	}
+	slices.Sort(cands)
+	best := topic.Topic("")
+	for _, gt := range cands {
+		if best == "" || gt.Depth() > best.Depth() {
+			best = gt
 		}
 	}
 	if best == "" {

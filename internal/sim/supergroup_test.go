@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"testing"
+
+	"damulticast/internal/core"
+	"damulticast/internal/topic"
+)
+
+// TestNearestSupergroupDeepestWins pins the induced-supergroup choice
+// across the detrand-driven rewrite: the deepest configured group
+// strictly including the topic wins, identically on every call (the
+// candidate set is sorted before selection, so the result can never
+// depend on map iteration order).
+func TestNearestSupergroupDeepestWins(t *testing.T) {
+	r := &Runner{groups: map[topic.Topic][]*core.Process{
+		".a": nil, ".a.b": nil, ".a.b.c": nil, ".x": nil,
+	}}
+	for i := 0; i < 50; i++ {
+		if got, _ := r.nearestSupergroup(".a.b.c"); got != ".a.b" {
+			t.Fatalf("nearestSupergroup(.a.b.c) = %q, want .a.b", got)
+		}
+	}
+	if got, members := r.nearestSupergroup(".zzz.q"); got != "" || members != nil {
+		t.Fatalf("expected no supergroup for .zzz.q, got %q %v", got, members)
+	}
+}

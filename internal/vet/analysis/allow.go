@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The //damcvet: directive grammar. Directives are machine-readable
+// comments (no space after //, like //go:build), so gofmt leaves them
+// alone:
+//
+//	//damcvet:allow <analyzer>(<reason>)
+//	    Suppresses <analyzer> findings. Placed at the end of a line or
+//	    on the line above, it covers that line; placed in a function's
+//	    doc comment, it covers the whole function. The reason is
+//	    mandatory — every exemption documents itself.
+//
+//	//damcvet:nonblocking
+//	    On a function's doc comment: marks the function as part of a
+//	    never-block loop. The loopblock analyzer checks the function
+//	    and everything it (statically, same-package) calls.
+//
+// Anything else after //damcvet: is a malformed directive, reported by
+// the checker itself so typos cannot silently disable an invariant.
+
+const directivePrefix = "//damcvet:"
+
+// NonblockingDirective marks a function checked by loopblock.
+const NonblockingDirective = "//damcvet:nonblocking"
+
+var allowRE = regexp.MustCompile(`^//damcvet:allow ([a-z][a-z0-9]*)\((.+)\)\s*$`)
+
+// allowSpan is one allow directive's coverage: lines [from, to] of one
+// file, for one analyzer.
+type allowSpan struct {
+	file     string
+	from, to int
+	analyzer string
+}
+
+// AllowIndex resolves //damcvet:allow suppressions for a set of files.
+type AllowIndex struct {
+	spans []allowSpan
+	// Malformed holds diagnostics for comments that start with
+	// //damcvet: but parse as no known directive.
+	Malformed []Diagnostic
+}
+
+// BuildAllowIndex scans files (which must carry comments) for allow
+// directives and returns the suppression index. Files from several
+// packages may be combined into one index.
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	idx := &AllowIndex{}
+	for _, f := range files {
+		// Function-doc directives cover the whole declaration.
+		docCovered := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				docCovered[fd.Doc] = true
+				for _, c := range fd.Doc.List {
+					if name, ok := parseAllow(c.Text); ok {
+						idx.spans = append(idx.spans, allowSpan{
+							file:     fset.Position(fd.Pos()).Filename,
+							from:     fset.Position(fd.Pos()).Line,
+							to:       fset.Position(fd.End()).Line,
+							analyzer: name,
+						})
+					}
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				if c.Text == NonblockingDirective {
+					continue
+				}
+				name, ok := parseAllow(c.Text)
+				if !ok {
+					idx.Malformed = append(idx.Malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "damcvet",
+						Message:  "malformed //damcvet: directive (want //damcvet:allow <analyzer>(<reason>) or //damcvet:nonblocking): " + c.Text,
+					})
+					continue
+				}
+				if docCovered[cg] {
+					continue // already indexed with the function's span
+				}
+				// A line directive covers its own line (end-of-line
+				// placement) and the next (placed above a statement).
+				pos := fset.Position(c.Pos())
+				idx.spans = append(idx.spans, allowSpan{
+					file:     pos.Filename,
+					from:     pos.Line,
+					to:       pos.Line + 1,
+					analyzer: name,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts the analyzer name from an allow directive,
+// requiring a non-empty reason.
+func parseAllow(text string) (analyzer string, ok bool) {
+	m := allowRE.FindStringSubmatch(text)
+	if m == nil || strings.TrimSpace(m[2]) == "" {
+		return "", false
+	}
+	return m[1], true
+}
+
+// Suppressed reports whether a finding of the named analyzer at pos is
+// covered by an allow directive.
+func (idx *AllowIndex) Suppressed(analyzer string, pos token.Position) bool {
+	for _, s := range idx.spans {
+		if s.analyzer == analyzer && s.file == pos.Filename && s.from <= pos.Line && pos.Line <= s.to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+// Package analysis is the minimal in-tree counterpart of
+// golang.org/x/tools/go/analysis that damcvet's invariant checkers are
+// built on. The container this repo builds in has no module proxy
+// access, so the canonical framework cannot be a dependency; this
+// package keeps the same shape (Analyzer, Pass, Diagnostic, a runner)
+// so the analyzers port to the upstream API mechanically if the
+// dependency ever becomes available.
+//
+// Not to be confused with internal/analysis, which holds the paper's
+// closed-form math: internal/vet is build-time linting, and nothing
+// here links into the protocol binaries.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one invariant checker: a name (used by the
+// //damcvet:allow grammar), documentation, an optional package filter,
+// and the check itself.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //damcvet:allow comments. Lowercase, no spaces.
+	Name string
+
+	// Doc describes what the analyzer enforces. The first line is the
+	// summary shown by damcvet's analyzer listing.
+	Doc string
+
+	// AppliesTo optionally restricts which packages the checker runs
+	// this analyzer on, by import path. A nil AppliesTo means every
+	// package. Test harnesses (analysistest) ignore this filter and
+	// run the analyzer on whatever package they load.
+	AppliesTo func(pkgPath string) bool
+
+	// Run performs the check on one package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies one analyzer to one package and returns its findings,
+// with //damcvet:allow-suppressed diagnostics already removed. allow
+// may be nil (no suppression). Findings positioned outside the files
+// the allow index was built from are returned as-is.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, allow *AllowIndex) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report: func(d Diagnostic) {
+			if allow != nil && allow.Suppressed(a.Name, fset.Position(d.Pos)) {
+				return
+			}
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return diags, nil
+}

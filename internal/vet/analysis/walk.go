@@ -1,0 +1,23 @@
+package analysis
+
+import "go/ast"
+
+// WalkStack traverses each file in depth-first order, calling fn with
+// every node and the stack of its ancestors (outermost first, not
+// including n itself). Returning false prunes the subtree under n.
+func WalkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

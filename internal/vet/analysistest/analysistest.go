@@ -1,0 +1,148 @@
+// Package analysistest runs a damcvet analyzer over testdata packages
+// and checks its findings against // want comments, mirroring the
+// upstream golang.org/x/tools/go/analysis/analysistest contract on the
+// in-tree framework.
+//
+// Testdata layout follows the upstream convention:
+//
+//	<analyzer>/testdata/src/<pkg>/*.go
+//
+// A line expecting a finding carries a trailing comment of the form
+//
+//	// want "regexp"
+//
+// (several, space-separated, if several findings land on one line).
+// Every reported diagnostic must match a want on its line and every
+// want must be matched — unexpected findings and unmatched wants both
+// fail the test. The Analyzer.AppliesTo filter is ignored: the
+// analyzer runs on whatever package the test names.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"damulticast/internal/vet/analysis"
+	"damulticast/internal/vet/loadpkg"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads each named package from the calling test's testdata/src
+// directory, applies the analyzer (with //damcvet:allow suppression
+// active, so clean cases can demonstrate the escape hatch), and
+// verifies the findings against the packages' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller for testdata path")
+	}
+	testdata := filepath.Join(filepath.Dir(thisFile), "testdata", "src")
+	moduleRoot := moduleRootOf(t, filepath.Dir(thisFile))
+
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, pkg)
+		rel, err := filepath.Rel(moduleRoot, dir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		loaded, err := loadpkg.Load(moduleRoot, "./"+filepath.ToSlash(rel))
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", pkg, err)
+		}
+		if len(loaded) != 1 {
+			t.Fatalf("analysistest: load %s: got %d packages", pkg, len(loaded))
+		}
+		p := loaded[0]
+		for _, e := range p.Errors {
+			t.Errorf("analysistest: %s: type error: %v", pkg, e)
+		}
+		allow := analysis.BuildAllowIndex(p.Fset, p.Files)
+		diags, err := analysis.Run(a, p.Fset, p.Files, p.Types, p.TypesInfo, allow)
+		if err != nil {
+			t.Fatalf("analysistest: %s: %v", pkg, err)
+		}
+		diags = append(diags, allow.Malformed...)
+		checkWants(t, pkg, p.Fset, p.Files, diags)
+	}
+}
+
+// want is one expectation: a regexp at a file line, matched at most
+// once.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					pat := arg[2] // backquoted form, no unescaping
+					if arg[1] != "" {
+						pat = strings.ReplaceAll(arg[1], `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: %s:%d: bad want regexp: %v", pkg, pos.Filename, pos.Line, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s:%d: unexpected finding: [%s] %s", pkg, filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no finding matched want %q", pkg, filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// moduleRootOf walks up from dir to the directory holding go.mod.
+func moduleRootOf(t *testing.T, dir string) string {
+	t.Helper()
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatal("analysistest: go.mod not found above testdata")
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,228 @@
+// Package framealias implements the damcvet analyzer encoding the
+// wire.Decoder buffer contract (PR 8): byte fields of pooled-decoded
+// messages — core.Event.Payload and core.Message.BloomBits — alias the
+// transport frame and are valid only within the handling of that
+// frame. Code that stores such a field into longer-lived state (struct
+// fields, globals, maps, slices, channels, goroutine closures) must
+// copy it first (bytes.Clone, append into a fresh slice, or
+// Event.Clone).
+//
+// The check is intraprocedural with one level of local taint tracking:
+// a local assigned an aliased field (directly or inside a composite
+// literal) is tainted, and sinking a tainted value is a finding. Calls
+// are copy boundaries — append(dst, payload...) spreads bytes and
+// bytes.Clone/string conversions copy — so wrapping the field in any
+// call clears the taint. Pointer flows (storing a *core.Event whole)
+// are out of scope; the hub's RetainsEvents cloning covers those.
+package framealias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"damulticast/internal/vet/analysis"
+)
+
+// aliasedFields lists the frame-aliasing byte fields by declaring
+// package, type and field name (see wire.Decoder's lifetime contract).
+var aliasedFields = map[string]map[string]bool{
+	"damulticast/internal/core.Event":   {"Payload": true},
+	"damulticast/internal/core.Message": {"BloomBits": true},
+}
+
+// Analyzer is the framealias checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "framealias",
+	Doc: "flags retention of wire.Decoder frame-aliased byte fields " +
+		"(Event.Payload, Message.BloomBits) beyond the handler frame " +
+		"without an intervening copy",
+	// The wire package produces the aliases by design; everything else
+	// must honor the contract.
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath != "damulticast/internal/wire"
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the taint pass over one function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	tainted := map[types.Object]bool{}
+
+	// bearing reports whether e evaluates to (or contains, via
+	// composite literals) a frame-aliased value: a direct aliased field
+	// selector, a tainted local, or an append that stores one as an
+	// element (append(s, payload) retains the alias; append(s,
+	// payload...) copies the bytes and is clean, as is any other call).
+	var bearing func(e ast.Expr) bool
+	bearing = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return isAliasedField(pass, x)
+		case *ast.Ident:
+			return tainted[pass.TypesInfo.Uses[x]]
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if bearing(el) {
+					return true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				return bearing(x.X)
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, x) && x.Ellipsis == token.NoPos {
+				for _, arg := range x.Args[1:] {
+					if bearing(arg) {
+						return true
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			return bearing(x.X) // subslices alias the same frame
+		}
+		return false
+	}
+
+	// Taint propagation to a fixpoint: local := <bearing expr> marks
+	// the local. A handful of rounds covers chained locals.
+	for i := 0; i < 4; i++ {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if bearing(as.Rhs[i]) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	report := func(pos token.Pos, sink string) {
+		pass.Reportf(pos, "frame-aliased payload bytes %s: the slice aliases the transport frame and is only valid within this handler frame; copy first (bytes.Clone / append([]byte(nil), b...) / Event.Clone) or annotate //damcvet:allow framealias(reason)", sink)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				if !bearing(st.Rhs[i]) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+						report(st.Rhs[i].Pos(), "stored into struct field "+l.Sel.Name)
+					}
+				case *ast.IndexExpr:
+					report(st.Rhs[i].Pos(), "stored into a map or slice element")
+				case *ast.Ident:
+					if obj := pass.TypesInfo.Uses[l]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+						report(st.Rhs[i].Pos(), "stored into package-level variable "+l.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if bearing(st.Value) {
+				report(st.Value.Pos(), "sent on a channel")
+			}
+		case *ast.GoStmt:
+			if fl, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					switch x := m.(type) {
+					case *ast.SelectorExpr:
+						if isAliasedField(pass, x) {
+							report(x.Pos(), "captured by a goroutine closure")
+							return false
+						}
+					case *ast.Ident:
+						if tainted[pass.TypesInfo.Uses[x]] {
+							report(x.Pos(), "captured by a goroutine closure")
+							return false
+						}
+					}
+					return true
+				})
+			}
+			for _, arg := range st.Call.Args {
+				if bearing(arg) {
+					report(arg.Pos(), "passed to a goroutine")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAliasedField reports whether sel is a read of one of the
+// frame-aliased byte fields.
+func isAliasedField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	// A field read off a call result (ev.Clone().Payload) is not the
+	// pooled decoder's value: calls are copy boundaries.
+	if _, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok {
+		return false
+	}
+	recv := types.Unalias(s.Recv())
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = types.Unalias(ptr.Elem())
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	fields := aliasedFields[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+	return fields != nil && fields[sel.Sel.Name]
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,20 @@
+package framealias
+
+import (
+	"testing"
+
+	"damulticast/internal/vet/analysistest"
+)
+
+func TestFramealias(t *testing.T) {
+	analysistest.Run(t, Analyzer, "framealiasbad", "framealiasclean")
+}
+
+func TestAppliesTo(t *testing.T) {
+	if Analyzer.AppliesTo("damulticast/internal/wire") {
+		t.Error("framealias must not run on internal/wire: the decoder produces the aliases by design")
+	}
+	if !Analyzer.AppliesTo("damulticast") {
+		t.Error("framealias must cover the root package (hub delivery path)")
+	}
+}

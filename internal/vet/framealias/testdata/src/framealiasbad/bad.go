@@ -1,0 +1,54 @@
+// Package framealiasbad holds framealias true positives: every way of
+// retaining a frame-aliased byte field past the handler frame.
+package framealiasbad
+
+import (
+	"damulticast/internal/core"
+)
+
+type cache struct {
+	last   []byte
+	byID   map[string][]byte
+	frames [][]byte
+}
+
+var lastGlobal []byte
+
+func fieldStore(c *cache, ev *core.Event) {
+	c.last = ev.Payload // want `frame-aliased payload bytes stored into struct field last`
+}
+
+func mapStore(c *cache, ev *core.Event) {
+	c.byID[ev.ID.String()] = ev.Payload // want `frame-aliased payload bytes stored into a map or slice element`
+}
+
+func globalStore(ev *core.Event) {
+	lastGlobal = ev.Payload // want `frame-aliased payload bytes stored into package-level variable lastGlobal`
+}
+
+func appendElement(c *cache, ev *core.Event) {
+	c.frames = append(c.frames, ev.Payload) // want `frame-aliased payload bytes stored into struct field frames`
+}
+
+func channelSend(ch chan []byte, m *core.Message) {
+	ch <- m.BloomBits // want `frame-aliased payload bytes sent on a channel`
+}
+
+type delivered struct {
+	payload []byte
+}
+
+func compositeSend(ch chan delivered, ev *core.Event) {
+	out := delivered{payload: ev.Payload}
+	ch <- out // want `frame-aliased payload bytes sent on a channel`
+}
+
+func goroutineCapture(ev *core.Event) {
+	go func() {
+		_ = ev.Payload[0] // want `frame-aliased payload bytes captured by a goroutine closure`
+	}()
+}
+
+func subsliceStore(c *cache, ev *core.Event) {
+	c.last = ev.Payload[1:] // want `frame-aliased payload bytes stored into struct field last`
+}

@@ -1,0 +1,49 @@
+// Package framealiasclean holds code framealias must accept: copies
+// before retention, frame-local reads, and the annotated escape hatch.
+package framealiasclean
+
+import (
+	"bytes"
+
+	"damulticast/internal/core"
+)
+
+type cache struct {
+	last   []byte
+	frames [][]byte
+}
+
+var lastGlobal []byte
+
+// copyIdioms retain copies, never the alias.
+func copyIdioms(c *cache, ev *core.Event) {
+	c.last = bytes.Clone(ev.Payload)
+	c.frames = append(c.frames, append([]byte(nil), ev.Payload...))
+	lastGlobal = []byte(string(ev.Payload))
+}
+
+// cloneBeforeRetain uses the protocol's own deep copy.
+func cloneBeforeRetain(c *cache, ev *core.Event) {
+	c.last = ev.Clone().Payload
+}
+
+// frameLocal reads within the handler frame are the whole point of the
+// zero-copy decode path.
+func frameLocal(ev *core.Event) int {
+	n := 0
+	for _, b := range ev.Payload {
+		n += int(b)
+	}
+	return n
+}
+
+// spreadAppend copies the bytes into dst: clean.
+func spreadAppend(dst []byte, ev *core.Event) []byte {
+	return append(dst, ev.Payload...)
+}
+
+// annotated shows the escape hatch for a contractually-safe retention
+// (e.g. the transport hands over buffer ownership per frame).
+func annotated(ch chan []byte, ev *core.Event) {
+	ch <- ev.Payload //damcvet:allow framealias(transport hands the handler a fresh buffer per frame; the frame is never reused)
+}

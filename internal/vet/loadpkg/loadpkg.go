@@ -1,0 +1,226 @@
+// Package loadpkg loads and type-checks Go packages for damcvet's
+// analyzers without golang.org/x/tools/go/packages (unavailable in the
+// build container): package metadata comes from `go list -json`, and
+// type checking is plain go/types in dependency order. Dependencies
+// are checked declarations-only (IgnoreFuncBodies); the requested
+// target packages get full bodies, comments and a populated
+// types.Info.
+package loadpkg
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	// Files are the package's parsed non-test sources. Target packages
+	// are parsed with comments; dependency packages are not.
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Errors holds type errors. Target packages with errors are still
+	// returned (best-effort ASTs) so callers can report them.
+	Errors []error
+}
+
+// listedPkg mirrors the `go list -json` fields the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// loader state shared across Load calls in one process: the file set
+// must be shared for positions to stay meaningful, and re-checking the
+// standard library per call would make every analysistest suite pay
+// seconds of redundant work.
+var (
+	mu     sync.Mutex
+	fset   = token.NewFileSet()
+	byPath = map[string]*Package{}
+)
+
+// Fset returns the loader's shared file set.
+func Fset() *token.FileSet { return fset }
+
+// Load loads the packages matched by patterns (go list syntax;
+// explicit directory patterns may name testdata packages) rooted at
+// dir, type-checks them and their dependency closure, and returns the
+// matched packages in listing order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	mu.Lock()
+	defer mu.Unlock()
+
+	targets, err := goList(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("loadpkg: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		isTarget[t.ImportPath] = true
+	}
+
+	deps, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// `go list -deps` emits dependencies before dependents, so one
+	// in-order pass type-checks every import before its importers.
+	for _, lp := range deps {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loadpkg: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if err := check(lp, isTarget[lp.ImportPath]); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		p := byPath[t.ImportPath]
+		if p == nil {
+			return nil, fmt.Errorf("loadpkg: %s: not in dependency listing", t.ImportPath)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// goList shells out to the go tool for package metadata. CGO is
+// disabled so every listed package has a pure-Go file set the type
+// checker can consume.
+func goList(dir string, deps bool, patterns []string) ([]*listedPkg, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loadpkg: go list output: %v", err)
+		}
+		pkgs = append(pkgs, &lp)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package into the cache. A
+// cached dependency-grade package is re-checked at target grade when a
+// later Load asks for full detail.
+func check(lp *listedPkg, target bool) error {
+	if lp.ImportPath == "unsafe" {
+		return nil // types.Unsafe, handled by the importer
+	}
+	if p := byPath[lp.ImportPath]; p != nil && (p.TypesInfo != nil || !target) {
+		return nil
+	}
+	if lp.Name == "" || len(lp.GoFiles) == 0 {
+		return fmt.Errorf("loadpkg: %s: no buildable Go files", lp.ImportPath)
+	}
+
+	mode := parser.SkipObjectResolution
+	if target {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return fmt.Errorf("loadpkg: %s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	p := &Package{PkgPath: lp.ImportPath, Name: lp.Name, Dir: lp.Dir, Fset: fset, Files: files}
+	var info *types.Info
+	if target {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	conf := types.Config{
+		IgnoreFuncBodies: !target,
+		FakeImportC:      true,
+		Importer:         &pkgImporter{importMap: lp.ImportMap},
+		Error:            func(err error) { p.Errors = append(p.Errors, err) },
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil && len(p.Errors) == 0 {
+		p.Errors = append(p.Errors, err)
+	}
+	// Dependency packages must check cleanly or every dependent's
+	// analysis is garbage; target packages surface their own errors.
+	if !target && len(p.Errors) > 0 {
+		return fmt.Errorf("loadpkg: dependency %s: %v", lp.ImportPath, errors.Join(p.Errors...))
+	}
+	p.Types = tpkg
+	p.TypesInfo = info
+	byPath[lp.ImportPath] = p
+	return nil
+}
+
+// pkgImporter resolves imports from the cross-call package cache,
+// applying one package's vendor import map (stdlib-vendored paths like
+// golang.org/x/net/... list under vendor/...).
+type pkgImporter struct {
+	importMap map[string]string
+}
+
+func (im *pkgImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *pkgImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := byPath[path]; p != nil && p.Types != nil {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("package %s not loaded", path)
+}

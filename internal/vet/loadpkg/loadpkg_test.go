@@ -1,0 +1,81 @@
+package loadpkg
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatal("go.mod not found above test directory")
+		}
+		d = parent
+	}
+}
+
+func TestLoadTargetGrade(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := Load(root, "./internal/wire", "./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.Errors) > 0 {
+			t.Errorf("%s: type errors: %v", p.PkgPath, p.Errors)
+		}
+		if p.Types == nil || p.TypesInfo == nil {
+			t.Fatalf("%s: target package missing type info", p.PkgPath)
+		}
+		if len(p.TypesInfo.Defs) == 0 || len(p.TypesInfo.Uses) == 0 {
+			t.Errorf("%s: type info not populated", p.PkgPath)
+		}
+		// Target packages parse with comments: the analyzers and the
+		// allow index both depend on them.
+		comments := 0
+		for _, f := range p.Files {
+			comments += len(f.Comments)
+		}
+		if comments == 0 {
+			t.Errorf("%s: no comments parsed; target grade requires ParseComments", p.PkgPath)
+		}
+	}
+}
+
+func TestLoadReusesCache(t *testing.T) {
+	root := moduleRoot(t)
+	a, err := Load(root, "./internal/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(root, "./internal/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("second Load of the same package did not hit the cache")
+	}
+	if a[0].Fset != Fset() {
+		t.Error("package file set is not the shared loader file set")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(moduleRoot(t), "./does/not/exist"); err == nil {
+		t.Error("expected an error for a pattern matching no packages")
+	}
+}

@@ -1,0 +1,326 @@
+// Package loopblock implements the damcvet analyzer guarding the
+// hub's single-threaded demux loop: a function whose doc comment
+// carries //damcvet:nonblocking — and, transitively, every
+// same-package function it calls — must never block. Blocking the
+// demux loop stalls delivery for every subscriber and deadlocks the
+// loop against its own reply channels (the PR 8 fairness contract).
+//
+// Flagged inside a nonblocking context:
+//
+//   - channel sends that are not the guarded case of a select carrying
+//     an escape (a default clause or a <-ctx.Done() receive case);
+//   - blocking channel receives outside such a select;
+//   - time.Sleep;
+//   - calls into blocking stdlib I/O: net, log, io.Copy/ReadAll/
+//     ReadFull, the fmt print family, and os file operations.
+//
+// Bodies of `go func(){...}` literals are exempt — a spawned goroutine
+// may block — and calls made inside them do not propagate the
+// contract. Intentionally-safe operations (e.g. a send on a buffered
+// reply channel with guaranteed capacity) use
+// //damcvet:allow loopblock(reason).
+package loopblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"damulticast/internal/vet/analysis"
+)
+
+// Analyzer is the loopblock checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "loopblock",
+	Doc: "flags blocking operations (unguarded channel ops, time.Sleep, " +
+		"stdlib I/O) in //damcvet:nonblocking functions and their " +
+		"same-package callees",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	// Roots are annotated functions; the contract propagates to every
+	// same-package callee reached outside a `go` statement.
+	roots := map[*types.Func]string{}
+	var queue []*types.Func
+	for fn, fd := range decls {
+		if hasNonblockingDirective(fd.Doc) {
+			roots[fn] = fn.Name()
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		walkBody(decls[fn].Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return
+			}
+			if _, seen := roots[callee]; seen {
+				return
+			}
+			if _, hasBody := decls[callee]; !hasBody {
+				return
+			}
+			roots[callee] = roots[fn]
+			queue = append(queue, callee)
+		})
+	}
+
+	for fn, root := range roots {
+		checkBody(pass, decls[fn], fn, root)
+	}
+	return nil
+}
+
+// hasNonblockingDirective reports whether a doc comment carries the
+// //damcvet:nonblocking marker.
+func hasNonblockingDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == analysis.NonblockingDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// walkBody visits body, pruning `go` statements (their work runs on
+// another goroutine and may block) and nested function literals not
+// invoked inline.
+func walkBody(body *ast.BlockStmt, fn func(n ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			// Deferred or stored literals run later; only the enclosing
+			// function's own statements carry the contract. Inline
+			// invocation is rare enough that the callee annotates
+			// itself if it matters.
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// checkBody reports blocking operations in one nonblocking function.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func, root string) {
+	ctx := fn.Name()
+	if root != ctx {
+		ctx = fn.Name() + " (reached from //damcvet:nonblocking " + root + ")"
+	} else {
+		ctx = "//damcvet:nonblocking " + ctx
+	}
+
+	// Track ancestry so channel ops guarded by an escaping select are
+	// recognized.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if !shielded(n, stack) {
+				pass.Reportf(x.Pos(), "blocking channel send in %s: guard it with a select carrying a default or <-ctx.Done() escape, or annotate //damcvet:allow loopblock(reason)", ctx)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !shielded(enclosingStmt(n, stack), stack) {
+				pass.Reportf(x.Pos(), "blocking channel receive in %s: guard it with a select carrying a default or <-ctx.Done() escape, or annotate //damcvet:allow loopblock(reason)", ctx)
+			}
+		case *ast.CallExpr:
+			if why := blockingCall(pass, x); why != "" {
+				pass.Reportf(x.Pos(), "%s blocks in %s: the demux loop must never stall; move the work off-loop or annotate //damcvet:allow loopblock(reason)", why, ctx)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingStmt returns the statement containing expr: expr itself if
+// a statement, else its nearest statement ancestor.
+func enclosingStmt(n ast.Node, stack []ast.Node) ast.Node {
+	if _, ok := n.(ast.Stmt); ok {
+		return n
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(ast.Stmt); ok {
+			return stack[i]
+		}
+	}
+	return n
+}
+
+// shielded reports whether stmt is the guarded comm of a select that
+// carries an escape: a default clause or a <-ctx.Done()-style receive.
+func shielded(stmt ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		clause, ok := stack[i].(*ast.CommClause)
+		if !ok || clause.Comm != stmt {
+			continue
+		}
+		// The clause's parent is the select's body block; the select
+		// itself is one level above that.
+		if i < 2 {
+			return false
+		}
+		sel, ok := stack[i-2].(*ast.SelectStmt)
+		if !ok {
+			return false
+		}
+		return selectEscapes(sel)
+	}
+	return false
+}
+
+// selectEscapes reports whether a select can always make progress: it
+// has a default clause or a context-cancellation receive case.
+func selectEscapes(sel *ast.SelectStmt) bool {
+	for _, s := range sel.Body.List {
+		clause, ok := s.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if clause.Comm == nil {
+			return true // default
+		}
+		if recvFromDone(clause.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvFromDone matches `<-x.Done()` (bare, or the RHS of an
+// assignment) — the conventional cancellation escape.
+func recvFromDone(stmt ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	selx, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && selx.Sel.Name == "Done"
+}
+
+// fmtPrinters is the fmt output family (Sprintf and friends are pure).
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Scan": true, "Scanf": true, "Scanln": true,
+	"Fscan": true, "Fscanf": true, "Fscanln": true,
+}
+
+// osNonblocking lists os functions that are cheap metadata/environment
+// reads, not file or process I/O.
+var osNonblocking = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+}
+
+// ioBlocking lists io helpers that drive a Reader/Writer to
+// completion.
+var ioBlocking = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true,
+	"ReadAll": true, "ReadFull": true, "ReadAtLeast": true,
+	"WriteString": true,
+}
+
+// blockingCall classifies a call as blocking stdlib I/O; it returns a
+// human-readable description or "".
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net":
+		return "net." + name + " (network I/O)"
+	case "log", "log/slog":
+		return fn.Pkg().Path() + "." + name + " (serialized log I/O)"
+	case "fmt":
+		if fmtPrinters[name] {
+			return "fmt." + name + " (stream I/O)"
+		}
+	case "os":
+		if fn.Type().(*types.Signature).Recv() == nil && !osNonblocking[name] {
+			return "os." + name + " (file/process I/O)"
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return "os." + recvTypeName(recv.Type()) + "." + name + " (file I/O)"
+		}
+	case "io":
+		if ioBlocking[name] {
+			return "io." + name + " (stream I/O)"
+		}
+	}
+	return ""
+}
+
+func recvTypeName(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// calleeFunc resolves the static callee of a call, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

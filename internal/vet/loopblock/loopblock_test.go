@@ -1,0 +1,17 @@
+package loopblock
+
+import (
+	"testing"
+
+	"damulticast/internal/vet/analysistest"
+)
+
+func TestLoopblock(t *testing.T) {
+	analysistest.Run(t, Analyzer, "loopblockbad", "loopblockclean")
+}
+
+func TestAppliesEverywhere(t *testing.T) {
+	if Analyzer.AppliesTo != nil {
+		t.Error("loopblock applies to every package; gating is per-function via //damcvet:nonblocking")
+	}
+}

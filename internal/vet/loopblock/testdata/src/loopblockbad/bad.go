@@ -1,0 +1,40 @@
+// Package loopblockbad holds code loopblock must reject: unguarded
+// channel ops, sleeps, stream I/O, an escape-less select, and a
+// blocking helper reached transitively from the annotated loop.
+package loopblockbad
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+type hub struct {
+	out chan int
+	in  chan int
+}
+
+// demux is the loop under contract.
+//
+//damcvet:nonblocking
+func demux(ctx context.Context, h *hub) {
+	h.out <- 1                   // want `blocking channel send in //damcvet:nonblocking demux`
+	v := <-h.in                  // want `blocking channel receive in //damcvet:nonblocking demux`
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks in //damcvet:nonblocking demux`
+	fmt.Println("tick", v)       // want `fmt\.Println \(stream I/O\) blocks`
+	helper(h)
+	// A select with no default and no cancellation case can stall on
+	// every comm: both cases are findings.
+	select {
+	case h.out <- 2: // want `blocking channel send`
+	case v2 := <-h.in: // want `blocking channel receive`
+		_ = v2
+	}
+	_ = ctx
+}
+
+// helper has no annotation of its own; it inherits the contract from
+// its caller.
+func helper(h *hub) {
+	h.out <- 3 // want `blocking channel send in helper \(reached from //damcvet:nonblocking demux\)`
+}

@@ -1,0 +1,56 @@
+// Package loopblockclean holds code loopblock must accept: guarded
+// channel ops, off-loop goroutines, the annotated buffered-reply
+// escape hatch, and unannotated code that is free to block.
+package loopblockclean
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+type hub struct {
+	out   chan int
+	in    chan int
+	reply chan error
+}
+
+// demux is the loop under contract: every channel op carries an
+// escape, slow work is spawned off-loop, and the reply send documents
+// its capacity guarantee.
+//
+//damcvet:nonblocking
+func demux(ctx context.Context, h *hub) {
+	select {
+	case v := <-h.in:
+		_ = v
+	case <-ctx.Done():
+		return
+	}
+	select {
+	case h.out <- 1:
+	default:
+	}
+	go func() {
+		// Spawned goroutines may block: exempt.
+		time.Sleep(time.Millisecond)
+		fmt.Println("off-loop work")
+		h.out <- 2
+	}()
+	h.reply <- nil //damcvet:allow loopblock(reply channel is buffered cap 1 and consumed exactly once)
+	fanout(h)
+}
+
+// fanout inherits the contract from demux and keeps its send guarded.
+func fanout(h *hub) {
+	select {
+	case h.out <- 3:
+	default:
+	}
+}
+
+// offLoop is neither annotated nor reached from demux: free to block.
+func offLoop(h *hub) {
+	h.out <- 4
+	time.Sleep(time.Second)
+}

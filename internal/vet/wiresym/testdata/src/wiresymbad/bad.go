@@ -1,0 +1,35 @@
+// Package wiresymbad holds codec shapes wiresym must reject: an
+// encode-only field, a dead field, a retired-slot reuse, and a
+// duplicated MsgType slot.
+package wiresymbad
+
+type MsgType uint8
+
+const (
+	MsgPing     MsgType = 1
+	MsgData     MsgType = 2
+	MsgEventReq MsgType = 13 // want `MsgType MsgEventReq reuses retired wire slot 13`
+	MsgDup      MsgType = 2  // want `MsgType MsgDup duplicates wire slot 2 already taken by MsgData`
+)
+
+// Header is the envelope: Seq is serialized but never decoded, and Pad
+// is touched by neither path.
+type Header struct {
+	Kind MsgType
+	Seq  uint64 // want `wire asymmetry: Header\.Seq is not referenced by the decode path`
+	Pad  uint8  // want `wire asymmetry: Header\.Pad is not referenced by either the encode or the decode path`
+}
+
+// AppendHeader is the encode path.
+func AppendHeader(dst []byte, h *Header) []byte {
+	dst = append(dst, byte(h.Kind))
+	dst = append(dst, byte(h.Seq))
+	return dst
+}
+
+// DecodeHeader is the decode path; it forgets Seq.
+func DecodeHeader(b []byte) Header {
+	var h Header
+	h.Kind = MsgType(b[0])
+	return h
+}

@@ -1,0 +1,282 @@
+// Package wiresym implements the damcvet analyzer enforcing wire
+// codec symmetry: every field of the envelope structs the encoder
+// serializes (core.Message, core.Event and the structs they embed)
+// must be referenced by both the encode path and the decode path of
+// the codec package — adding a field to one side without the other
+// fails lint instead of surfacing as a fuzz or interop failure.
+//
+// Functions are classified by the codec's own naming convention:
+// Append*/Encode* (and unexported variants) are the encode path;
+// Decode*/Parse* and methods on a type named decoder/Decoder are the
+// decode path. A struct participates once the encode path references
+// any of its fields; field references through helpers in either class
+// count for that class.
+//
+// The analyzer also guards the protocol's retired wire slots: MsgType
+// constants must be unique, and the v3 EVENT_REQ slot (13) must stay
+// dead until a codec version bump deliberately reuses it (ROADMAP,
+// wire stability contract).
+package wiresym
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"damulticast/internal/vet/analysis"
+)
+
+// retiredSlots maps dead MsgType values to why they are dead.
+var retiredSlots = map[int64]string{
+	13: "EVENT_REQ (retired with wire v3; reuse requires a codec version bump)",
+}
+
+var (
+	encodeRE = regexp.MustCompile(`^(Append|append|Encode|encode)`)
+	decodeRE = regexp.MustCompile(`^(Decode|decode|Parse|parse)`)
+)
+
+// Analyzer is the wiresym checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiresym",
+	Doc: "verifies every wire envelope field is referenced by both the " +
+		"encode and decode paths, and that retired MsgType slots stay dead",
+	AppliesTo: func(pkgPath string) bool {
+		// The codec package (symmetry) and the package declaring the
+		// MsgType constants (slot reuse).
+		return pkgPath == "damulticast/internal/wire" || pkgPath == "damulticast/internal/core"
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkRetiredSlots(pass)
+	checkSymmetry(pass)
+	return nil
+}
+
+// pathClass is which half of the codec a function belongs to.
+type pathClass int
+
+const (
+	neither pathClass = iota
+	encodePath
+	decodePath
+)
+
+func classify(fd *ast.FuncDecl) pathClass {
+	if fd.Recv != nil {
+		if id := recvTypeName(fd.Recv); id == "decoder" || id == "Decoder" {
+			return decodePath
+		}
+	}
+	switch {
+	case encodeRE.MatchString(fd.Name.Name):
+		return encodePath
+	case decodeRE.MatchString(fd.Name.Name):
+		return decodePath
+	}
+	return neither
+}
+
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// structKey identifies a struct type as "pkgpath.Name".
+type structKey string
+
+// checkSymmetry cross-references struct field usage between the two
+// codec paths.
+func checkSymmetry(pass *analysis.Pass) {
+	refs := map[pathClass]map[structKey]map[string]bool{
+		encodePath: {},
+		decodePath: {},
+	}
+	structTypes := map[structKey]*types.Named{}
+	haveEncode, haveDecode := false, false
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			class := classify(fd)
+			if class == neither {
+				continue
+			}
+			if class == encodePath {
+				haveEncode = true
+			} else {
+				haveDecode = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					if named, field := fieldRef(pass, x); named != nil {
+						key := structKey(named.Obj().Pkg().Path() + "." + named.Obj().Name())
+						addRef(refs[class], key, field)
+						structTypes[key] = named
+					}
+				case *ast.CompositeLit:
+					// Message{Field: v} construction counts as a
+					// reference to Field (decode paths often build the
+					// result this way).
+					if named := namedStruct(pass.TypesInfo.TypeOf(x)); named != nil && named.Obj().Pkg() != nil {
+						key := structKey(named.Obj().Pkg().Path() + "." + named.Obj().Name())
+						for _, el := range x.Elts {
+							if kv, ok := el.(*ast.KeyValueExpr); ok {
+								if id, ok := kv.Key.(*ast.Ident); ok {
+									addRef(refs[class], key, id.Name)
+									structTypes[key] = named
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !haveEncode || !haveDecode {
+		return // not a codec package; nothing to cross-reference
+	}
+
+	// Every struct the encoder serializes must round-trip completely.
+	keys := make([]string, 0, len(refs[encodePath]))
+	for key := range refs[encodePath] {
+		keys = append(keys, string(key))
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		named := structTypes[structKey(key)]
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			inEnc := refs[encodePath][structKey(key)][field.Name()]
+			inDec := refs[decodePath][structKey(key)][field.Name()]
+			if inEnc && inDec {
+				continue
+			}
+			var missing string
+			switch {
+			case !inEnc && !inDec:
+				missing = "either the encode or the decode path"
+			case !inDec:
+				missing = "the decode path"
+			default:
+				missing = "the encode path"
+			}
+			pass.Reportf(field.Pos(), "wire asymmetry: %s.%s is not referenced by %s of %s; fields of serialized envelopes must round-trip (or be exempted with //damcvet:allow wiresym(reason) at the field)", named.Obj().Name(), field.Name(), missing, pass.Pkg.Path())
+		}
+	}
+}
+
+// fieldRef resolves a selector to (declaring struct, field name) when
+// it selects a field of a named struct type.
+func fieldRef(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.Named, string) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	recv := types.Unalias(s.Recv())
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = types.Unalias(ptr.Elem())
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, ""
+	}
+	return named, sel.Sel.Name
+}
+
+func namedStruct(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+func addRef(m map[structKey]map[string]bool, key structKey, field string) {
+	if m[key] == nil {
+		m[key] = map[string]bool{}
+	}
+	m[key][field] = true
+}
+
+// checkRetiredSlots verifies MsgType constants are unique and avoid
+// retired wire slots.
+func checkRetiredSlots(pass *analysis.Pass) {
+	type slot struct {
+		name string
+		pos  ast.Node
+		val  int64
+	}
+	var slots []slot
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || c.Type() == nil {
+						continue
+					}
+					named, ok := types.Unalias(c.Type()).(*types.Named)
+					if !ok || named.Obj().Name() != "MsgType" {
+						continue
+					}
+					v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+					if !ok {
+						continue
+					}
+					slots = append(slots, slot{name.Name, name, v})
+				}
+			}
+		}
+	}
+	seen := map[int64]string{}
+	for _, s := range slots {
+		if why, retired := retiredSlots[s.val]; retired {
+			pass.Reportf(s.pos.Pos(), "MsgType %s reuses retired wire slot %d: %s", s.name, s.val, why)
+		}
+		if prev, dup := seen[s.val]; dup {
+			pass.Reportf(s.pos.Pos(), "MsgType %s duplicates wire slot %d already taken by %s: two message types must never share a slot", s.name, s.val, prev)
+			continue
+		}
+		seen[s.val] = s.name
+	}
+}

@@ -1,0 +1,23 @@
+package wiresym
+
+import (
+	"testing"
+
+	"damulticast/internal/vet/analysistest"
+)
+
+func TestWiresym(t *testing.T) {
+	analysistest.Run(t, Analyzer, "wiresymbad", "wiresymclean")
+}
+
+func TestAppliesTo(t *testing.T) {
+	if !Analyzer.AppliesTo("damulticast/internal/wire") {
+		t.Error("wiresym must cover the codec package")
+	}
+	if !Analyzer.AppliesTo("damulticast/internal/core") {
+		t.Error("wiresym must cover the package declaring MsgType slots")
+	}
+	if Analyzer.AppliesTo("damulticast") {
+		t.Error("wiresym is scoped to the wire layer, not the hub")
+	}
+}
