@@ -14,16 +14,18 @@
 // lands in the metrics map.
 //
 // In -compare mode the new report is still written to stdout, then
-// every benchmark present in both runs is checked: ns/op or allocs/op
-// worse than baseline by more than -threshold (default 0.25, i.e.
-// +25%) is a regression, as is any allocation appearing where the
-// baseline had zero (allocation counts are deterministic). Benchmarks
-// are matched with the trailing -GOMAXPROCS suffix stripped, so a
-// baseline recorded on one machine gates runs on another. Because
-// sub-microsecond timings are dominated by machine constants (cache
-// geometry, turbo states) rather than code, benchmarks whose baseline
-// ns/op is below -nsfloor (default 1µs) are exempt from the ns check —
-// their allocs/op is still gated. Regressions are listed on stderr and
+// every benchmark present in both runs is checked: ns/op, B/op or
+// allocs/op worse than baseline by more than -threshold (default 0.25,
+// i.e. +25%) is a regression, as is any allocation (count or bytes)
+// appearing where the baseline had zero (both are deterministic).
+// Benchmarks are matched with the trailing -GOMAXPROCS suffix
+// stripped, so a baseline recorded on one machine gates runs on
+// another. Because sub-microsecond timings are dominated by machine
+// constants (cache geometry, turbo states) rather than code,
+// benchmarks whose baseline ns/op is below -nsfloor (default 1µs) are
+// exempt from the ns check — their allocs/op is still gated; likewise
+// baseline B/op below -bfloor (default 64, one small size class) is
+// exempt from the bytes check. Regressions are listed on stderr and
 // the command exits nonzero.
 package main
 
@@ -76,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	compare := fs.String("compare", "", "baseline report JSON to gate against; regressions fail the run")
 	threshold := fs.Float64("threshold", 0.25, "relative ns/op and allocs/op slack before a change counts as a regression")
 	nsFloor := fs.Float64("nsfloor", 1000, "baseline ns/op below which the ns check is skipped (timing noise floor; allocs still gated)")
+	bFloor := fs.Float64("bfloor", 64, "baseline B/op below which the bytes check is skipped (allocator size-class noise floor)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +87,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *nsFloor < 0 {
 		return fmt.Errorf("nsfloor must be >= 0, got %g", *nsFloor)
+	}
+	if *bFloor < 0 {
+		return fmt.Errorf("bfloor must be >= 0, got %g", *bFloor)
 	}
 	report, err := parse(stdin)
 	if err != nil {
@@ -102,7 +108,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("compare: %w", err)
 	}
-	regs, matched := compareReports(baseline, report, *threshold, *nsFloor)
+	regs, matched := compareReports(baseline, report, *threshold, *nsFloor, *bFloor)
 	fmt.Fprintf(stderr, "damcbench: compared %d benchmark(s) against %s (threshold +%.0f%%)\n",
 		matched, *compare, *threshold*100)
 	if len(regs) == 0 {
@@ -140,12 +146,15 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 func compareKey(name string) string { return procSuffix.ReplaceAllString(name, "") }
 
 // compareReports gates cur against base: every benchmark present in
-// both is checked for ns/op and allocs/op regressions beyond
+// both is checked for ns/op, B/op and allocs/op regressions beyond
 // threshold; the ns check only applies when the baseline timing is at
-// least nsFloor (below it, cross-machine constants drown real
-// signal). It returns the regression descriptions and how many
-// benchmarks matched.
-func compareReports(base, cur *Report, threshold, nsFloor float64) (regressions []string, matched int) {
+// least nsFloor (below it, cross-machine constants drown real signal),
+// and the bytes check when the baseline B/op is at least bFloor (below
+// it, a single size-class bump reads as a huge relative jump). B/op is
+// deterministic like allocs/op, so bytes appearing where the baseline
+// allocated none always fail. It returns the regression descriptions
+// and how many benchmarks matched.
+func compareReports(base, cur *Report, threshold, nsFloor, bFloor float64) (regressions []string, matched int) {
 	baseline := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseline[compareKey(r.Name)] = r
@@ -160,6 +169,15 @@ func compareReports(base, cur *Report, threshold, nsFloor float64) (regressions 
 			regressions = append(regressions, fmt.Sprintf(
 				"%s ns/op %.4g -> %.4g (+%.1f%%, limit +%.0f%%)",
 				r.Name, b.NsPerOp, r.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100, threshold*100))
+		}
+		switch {
+		case b.BytesPerOp == 0 && r.BytesPerOp > 0:
+			regressions = append(regressions, fmt.Sprintf(
+				"%s B/op 0 -> %g (baseline was allocation-free)", r.Name, r.BytesPerOp))
+		case b.BytesPerOp >= bFloor && r.BytesPerOp > b.BytesPerOp*(1+threshold):
+			regressions = append(regressions, fmt.Sprintf(
+				"%s B/op %g -> %g (+%.1f%%, limit +%.0f%%)",
+				r.Name, b.BytesPerOp, r.BytesPerOp, (r.BytesPerOp/b.BytesPerOp-1)*100, threshold*100))
 		}
 		switch {
 		case b.AllocsPerOp == 0 && r.AllocsPerOp > 0:

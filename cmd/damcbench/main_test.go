@@ -77,18 +77,18 @@ func TestCompareKeyStripsProcSuffix(t *testing.T) {
 
 func TestCompareReports(t *testing.T) {
 	base := &Report{Results: []Result{
-		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 4},
-		{Name: "BenchmarkAllocFree", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkFast", NsPerOp: 100, BytesPerOp: 1024, AllocsPerOp: 4},
+		{Name: "BenchmarkAllocFree", NsPerOp: 50, BytesPerOp: 0, AllocsPerOp: 0},
 		{Name: "BenchmarkGone", NsPerOp: 10},
 	}}
 
-	// Within threshold (+20% ns, same allocs): clean.
+	// Within threshold (+20% ns, +7% bytes, same allocs): clean.
 	cur := &Report{Results: []Result{
-		{Name: "BenchmarkFast-8", NsPerOp: 120, AllocsPerOp: 4},
+		{Name: "BenchmarkFast-8", NsPerOp: 120, BytesPerOp: 1100, AllocsPerOp: 4},
 		{Name: "BenchmarkAllocFree-8", NsPerOp: 55, AllocsPerOp: 0},
 		{Name: "BenchmarkNew-8", NsPerOp: 1}, // no baseline: ignored
 	}}
-	regs, matched := compareReports(base, cur, 0.25, 0)
+	regs, matched := compareReports(base, cur, 0.25, 0, 0)
 	if matched != 2 {
 		t.Errorf("matched = %d, want 2", matched)
 	}
@@ -96,43 +96,59 @@ func TestCompareReports(t *testing.T) {
 		t.Errorf("unexpected regressions: %v", regs)
 	}
 
-	// ns/op blowout, alloc growth, and allocs appearing from zero.
+	// ns/op blowout, byte and alloc growth, and bytes/allocs appearing
+	// from zero.
 	cur = &Report{Results: []Result{
-		{Name: "BenchmarkFast-8", NsPerOp: 200, AllocsPerOp: 6},
-		{Name: "BenchmarkAllocFree-8", NsPerOp: 50, AllocsPerOp: 1},
+		{Name: "BenchmarkFast-8", NsPerOp: 200, BytesPerOp: 2048, AllocsPerOp: 6},
+		{Name: "BenchmarkAllocFree-8", NsPerOp: 50, BytesPerOp: 16, AllocsPerOp: 1},
 	}}
-	regs, matched = compareReports(base, cur, 0.25, 0)
+	regs, matched = compareReports(base, cur, 0.25, 0, 0)
 	if matched != 2 {
 		t.Errorf("matched = %d, want 2", matched)
 	}
-	if len(regs) != 3 {
-		t.Fatalf("regressions = %v, want 3 entries", regs)
+	if len(regs) != 5 {
+		t.Fatalf("regressions = %v, want 5 entries", regs)
 	}
 	joined := strings.Join(regs, "\n")
-	for _, want := range []string{"BenchmarkFast-8 ns/op", "BenchmarkFast-8 allocs/op", "allocation-free"} {
+	for _, want := range []string{
+		"BenchmarkFast-8 ns/op", "BenchmarkFast-8 B/op", "BenchmarkFast-8 allocs/op",
+		"BenchmarkAllocFree-8 B/op 0", "BenchmarkAllocFree-8 allocs/op 0",
+	} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("regressions missing %q:\n%s", want, joined)
 		}
 	}
 
 	// Below the ns floor the timing check is skipped (machine-constant
-	// noise), but alloc regressions still fire.
-	regs, _ = compareReports(base, cur, 0.25, 1000)
+	// noise), but byte and alloc regressions still fire.
+	regs, _ = compareReports(base, cur, 0.25, 1000, 0)
 	joined = strings.Join(regs, "\n")
 	if strings.Contains(joined, "ns/op") {
 		t.Errorf("sub-floor timing gated:\n%s", joined)
 	}
-	for _, want := range []string{"BenchmarkFast-8 allocs/op", "allocation-free"} {
+	for _, want := range []string{"BenchmarkFast-8 B/op", "BenchmarkFast-8 allocs/op", "allocation-free"} {
 		if !strings.Contains(joined, want) {
-			t.Errorf("alloc regressions lost under ns floor:\n%s", joined)
+			t.Errorf("byte/alloc regressions lost under ns floor:\n%s", joined)
 		}
+	}
+
+	// Below the bytes floor the relative B/op check is skipped too —
+	// one size-class bump is not a regression — but growth from zero
+	// still fails (that transition is deterministic at any size).
+	regs, _ = compareReports(base, cur, 0.25, 0, 4096)
+	joined = strings.Join(regs, "\n")
+	if strings.Contains(joined, "BenchmarkFast-8 B/op") {
+		t.Errorf("sub-floor bytes gated:\n%s", joined)
+	}
+	if !strings.Contains(joined, "BenchmarkAllocFree-8 B/op 0") {
+		t.Errorf("zero-to-nonzero bytes lost under bytes floor:\n%s", joined)
 	}
 }
 
 func TestRunCompareGate(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "baseline.json")
-	base := &Report{Results: []Result{{Name: "BenchmarkStepMerge20k", NsPerOp: 33093523, AllocsPerOp: 3}}}
+	base := &Report{Results: []Result{{Name: "BenchmarkStepMerge20k", NsPerOp: 33093523, BytesPerOp: 2555147, AllocsPerOp: 3}}}
 	data, err := json.Marshal(base)
 	if err != nil {
 		t.Fatal(err)

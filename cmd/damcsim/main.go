@@ -12,6 +12,7 @@
 //	damcsim -fig recoverystore    # bloom vs raw-id digest frame bytes vs store size
 //	damcsim -fig recoverydepth    # cross-group root revival vs hierarchy depth
 //	damcsim -fig baselines        # da-multicast vs §VI-E baselines under faults
+//	damcsim -fig scale            # struct-of-arrays kernel swept to 1e6 processes
 //	damcsim -scenario churn -n 20000 [-intensity 0.3] [-rounds 24] [-workers 0]
 //	damcsim -scenario lossburst -recoverperiod 2   # scenarios with recovery on
 //
@@ -64,13 +65,14 @@ var figureKeys = map[string]string{
 	"recoverystore": "recoverystore",
 	"recoverydepth": "recoverydepth",
 	"baselines":     "baselines",
+	"scale":         "scale",
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("damcsim", flag.ContinueOnError)
-	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn", "recovery", "recoverystore", "recoverydepth", "baselines" or "all"`)
+	fig := fs.String("fig", "all", `figure to regenerate: "8", "9", "10", "11", "churn", "recovery", "recoverystore", "recoverydepth", "baselines", "scale" or "all"`)
 	runs := fs.Int("runs", 3, "independent runs averaged per point")
-	points := fs.Int("points", 10, "alive-fraction points in (0, 1]")
+	points := fs.Int("points", 10, "x-axis points per figure: alive fractions in (0, 1] for the paper figures; pinned-grid figures (baselines, scale) take the first -points grid entries")
 	out := fs.String("out", "", "write CSV to this file instead of stdout")
 	sweepWorkers := fs.Int("sweepworkers", 0, "figure-sweep worker pool size; 0 = GOMAXPROCS, 1 = serial (CSV identical for every value)")
 	reportPath := fs.String("report", "", "write a JSON run report (config, seeds, per-kind counts, timing) to this file")
@@ -124,11 +126,11 @@ func run(args []string, stdout io.Writer) error {
 	// "all" really means all: the paper figures plus the beyond-paper
 	// churn, recovery and baselines sweeps (their x-axes read as
 	// "fraction surviving" and "channel success probability").
-	order := []string{"8", "9", "10", "11", "churn", "recovery", "recoverystore", "recoverydepth", "baselines"}
+	order := []string{"8", "9", "10", "11", "churn", "recovery", "recoverystore", "recoverydepth", "baselines", "scale"}
 	selected := order
 	if *fig != "all" {
 		if _, ok := figureKeys[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn, recovery, recoverystore, recoverydepth, baselines or all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 8, 9, 10, 11, churn, recovery, recoverystore, recoverydepth, baselines, scale or all)", *fig)
 		}
 		selected = []string{*fig}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"damulticast/internal/experiment"
+	"damulticast/internal/sim"
 )
 
 func TestRunSingleFigure(t *testing.T) {
@@ -78,6 +79,54 @@ func TestRunChurnFigure(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "# churn:") {
 		t.Errorf("missing churn figure header:\n%s", out.String())
+	}
+}
+
+func TestRunScaleFigure(t *testing.T) {
+	var out strings.Builder
+	// Two grid points (1e3, 3162): fast smoke of the scale-kernel path.
+	if err := run([]string{"-fig", "scale", "-runs", "1", "-points", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# scale:") {
+		t.Errorf("missing scale figure header:\n%s", s)
+	}
+	for _, want := range []string{"state_bytes_per_proc", "events_per_proc", "1000.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scale CSV missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFigureKeysCoverSimFigures keeps the CLI's figure table in sync
+// with the sim registry: every canonical figure must be reachable from
+// -fig, and the -fig all order must enumerate exactly the known keys.
+func TestFigureKeysCoverSimFigures(t *testing.T) {
+	canonical := map[string]bool{}
+	for _, name := range sim.FigureNames() {
+		canonical[name] = true
+	}
+	covered := map[string]bool{}
+	for key, name := range figureKeys {
+		if !canonical[name] {
+			t.Errorf("figureKeys[%q] = %q is not a sim figure", key, name)
+		}
+		covered[name] = true
+	}
+	for name := range canonical {
+		if !covered[name] {
+			t.Errorf("sim figure %q unreachable from -fig", name)
+		}
+	}
+	order := []string{"8", "9", "10", "11", "churn", "recovery", "recoverystore", "recoverydepth", "baselines", "scale"}
+	if len(order) != len(figureKeys) {
+		t.Fatalf("-fig all order has %d entries, figureKeys %d", len(order), len(figureKeys))
+	}
+	for _, key := range order {
+		if _, ok := figureKeys[key]; !ok {
+			t.Errorf("-fig all key %q missing from figureKeys", key)
+		}
 	}
 }
 

@@ -82,6 +82,9 @@ func bloomLayout(n, bitsPerEntry int) (bytes, k int, truncated bool) {
 	if n <= 0 {
 		return 0, 0, false
 	}
+	if bitsPerEntry == DigestBitsAdaptive {
+		bitsPerEntry = adaptiveDigestBits(n)
+	}
 	mBits := n * bitsPerEntry
 	if mBits < minRecoverDigestBits {
 		mBits = minRecoverDigestBits
@@ -96,6 +99,24 @@ func bloomLayout(n, bitsPerEntry int) (bytes, k int, truncated bool) {
 		k = 1
 	}
 	return bytes, k, truncated
+}
+
+// adaptiveDigestBits is the DigestBitsAdaptive schedule: the per-entry
+// budget chosen from the observed store count n. Small stores spend
+// 16 bits/entry (~0.04% false-positive rate — on a tiny store a single
+// false positive suppresses a large share of the possible repair and
+// the absolute cost of generosity is trivial), mid-size stores 13
+// (~0.2%), and large stores the paper-default 10 (~1%), where the
+// per-entry budget dominates frame size long before the byte cap.
+func adaptiveDigestBits(n int) int {
+	switch {
+	case n <= 2048:
+		return 16
+	case n <= 16384:
+		return 13
+	default:
+		return 10
+	}
 }
 
 // bloomAdd sets id's k probe bits in bits.
@@ -130,9 +151,10 @@ func bloomHas(bits []byte, k int, seed uint64, id ids.EventID) bool {
 }
 
 // BloomDigest builds a recovery digest filter over eventIDs at
-// bitsPerEntry bits per entry under the given hash seed. Exposed for
-// drivers that size digests without a live Process — the sim's
-// store-size figure encodes real MsgDigest frames through this.
+// bitsPerEntry bits per entry (or DigestBitsAdaptive to size from
+// len(eventIDs)) under the given hash seed. Exposed for drivers that
+// size digests without a live Process — the sim's store-size figure
+// encodes real MsgDigest frames through this.
 func BloomDigest(eventIDs []ids.EventID, bitsPerEntry int, seed uint64) (bits []byte, k int, truncated bool) {
 	n := len(eventIDs)
 	bytes, k, truncated := bloomLayout(n, bitsPerEntry)

@@ -89,6 +89,48 @@ func TestBloomLayoutBounds(t *testing.T) {
 	}
 }
 
+// TestAdaptiveDigestBits pins the DigestBitsAdaptive schedule: the
+// observed store count selects 16 bits/entry at 1k, 13 at 10k and 10 at
+// 100k. The thresholds are part of the wire-visible digest layout, so a
+// change here must be deliberate.
+func TestAdaptiveDigestBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 16},
+		{1_000, 16},
+		{2048, 16},
+		{2049, 13},
+		{10_000, 13},
+		{16384, 13},
+		{16385, 10},
+		{100_000, 10},
+	}
+	for _, tc := range cases {
+		if got := adaptiveDigestBits(tc.n); got != tc.want {
+			t.Errorf("adaptiveDigestBits(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	// The sentinel resolves through bloomLayout: an adaptive layout is
+	// byte-identical to the explicit budget it selects.
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		ab, ak, at := bloomLayout(n, DigestBitsAdaptive)
+		eb, ek, et := bloomLayout(n, adaptiveDigestBits(n))
+		if ab != eb || ak != ek || at != et {
+			t.Errorf("n=%d: adaptive layout (%d,%d,%v) != explicit (%d,%d,%v)", n, ab, ak, at, eb, ek, et)
+		}
+	}
+	// And Params.Validate accepts the sentinel with recovery enabled.
+	p := DefaultParams()
+	p.RecoverPeriod = 2
+	p.RecoverDigestBits = DigestBitsAdaptive
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate rejected DigestBitsAdaptive: %v", err)
+	}
+	p.RecoverDigestBits = -2
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted digest bits -2")
+	}
+}
+
 // TestBloomDigestDeterministic: same ids, budget and seed produce
 // byte-identical filters — required for the sweep determinism gates.
 func TestBloomDigestDeterministic(t *testing.T) {

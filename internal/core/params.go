@@ -97,7 +97,8 @@ type Params struct {
 	// RecoverDigestBits is the recovery digest's bloom-filter budget in
 	// bits per stored event (10 ≈ 1% false positives). Larger stores
 	// build proportionally larger filters up to a hard byte cap; see
-	// bloom.go.
+	// bloom.go. The sentinel DigestBitsAdaptive picks the budget from
+	// the observed store count at digest-build time.
 	RecoverDigestBits int
 
 	// CrossRecoverPeriod is the number of ticks between cross-group
@@ -112,6 +113,15 @@ type Params struct {
 	// cross-group wave sends a digest to.
 	CrossRecoverFanout int
 }
+
+// DigestBitsAdaptive, assigned to Params.RecoverDigestBits, sizes each
+// recovery digest from the observed store count when the filter is
+// built instead of a fixed per-entry budget: small stores get generous
+// filters (16 bits/entry, ~0.04% false positives — a false positive on
+// a tiny store suppresses a large fraction of the repair), big stores
+// taper to the paper-default 10 bits/entry before the byte cap bites.
+// See adaptiveDigestBits in bloom.go for the schedule.
+const DigestBitsAdaptive = -1
 
 // DefaultParams returns the paper's simulation setting (§VII-A):
 // b=3, c=5, g=5, a=1, z=3, plus sensible defaults for the live-mode
@@ -172,7 +182,8 @@ func (p Params) Validate() error {
 	if p.Tau < 0 || p.Tau > p.Z {
 		return fmt.Errorf("%w (got %d with Z=%d)", ErrBadTau, p.Tau, p.Z)
 	}
-	if p.RecoverPeriod > 0 && (p.RecoverFanout < 1 || p.RecoverStoreCap < 1 || p.RecoverMaxAge < 1 || p.RecoverDigestBits < 1) {
+	if p.RecoverPeriod > 0 && (p.RecoverFanout < 1 || p.RecoverStoreCap < 1 || p.RecoverMaxAge < 1 ||
+		(p.RecoverDigestBits < 1 && p.RecoverDigestBits != DigestBitsAdaptive)) {
 		return fmt.Errorf("%w (fanout=%d storecap=%d maxage=%d digestbits=%d)",
 			ErrBadRecover, p.RecoverFanout, p.RecoverStoreCap, p.RecoverMaxAge, p.RecoverDigestBits)
 	}

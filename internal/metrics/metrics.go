@@ -238,6 +238,24 @@ func (r *Registry) IncDropped(t topic.Topic) { r.Inc(Key{Kind: Dropped, Topic: t
 // IncRecoverMsg counts one recovery wire message sent from group t.
 func (r *Registry) IncRecoverMsg(t topic.Topic) { r.Inc(Key{Kind: RecoverMsg, Topic: t}) }
 
+// AddIntra adds n intra-group event messages in group t. The Add*
+// bulk variants serve drivers that stream pre-aggregated per-round
+// counts (internal/scale's Sink) instead of incrementing per message.
+func (r *Registry) AddIntra(t topic.Topic, n int64) { r.Add(Key{Kind: IntraGroup, Topic: t}, n) }
+
+// AddInter adds n inter-group event messages from group src to dst.
+func (r *Registry) AddInter(src, dst topic.Topic, n int64) {
+	r.Add(Key{Kind: InterGroup, Topic: src, Dest: dst}, n)
+}
+
+// AddDelivered adds n first-time application deliveries in group t.
+func (r *Registry) AddDelivered(t topic.Topic, n int64) {
+	r.Add(Key{Kind: Delivered, Topic: t}, n)
+}
+
+// AddDropped adds n channel-lost messages in group t.
+func (r *Registry) AddDropped(t topic.Topic, n int64) { r.Add(Key{Kind: Dropped, Topic: t}, n) }
+
 // AddRecovered adds n recovery-path deliveries in group t.
 func (r *Registry) AddRecovered(t topic.Topic, n int64) { r.Add(Key{Kind: Recovered, Topic: t}, n) }
 

@@ -1,0 +1,43 @@
+package scale
+
+import (
+	"testing"
+
+	"damulticast/internal/topic"
+)
+
+func TestTableInternFirstSightOrder(t *testing.T) {
+	tab := NewTable[topic.Topic]()
+	if got := tab.Intern("/a"); got != 0 {
+		t.Fatalf("first intern id = %d, want 0", got)
+	}
+	if got := tab.Intern("/b"); got != 1 {
+		t.Fatalf("second intern id = %d, want 1", got)
+	}
+	if got := tab.Intern("/a"); got != 0 {
+		t.Fatalf("re-intern id = %d, want 0", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestTableLookupAndName(t *testing.T) {
+	tab := NewTable[topic.Topic]()
+	tab.Intern("/sport")
+	tab.Intern("/sport/soccer")
+
+	id, ok := tab.Lookup("/sport/soccer")
+	if !ok || id != 1 {
+		t.Fatalf("Lookup(/sport/soccer) = %d, %v; want 1, true", id, ok)
+	}
+	if _, ok := tab.Lookup("/news"); ok {
+		t.Fatal("Lookup of uninterned key reported found")
+	}
+	if got := tab.Name(0); got != "/sport" {
+		t.Fatalf("Name(0) = %q, want /sport", got)
+	}
+	if got := tab.Name(1); got != "/sport/soccer" {
+		t.Fatalf("Name(1) = %q, want /sport/soccer", got)
+	}
+}

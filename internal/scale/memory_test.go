@@ -1,0 +1,48 @@
+package scale
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMemoryPerProcessBudget is the memory regression gate for the
+// scale backend (ROADMAP item 1): building a 100k-process kernel must
+// allocate under BudgetBytesPerProcess per process as measured by the
+// runtime, not just by the kernel's own accounting. ReadMemStats deltas
+// are inherently noisy (allocator rounding, GC timing), which is why
+// the budget carries ~2x headroom over the accounted footprint and why
+// this measurement never feeds a figure CSV — it gates, it does not
+// report.
+func TestMemoryPerProcessBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-process allocation test skipped in -short mode")
+	}
+	const n = 100_000
+	cfg := testConfig(n, 1)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(k)
+
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	perProc := float64(delta) / n
+	t.Logf("heap delta %d B for %d processes = %.1f B/process (budget %d)",
+		delta, n, perProc, BudgetBytesPerProcess)
+	if perProc > BudgetBytesPerProcess {
+		t.Fatalf("measured %.1f B/process exceeds budget %d", perProc, BudgetBytesPerProcess)
+	}
+	// Cross-check the self-accounting: the runtime should never report
+	// dramatically less than what the kernel claims to hold live.
+	if acc := k.StateBytes(); delta > 0 && float64(delta) < 0.5*float64(acc) {
+		t.Fatalf("heap delta %d B implausibly below accounted state %d B", delta, acc)
+	}
+}

@@ -159,7 +159,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		params := cfg.Params
 		params.GroupSizeHint = g.Size
 		for i := 0; i < g.Size; i++ {
-			id := ids.ProcessID(fmt.Sprintf("%s#%d", g.Topic, i))
+			id := ids.Indexed(string(g.Topic), i)
 			env := &nodeEnv{
 				id:      id,
 				net:     r.net,

@@ -315,6 +315,7 @@ func figureSpecs() map[string]figureSpec {
 		"recoverystore": recoveryStoreSpec(),
 		"recoverydepth": recoveryDepthSpec(),
 		"baselines":     baselinesSpec(),
+		"scale":         scaleSpec(),
 	}
 }
 

@@ -400,8 +400,19 @@ func (n *Network) workers() int {
 	return p
 }
 
-// shardOf maps a node to its shard by insertion index.
-func shardOf(index, p int) int { return index % p }
+// shardOf maps a node to its shard by insertion index, in contiguous
+// blocks of the given size: shard s owns indexes [s·block, (s+1)·block).
+// Contiguous slabs (rather than the round-robin index%p) keep each
+// worker's nodes — and everything they point to, allocated in insertion
+// order — adjacent in memory, so a shard's round walks a compact slab
+// instead of striding the whole heap. Results are invariant either way:
+// every node is owned by exactly one shard, and the serial merge
+// canonicalizes outbox order.
+func shardOf(index, block int) int { return index / block }
+
+// shardBlock returns the slab size for p shards over n nodes (ceiling
+// division; the last shard may own a short slab).
+func shardBlock(n, p int) int { return (n + p - 1) / p }
 
 // compareOutbox orders one sender's buffered sends by (To, Seq) — the
 // canonical order with From fixed. Seq never repeats within a sender,
@@ -462,12 +473,13 @@ func (n *Network) Step() int {
 	for s := range perShard {
 		perShard[s] = perShard[s][:0]
 	}
+	block := shardBlock(len(n.order), p)
 	for _, env := range batch {
 		idx, ok := n.index[env.To]
 		if !ok {
 			continue // unknown target: silently dropped
 		}
-		s := shardOf(idx, p)
+		s := shardOf(idx, block)
 		perShard[s] = append(perShard[s], env)
 	}
 	n.perShard = perShard
@@ -484,6 +496,11 @@ func (n *Network) Step() int {
 
 	n.stepping = true
 	runShard := func(s int) {
+		lo := s * block
+		hi := lo + block
+		if hi > len(n.order) {
+			hi = len(n.order)
+		}
 		for _, env := range perShard[s] {
 			if n.down[env.To] {
 				continue
@@ -492,7 +509,7 @@ func (n *Network) Step() int {
 			delivered[s]++
 		}
 		if n.TickNodes {
-			for i := s; i < len(n.order); i += p {
+			for i := lo; i < hi; i++ {
 				if id := n.order[i]; !n.down[id] {
 					n.nodes[id].Tick()
 				}
@@ -502,7 +519,7 @@ func (n *Network) Step() int {
 		// busy: each sender ctx is owned by exactly one shard, so the
 		// per-sender sorts need no coordination and the serial merge
 		// below degenerates to a concatenation.
-		for i := s; i < len(n.order); i += p {
+		for i := lo; i < hi; i++ {
 			if c := n.ctx[n.order[i]]; len(c.out) > 1 {
 				slices.SortFunc(c.out, compareOutbox)
 			}

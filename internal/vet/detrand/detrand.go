@@ -25,6 +25,7 @@ var contractPackages = map[string]bool{
 	"damulticast/internal/core":     true,
 	"damulticast/internal/baseline": true,
 	"damulticast/internal/workload": true,
+	"damulticast/internal/scale":    true,
 }
 
 // Analyzer is the detrand checker.

@@ -17,6 +17,7 @@ func TestAppliesTo(t *testing.T) {
 		"damulticast/internal/core",
 		"damulticast/internal/baseline",
 		"damulticast/internal/workload",
+		"damulticast/internal/scale",
 	} {
 		if !Analyzer.AppliesTo(pkg) {
 			t.Errorf("AppliesTo(%s) = false, want true", pkg)
